@@ -1,0 +1,133 @@
+(* Shared harness: index factories tuned to ~1KB nodes (Section 5), bulk
+   loading, workload execution and reporting helpers. *)
+
+open Siri_core
+module Store = Siri_store.Store
+module Mpt = Siri_mpt.Mpt
+module Mbt = Siri_mbt.Mbt
+module Pos = Siri_pos.Pos_tree
+module Mvbt = Siri_mvbt.Mvbt
+module Prolly = Siri_prolly.Prolly
+module Ycsb = Siri_workload.Ycsb
+module Clock = Siri_benchkit.Clock
+module Table = Siri_benchkit.Table
+module Hist = Siri_benchkit.Hist
+
+type kind = Kpos | Kmbt | Kmpt | Kmvbt | Kprolly
+
+let all = [ Kpos; Kmbt; Kmpt; Kmvbt ]
+
+let name = function
+  | Kpos -> "POS-Tree"
+  | Kmbt -> "MBT"
+  | Kmpt -> "MPT"
+  | Kmvbt -> "MVMB+-Tree"
+  | Kprolly -> "Prolly"
+
+let names kinds = List.map name kinds
+
+(* Tune every structure to ~node_bytes nodes given the average record size,
+   exactly as Section 5 does ("we tune the size of each index node to be
+   approximately 1 KB").  MBT's bucket count is fixed per experiment (it
+   cannot change during the index lifetime). *)
+let make ?(node_bytes = 1024) ?mbt_capacity ~record_bytes kind store =
+  match kind with
+  | Kpos ->
+      Pos.generic (Pos.empty store (Pos.config ~leaf_target:node_bytes ()))
+  | Kprolly ->
+      Pos.generic_named "prolly"
+        (Pos.empty store (Prolly.config ~node_target:node_bytes ()))
+  | Kmpt -> Mpt.generic (Mpt.empty store)
+  | Kmvbt ->
+      let leaf_capacity = max 2 (node_bytes / max 1 record_bytes) in
+      Mvbt.generic
+        (Mvbt.empty store
+           (Mvbt.config ~leaf_capacity ~internal_capacity:(max 2 (node_bytes / 41)) ()))
+  | Kmbt ->
+      let capacity =
+        match mbt_capacity with Some c -> c | None -> Params.mbt_buckets ()
+      in
+      Mbt.generic (Mbt.empty store (Mbt.config ~capacity ~fanout:4 ()))
+
+let load inst entries =
+  inst.Generic.batch (List.map (fun (k, v) -> Kv.Put (k, v)) entries)
+
+(* Run a YCSB operation stream; writes are committed in batches of
+   [write_batch] (Table 2), which is where POS-Tree's bottom-up batch
+   building pays off.  Returns elapsed seconds and the final version. *)
+let run_operations ?write_batch inst ops =
+  let batch_size =
+    match write_batch with Some b -> b | None -> Params.write_batch ()
+  in
+  let flush inst pending =
+    if pending = [] then inst else inst.Generic.batch (List.rev pending)
+  in
+  let t0 = Clock.now () in
+  let inst, pending =
+    List.fold_left
+      (fun (inst, pending) op ->
+        match op with
+        | Ycsb.Read k ->
+            ignore (inst.Generic.lookup k);
+            (inst, pending)
+        | Ycsb.Write (k, v) ->
+            let pending = Kv.Put (k, v) :: pending in
+            if List.length pending >= batch_size then (flush inst pending, [])
+            else (inst, pending))
+      (inst, []) ops
+  in
+  let final = flush inst pending in
+  (Clock.now () -. t0, final)
+
+(* Same, collecting per-op latency samples. *)
+let run_operations_hist inst ops =
+  let hist = Hist.create () in
+  let final =
+    List.fold_left
+      (fun inst op ->
+        let t0 = Clock.now () in
+        let inst =
+          match op with
+          | Ycsb.Read k ->
+              ignore (inst.Generic.lookup k);
+              inst
+          | Ycsb.Write (k, v) -> inst.Generic.batch [ Kv.Put (k, v) ]
+        in
+        Hist.add hist (Clock.now () -. t0);
+        inst)
+      inst ops
+  in
+  (hist, final)
+
+let kops ops seconds = Clock.throughput ~ops ~seconds /. 1000.0
+
+(* A per-(kind, N) cache of loaded YCSB instances so that the many panels of
+   Figure 6/10 don't rebuild the same index. *)
+let ycsb_cache : (kind * int, Generic.t) Hashtbl.t = Hashtbl.create 16
+
+let ycsb_instance kind n =
+  match Hashtbl.find_opt ycsb_cache (kind, n) with
+  | Some inst -> inst
+  | None ->
+      let store = Store.create () in
+      let y = Ycsb.create ~seed:Params.seed ~n () in
+      let inst = load (make ~record_bytes:266 kind store) (Ycsb.dataset y) in
+      Hashtbl.replace ycsb_cache (kind, n) inst;
+      inst
+
+let latency_buckets_table ~title hists =
+  (* hists : (structure name, Hist.t) list — print summary stats, the
+     machine-readable form of the paper's latency histograms. *)
+  Table.print ~title
+    ~headers:[ "index"; "n"; "mean us"; "p50 us"; "p90 us"; "p99 us"; "max us" ]
+    (List.map
+       (fun (name, h) ->
+         let us x = Printf.sprintf "%.1f" (x *. 1e6) in
+         [ name;
+           string_of_int (Hist.count h);
+           us (Hist.mean h);
+           us (Hist.percentile h 0.5);
+           us (Hist.percentile h 0.9);
+           us (Hist.percentile h 0.99);
+           us (Hist.max_value h) ])
+       hists)

@@ -1,0 +1,179 @@
+(* Figure 17 — diverse-group collaboration vs overlap ratio:
+                storage, #nodes, deduplication ratio, node sharing ratio.
+   Figure 18 — the same four metrics vs write batch size.
+   Table 3   — structure parameters vs deduplication ratio. *)
+
+open Siri_core
+module Store = Siri_store.Store
+module Mpt = Siri_mpt.Mpt
+module Mbt = Siri_mbt.Mbt
+module Pos = Siri_pos.Pos_tree
+module Ycsb = Siri_workload.Ycsb
+module Versions = Siri_workload.Versions
+module Table = Siri_benchkit.Table
+
+(* Simulate [groups] parties: each initialises the same dataset, then
+   executes its overlap workload committed in batches (one version per
+   batch).  Returns (stored bytes, #nodes, dedup ratio, sharing ratio) for
+   the head versions. *)
+let collaborate kind ~overlap_ratio ~batch =
+  let groups = Params.groups () in
+  let init_n = Params.group_init () in
+  let per_group = Params.group_workload () in
+  let store = Store.create () in
+  let y = Ycsb.create ~seed:Params.seed ~n:(init_n + per_group) () in
+  let init = List.init init_n (fun id -> Ycsb.entry y id) in
+  let all_roots = ref [] in
+  let heads =
+    List.init groups (fun g ->
+        let inst = Common.load (Common.make ~record_bytes:266 kind store) init in
+        all_roots := inst.Generic.root :: !all_roots;
+        let workload =
+          Ycsb.overlap_workload y ~offset:init_n ~group:g ~groups
+            ~overlap_ratio ~count:per_group
+        in
+        let rec commit inst = function
+          | [] -> inst
+          | records ->
+              let now, later =
+                ( List.filteri (fun i _ -> i < batch) records,
+                  List.filteri (fun i _ -> i >= batch) records )
+              in
+              let inst =
+                inst.Generic.batch (List.map (fun (k, v) -> Kv.Put (k, v)) now)
+              in
+              all_roots := inst.Generic.root :: !all_roots;
+              commit inst later
+        in
+        (commit inst workload).Generic.root)
+  in
+  ignore heads;
+  (* All committed versions count: the collaborative store retains every
+     batch version of every group, and the metrics quantify how well that
+     whole set deduplicates (within groups across versions, and across
+     groups through overlap). *)
+  ( Dedup.union_bytes store !all_roots,
+    Dedup.union_nodes store !all_roots,
+    Dedup.dedup_ratio store !all_roots,
+    Dedup.node_sharing_ratio store !all_roots )
+
+let four_metric_tables ~title ~x_label rows =
+  (* rows : (x, (bytes, nodes, eta, sharing) list per kind) *)
+  let table name f =
+    Table.series ~title:(title ^ " — " ^ name) ~x_label
+      ~columns:(Common.names Common.all)
+      (List.map (fun (x, per) -> (x, List.map f per)) rows)
+  in
+  table "storage (MB)" (fun (b, _, _, _) -> Float.of_int b /. 1e6);
+  table "#nodes (x1000)" (fun (_, n, _, _) -> Float.of_int n /. 1e3);
+  table "deduplication ratio" (fun (_, _, e, _) -> e);
+  table "node sharing ratio" (fun (_, _, _, s) -> s)
+
+let fig17 () =
+  let batch = Params.default_batch () in
+  let rows =
+    List.map
+      (fun overlap ->
+        ( Printf.sprintf "%.0f%%" (100.0 *. overlap),
+          List.map (fun kind -> collaborate kind ~overlap_ratio:overlap ~batch)
+            Common.all ))
+      (Params.overlap_sweep ())
+  in
+  four_metric_tables
+    ~title:
+      (Printf.sprintf "Figure 17: %d-group collaboration vs overlap ratio"
+         (Params.groups ()))
+    ~x_label:"overlap" rows
+
+let fig18 () =
+  let rows =
+    List.map
+      (fun batch ->
+        ( string_of_int batch,
+          List.map (fun kind -> collaborate kind ~overlap_ratio:0.5 ~batch)
+            Common.all ))
+      (Params.batch_sweep ())
+  in
+  four_metric_tables
+    ~title:"Figure 18: collaboration (50% overlap) vs batch size"
+    ~x_label:"batch" rows
+
+(* Table 3: dedup ratio of the collaboration workload (50% overlap, default
+   batches) under varying structure parameters.  [key_pad] appends bytes to
+   every key, lengthening MPT paths. *)
+let collab_eta ~key_pad build =
+  let groups = Params.groups () in
+  let init_n = Params.group_init () in
+  let per_group = Params.group_workload () in
+  let batch = Params.default_batch () in
+  let all_roots = ref [] in
+  let store = Store.create () in
+  let y = Ycsb.create ~seed:Params.seed ~n:(init_n + per_group) () in
+  let pad k = if key_pad = 0 then k else k ^ String.make key_pad 'k' in
+  let init = List.init init_n (fun id -> Ycsb.entry y id) in
+  let init = List.map (fun (k, v) -> (pad k, v)) init in
+  let heads =
+    List.init groups (fun g ->
+        let inst = Common.load (build store) init in
+        all_roots := inst.Generic.root :: !all_roots;
+        let workload =
+          List.map
+            (fun (k, v) -> (pad k, v))
+            (Ycsb.overlap_workload y ~offset:init_n ~group:g ~groups
+               ~overlap_ratio:0.5 ~count:per_group)
+        in
+        let rec commit inst = function
+          | [] -> inst
+          | records ->
+              let now, later =
+                ( List.filteri (fun i _ -> i < batch) records,
+                  List.filteri (fun i _ -> i >= batch) records )
+              in
+              let inst =
+                inst.Generic.batch (List.map (fun (k, v) -> Kv.Put (k, v)) now)
+              in
+              all_roots := inst.Generic.root :: !all_roots;
+              commit inst later
+        in
+        let inst = commit inst workload in
+        all_roots := inst.Generic.root :: !all_roots;
+        inst.Generic.root)
+  in
+  ignore heads;
+  Dedup.dedup_ratio store !all_roots
+
+let table3 () =
+  Table.print ~title:"Table 3a: POS-Tree node size vs eta"
+    ~headers:[ "node size"; "eta(POS-Tree)" ]
+    (List.map
+       (fun size ->
+         let eta =
+           collab_eta ~key_pad:0 (fun s ->
+               Pos.generic (Pos.empty s (Pos.config ~leaf_target:size ())))
+         in
+         [ string_of_int size; Printf.sprintf "%.4f" eta ])
+       Params.table3_pos_node_sizes);
+  Table.print ~title:"Table 3b: MBT bucket count vs eta"
+    ~headers:[ "#buckets"; "eta(MBT)" ]
+    (List.map
+       (fun buckets ->
+         let eta =
+           collab_eta ~key_pad:0 (fun s ->
+               Mbt.generic (Mbt.empty s (Mbt.config ~capacity:buckets ~fanout:4 ())))
+         in
+         [ string_of_int buckets; Printf.sprintf "%.4f" eta ])
+       (Params.table3_mbt_buckets ()));
+  Table.print ~title:"Table 3c: MPT mean key length vs eta"
+    ~headers:[ "extra key bytes"; "mean key len"; "eta(MPT)" ]
+    (List.map
+       (fun pad ->
+         let eta = collab_eta ~key_pad:pad (fun s -> Mpt.generic (Mpt.empty s)) in
+         [ string_of_int pad;
+           Printf.sprintf "%.1f" (10.3 +. Float.of_int pad);
+           Printf.sprintf "%.4f" eta ])
+       [ 0; 4; 8; 16 ])
+
+let run () =
+  fig17 ();
+  fig18 ();
+  table3 ()

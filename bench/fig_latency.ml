@@ -1,0 +1,225 @@
+(* Figure 8  — diff latency between two independently loaded versions.
+   Figure 9  — traversed tree height distribution.
+   Figure 10 — YCSB latency distributions (read/write × balanced/skewed).
+   Figure 11 — Wiki latency distributions.
+   Figure 12 — Ethereum latency distributions.
+   Figure 13 — MBT lookup breakdown: bucket load vs scan. *)
+
+open Siri_core
+module Store = Siri_store.Store
+module Mbt = Siri_mbt.Mbt
+module Ycsb = Siri_workload.Ycsb
+module Wiki = Siri_workload.Wiki
+module Ethereum = Siri_workload.Ethereum
+module Clock = Siri_benchkit.Clock
+module Table = Siri_benchkit.Table
+module Hist = Siri_benchkit.Hist
+
+let fig8 () =
+  let rows =
+    List.map
+      (fun n ->
+        let y = Ycsb.create ~seed:Params.seed ~n () in
+        let delta = max 100 (n / 100) in
+        let cols =
+          List.map
+            (fun kind ->
+              let store = Store.create () in
+              let rng = Rng.create Params.seed in
+              let entries = Ycsb.dataset y in
+              (* Two versions loaded independently in different random
+                 orders: SIRI structures still align, the baseline does
+                 not. *)
+              let v1 =
+                Common.load
+                  (Common.make ~record_bytes:266 kind store)
+                  (Rng.shuffle rng entries)
+              in
+              let changed =
+                List.init delta (fun i ->
+                    (Ycsb.key y (i * 7 mod n), Ycsb.value y ~version:1 (i * 7 mod n)))
+              in
+              let v2_entries =
+                Kv.apply_sorted
+                  (List.sort (fun (a, _) (b, _) -> String.compare a b) entries)
+                  (Kv.sort_ops (List.map (fun (k, v) -> Kv.Put (k, v)) changed))
+              in
+              let v2 =
+                Common.load
+                  (Common.make ~record_bytes:266 kind store)
+                  (Rng.shuffle rng v2_entries)
+              in
+              let (_ : Kv.diff_entry list), seconds =
+                Clock.time (fun () -> v1.Generic.diff v2.Generic.root)
+              in
+              seconds)
+            Common.all
+        in
+        (string_of_int n, cols))
+      (Params.diff_sweep ())
+  in
+  Table.series
+    ~title:"Figure 8: diff latency (s) between two independently loaded versions"
+    ~x_label:"#records" ~columns:(Common.names Common.all) rows
+
+let fig9 () =
+  let n = Params.latency_n () in
+  let y = Ycsb.create ~seed:Params.seed ~n () in
+  let samples = 2_000 in
+  let counts_for kind =
+    let inst = Common.ycsb_instance kind n in
+    let rng = Rng.create Params.seed in
+    let tbl = Hashtbl.create 8 in
+    for _ = 1 to samples do
+      let len = inst.Generic.path_length (Ycsb.key y (Rng.int rng n)) in
+      Hashtbl.replace tbl len (1 + Option.value ~default:0 (Hashtbl.find_opt tbl len))
+    done;
+    tbl
+  in
+  let per_kind = List.map (fun k -> (k, counts_for k)) Common.all in
+  let heights =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (_, tbl) -> Hashtbl.fold (fun h _ acc -> h :: acc) tbl [])
+         per_kind)
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf "Figure 9: traversed tree height distribution (N=%d)" n)
+    ~headers:("height" :: Common.names Common.all)
+    (List.map
+       (fun h ->
+         string_of_int h
+         :: List.map
+              (fun (_, tbl) ->
+                string_of_int (Option.value ~default:0 (Hashtbl.find_opt tbl h)))
+              per_kind)
+       heights)
+
+let fig10 () =
+  let n = Params.latency_n () in
+  let count = Params.latency_ops () in
+  let y = Ycsb.create ~seed:Params.seed ~n () in
+  List.iter
+    (fun (label, theta) ->
+      List.iter
+        (fun (wlabel, write_ratio) ->
+          let hists =
+            List.map
+              (fun kind ->
+                let inst = Common.ycsb_instance kind n in
+                let rng = Rng.create Params.seed in
+                let ops =
+                  Ycsb.operations y ~rng ~theta ~mix:{ Ycsb.write_ratio } ~count
+                in
+                let hist, _ = Common.run_operations_hist inst ops in
+                (Common.name kind, hist))
+              Common.all
+          in
+          Common.latency_buckets_table
+            ~title:
+              (Printf.sprintf "Figure 10: YCSB %s latency, %s (N=%d)" wlabel
+                 label n)
+            hists)
+        [ ("read", 0.0); ("write", 1.0) ])
+    [ ("balanced (theta=0)", 0.0); ("skewed (theta=0.9)", 0.9) ]
+
+let generic_latency ~title ~record_bytes ~n ~key_of ~value_of =
+  let count = Params.latency_ops () in
+  let hists_read, hists_write =
+    List.split
+      (List.map
+         (fun kind ->
+           let store = Store.create () in
+           let inst =
+             Common.load
+               (Common.make ~record_bytes kind store)
+               (List.init n (fun id -> (key_of id, value_of ~fresh:false id)))
+           in
+           let rng = Rng.create Params.seed in
+           let reads =
+             List.init count (fun _ -> Ycsb.Read (key_of (Rng.int rng n)))
+           in
+           let writes =
+             List.init count (fun _ ->
+                 let id = Rng.int rng n in
+                 Ycsb.Write (key_of id, value_of ~fresh:true id))
+           in
+           let hr, _ = Common.run_operations_hist inst reads in
+           let hw, _ = Common.run_operations_hist inst writes in
+           ((Common.name kind, hr), (Common.name kind, hw)))
+         Common.all)
+  in
+  Common.latency_buckets_table ~title:(title ^ " — read") hists_read;
+  Common.latency_buckets_table ~title:(title ^ " — write") hists_write
+
+let fig11 () =
+  let pages = Params.wiki_pages () in
+  let wiki = Wiki.create ~seed:Params.seed ~pages () in
+  generic_latency
+    ~title:(Printf.sprintf "Figure 11: Wiki latency (%d pages)" pages)
+    ~record_bytes:150 ~n:pages
+    ~key_of:(Wiki.key wiki)
+    ~value_of:(fun ~fresh id ->
+      Wiki.value wiki ~revision:(if fresh then 1 else 0) id)
+
+let fig12 () =
+  let ntx = Params.eth_blocks () * Params.eth_txs_per_block in
+  let tx i = Ethereum.transaction ~seed:Params.seed i in
+  generic_latency
+    ~title:(Printf.sprintf "Figure 12: Ethereum latency (%d txs)" ntx)
+    ~record_bytes:570 ~n:ntx
+    ~key_of:(fun i -> (tx i).Ethereum.hash_hex)
+    ~value_of:(fun ~fresh i ->
+      if fresh then (tx (i + ntx)).Ethereum.rlp else (tx i).Ethereum.rlp)
+
+let fig13 () =
+  let sweep =
+    Params.pick
+      ~quick:[ 10_000; 40_000; 160_000 ]
+      ~full:[ 10_000; 40_000; 160_000; 640_000; 1_600_000 ]
+  in
+  let probes = 2_000 in
+  let rows =
+    List.map
+      (fun n ->
+        let y = Ycsb.create ~seed:Params.seed ~n () in
+        let store = Store.create () in
+        (* Fixed bucket count: the bucket (hence load time) grows with N,
+           the traversal does not — the Figure 13 effect. *)
+        let cfg = Mbt.config ~capacity:1_024 ~fanout:4 () in
+        let t =
+          Mbt.batch (Mbt.empty store cfg)
+            (List.map (fun (k, v) -> Kv.Put (k, v)) (Ycsb.dataset y))
+        in
+        let rng = Rng.create Params.seed in
+        let keys = List.init probes (fun _ -> Ycsb.key y (Rng.int rng n)) in
+        let load_s =
+          Clock.time_unit (fun () ->
+              List.iter (fun k -> ignore (Mbt.load_bucket t k)) keys)
+        in
+        let buckets = List.map (Mbt.load_bucket t) keys in
+        let scan_s =
+          Clock.time_unit (fun () ->
+              List.iter2 (fun b k -> ignore (Mbt.scan_bucket b k)) buckets keys)
+        in
+        ( string_of_int n,
+          [ load_s *. 1000.0; scan_s *. 1000.0 ] ))
+      sweep
+  in
+  Table.series
+    ~title:
+      (Printf.sprintf
+         "Figure 13: MBT lookup breakdown over %d probes (fixed 1024 buckets)"
+         probes)
+    ~x_label:"#records"
+    ~columns:[ "load ms"; "scan ms" ]
+    rows
+
+let run () =
+  fig8 ();
+  fig9 ();
+  fig10 ();
+  fig11 ();
+  fig12 ();
+  fig13 ()

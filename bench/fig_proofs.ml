@@ -1,0 +1,79 @@
+(* Extension experiment: the bandwidth cost of tamper evidence — point
+   proof and range proof sizes across structures and dataset sizes.  This
+   quantifies the "proof of data" of Section 2.3: what a light client must
+   download to verify one record (or a whole interval) against a trusted
+   root digest. *)
+
+open Siri_core
+module Store = Siri_store.Store
+module Pos = Siri_pos.Pos_tree
+module Mvbt = Siri_mvbt.Mvbt
+module Ycsb = Siri_workload.Ycsb
+module Table = Siri_benchkit.Table
+
+let point_proofs () =
+  let probes = 200 in
+  let rows =
+    List.map
+      (fun n ->
+        let y = Ycsb.create ~seed:Params.seed ~n () in
+        let cols =
+          List.map
+            (fun kind ->
+              let inst = Common.ycsb_instance kind n in
+              let rng = Rng.create Params.seed in
+              let total = ref 0 in
+              for _ = 1 to probes do
+                let p = inst.Generic.prove (Ycsb.key y (Rng.int rng n)) in
+                total := !total + Proof.size_bytes p
+              done;
+              Float.of_int !total /. Float.of_int probes)
+            Common.all
+        in
+        (string_of_int n, cols))
+      (Params.n_sweep ())
+  in
+  Table.series ~title:"Proof sizes: mean point-proof bytes vs N"
+    ~x_label:"#records" ~columns:(Common.names Common.all) rows
+
+let range_proofs () =
+  let n = Params.pick ~quick:20_000 ~full:160_000 in
+  let y = Ycsb.create ~seed:Params.seed ~n () in
+  let sorted_keys =
+    List.sort String.compare (List.init n (Ycsb.key y)) |> Array.of_list
+  in
+  let store = Store.create () in
+  let pos = Pos.of_entries store (Pos.config ~leaf_target:1024 ()) (Ycsb.dataset y) in
+  let mvbt =
+    Mvbt.of_entries store (Mvbt.config ()) (Ycsb.dataset y)
+  in
+  let widths = [ 10; 100; 1_000; 10_000 ] in
+  let rows =
+    List.map
+      (fun width ->
+        let lo = Some sorted_keys.(n / 3) in
+        let hi = Some sorted_keys.(min (n - 1) ((n / 3) + width - 1)) in
+        let p_pos = Pos.prove_range pos ~lo ~hi in
+        let p_mvbt = Mvbt.prove_range mvbt ~lo ~hi in
+        assert (Pos.verify_range_proof ~root:(Pos.root pos) p_pos);
+        assert (Mvbt.verify_range_proof ~root:(Mvbt.root mvbt) p_mvbt);
+        ( string_of_int width,
+          [ Float.of_int (Range_proof.size_bytes p_pos) /. 1024.0;
+            Float.of_int (List.length p_pos.Range_proof.entries);
+            Float.of_int (Range_proof.size_bytes p_mvbt) /. 1024.0;
+            Float.of_int (List.length p_mvbt.Range_proof.entries) ] ))
+      widths
+  in
+  Table.series
+    ~title:
+      (Printf.sprintf
+         "Range-proof sizes (N=%d): proof KB and records covered vs range \
+          width"
+         n)
+    ~x_label:"range width"
+    ~columns:[ "POS KB"; "POS records"; "MVMB+ KB"; "MVMB+ records" ]
+    rows
+
+let run () =
+  point_proofs ();
+  range_proofs ()

@@ -1,0 +1,181 @@
+(* Figure 14 — single-group storage & node counts vs N (YCSB).
+   Figure 15 — Wiki storage & node counts vs #versions.
+   Figure 16 — Ethereum storage & node counts vs #blocks. *)
+
+open Siri_core
+module Store = Siri_store.Store
+module Ycsb = Siri_workload.Ycsb
+module Wiki = Siri_workload.Wiki
+module Ethereum = Siri_workload.Ethereum
+module Table = Siri_benchkit.Table
+
+(* Load a dataset, apply versioned update batches, report the footprint of
+   the retained versions: union of the page sets reachable from every
+   committed root.  (Transient nodes of intermediate per-op states are not
+   versions and do not count, exactly as a store that persists at commit
+   granularity behaves.) *)
+let storage_run kind ~record_bytes ~entries ~batches =
+  let store = Store.create () in
+  let inst = Common.make ~record_bytes kind store in
+  let inst = Common.load inst entries in
+  let _final, roots =
+    List.fold_left
+      (fun (i, roots) ops ->
+        let i = i.Generic.batch ops in
+        (i, i.Generic.root :: roots))
+      (inst, [ inst.Generic.root ])
+      batches
+  in
+  (Dedup.union_bytes store roots, Dedup.union_nodes store roots)
+
+let fig14 () =
+  let versions = 10 in
+  let rows =
+    List.map
+      (fun n ->
+        let y = Ycsb.create ~seed:Params.seed ~n () in
+        let rng = Rng.create Params.seed in
+        let batches =
+          Ycsb.update_batches y ~rng ~batch:(n / 40) ~versions
+        in
+        let per_kind =
+          List.map
+            (fun kind ->
+              storage_run kind ~record_bytes:266 ~entries:(Ycsb.dataset y) ~batches)
+            Common.all
+        in
+        (n, per_kind))
+      (Params.storage_sweep ())
+  in
+  Table.series
+    ~title:
+      "Figure 14a: storage usage (MB), single group, 10 update versions"
+    ~x_label:"#records" ~columns:(Common.names Common.all)
+    (List.map
+       (fun (n, per) ->
+         (string_of_int n, List.map (fun (b, _) -> Float.of_int b /. 1e6) per))
+       rows);
+  Table.series ~title:"Figure 14b: number of distinct nodes (x1000)"
+    ~x_label:"#records" ~columns:(Common.names Common.all)
+    (List.map
+       (fun (n, per) ->
+         (string_of_int n, List.map (fun (_, c) -> Float.of_int c /. 1e3) per))
+       rows)
+
+let versioned_storage ~title ~x_label ~record_bytes ~entries
+    ~batches ~checkpoints =
+  (* One store per index; capture footprint at each checkpoint (number of
+     versions applied). *)
+  let per_kind =
+    List.map
+      (fun kind ->
+        let store = Store.create () in
+        let inst = Common.make ~record_bytes kind store in
+        let inst = ref (Common.load inst entries) in
+        let roots = ref [ !inst.Generic.root ] in
+        let results = ref [] in
+        List.iteri
+          (fun i ops ->
+            inst := !inst.Generic.batch ops;
+            roots := !inst.Generic.root :: !roots;
+            if List.mem (i + 1) checkpoints then
+              results :=
+                (i + 1, Dedup.union_bytes store !roots, Dedup.union_nodes store !roots)
+                :: !results)
+          batches;
+        (kind, List.rev !results))
+      Common.all
+  in
+  Table.series ~title:(title ^ " — storage (MB)") ~x_label
+    ~columns:(Common.names Common.all)
+    (List.map
+       (fun cp ->
+         ( string_of_int cp,
+           List.map
+             (fun (_, results) ->
+               let _, bytes, _ = List.find (fun (c, _, _) -> c = cp) results in
+               Float.of_int bytes /. 1e6)
+             per_kind ))
+       checkpoints);
+  Table.series ~title:(title ^ " — #nodes (x1000)") ~x_label
+    ~columns:(Common.names Common.all)
+    (List.map
+       (fun cp ->
+         ( string_of_int cp,
+           List.map
+             (fun (_, results) ->
+               let _, _, nodes = List.find (fun (c, _, _) -> c = cp) results in
+               Float.of_int nodes /. 1e3)
+             per_kind ))
+       checkpoints)
+
+let fig15 () =
+  let pages = Params.wiki_pages () in
+  let versions = Params.wiki_versions () in
+  let wiki = Wiki.create ~seed:Params.seed ~pages () in
+  let rng = Rng.create Params.seed in
+  let batches =
+    Wiki.version_stream wiki ~rng ~versions ~edits_per_version:(Params.wiki_edits ())
+  in
+  let checkpoints =
+    List.filter (fun c -> c <= versions)
+      [ versions / 3; versions / 2; 2 * versions / 3; versions ]
+    |> List.sort_uniq compare
+  in
+  versioned_storage
+    ~title:(Printf.sprintf "Figure 15: Wiki storage growth (%d pages)" pages)
+    ~x_label:"#versions" ~record_bytes:150 ~entries:(Wiki.dataset wiki) ~batches ~checkpoints
+
+let fig16 () =
+  (* Blockchain pattern: a fresh index per block, all in one store. *)
+  let nblocks = Params.eth_blocks () in
+  let blocks =
+    Ethereum.blocks ~seed:Params.seed ~txs_per_block:Params.eth_txs_per_block
+      ~count:nblocks ()
+  in
+  let checkpoints =
+    List.sort_uniq compare [ nblocks / 3; nblocks / 2; 2 * nblocks / 3; nblocks ]
+  in
+  let per_kind =
+    List.map
+      (fun kind ->
+        let store = Store.create () in
+        let roots = ref [] in
+        let results = ref [] in
+        List.iteri
+          (fun i b ->
+            let inst = Common.make ~record_bytes:570 kind store in
+            let inst = Common.load inst (Ethereum.entries_of_block b) in
+            roots := inst.Generic.root :: !roots;
+            if List.mem (i + 1) checkpoints then
+              results :=
+                (i + 1, Dedup.union_bytes store !roots, Dedup.union_nodes store !roots)
+                :: !results)
+          blocks;
+        (kind, List.rev !results))
+      Common.all
+  in
+  let cell cp f =
+    List.map
+      (fun (_, results) ->
+        let _, bytes, nodes = List.find (fun (c, _, _) -> c = cp) results in
+        f bytes nodes)
+      per_kind
+  in
+  Table.series
+    ~title:"Figure 16a: Ethereum storage (MB) vs #blocks"
+    ~x_label:"#blocks" ~columns:(Common.names Common.all)
+    (List.map
+       (fun cp -> (string_of_int cp, cell cp (fun b _ -> Float.of_int b /. 1e6)))
+       checkpoints);
+  Table.series
+    ~title:"Figure 16b: Ethereum #nodes (x1000) vs #blocks"
+    ~x_label:"#blocks" ~columns:(Common.names Common.all)
+    (List.map
+       (fun cp -> (string_of_int cp, cell cp (fun _ n -> Float.of_int n /. 1e3)))
+       checkpoints)
+
+let run () =
+  fig14 ();
+  fig15 ();
+  fig16 ()

@@ -1,0 +1,96 @@
+(* Figure 21 — indexes integrated in the Forkbase-like engine under the
+   simulated client/server deployment (client node cache, 1 GbE).
+   Figure 22 — Forkbase (POS-Tree, client cache) vs Noms (Prolly Tree over
+   HTTP, no cache), 4 KB nodes as in the Noms defaults. *)
+
+open Siri_core
+module Store = Siri_store.Store
+module Pos = Siri_pos.Pos_tree
+module Prolly = Siri_prolly.Prolly
+module Remote = Siri_forkbase.Remote
+module Ycsb = Siri_workload.Ycsb
+module Clock = Siri_benchkit.Clock
+module Table = Siri_benchkit.Table
+
+(* Run read/write workloads against an instance behind the remote
+   simulation; throughput counts compute time + simulated network time. *)
+let remote_throughput ~make_inst ~cache_nodes ~network n =
+  let store = Store.create () in
+  let y = Ycsb.create ~seed:Params.seed ~n () in
+  (* Build locally (server side), then attach the client simulation. *)
+  let inst = Common.load (make_inst store n) (Ycsb.dataset y) in
+  let remote = Remote.attach store ?cache_nodes:(Some cache_nodes) network in
+  let count = Params.ops_count () in
+  let rng = Rng.create Params.seed in
+  let read_ops =
+    Ycsb.operations y ~rng ~theta:0.0 ~mix:{ Ycsb.write_ratio = 0.0 } ~count
+  in
+  let write_ops =
+    Ycsb.operations y ~rng ~theta:0.0 ~mix:{ Ycsb.write_ratio = 1.0 } ~count
+  in
+  Remote.reset remote;
+  let r_wall, _ = Common.run_operations inst read_ops in
+  let r_total = r_wall +. Remote.simulated_seconds remote in
+  Remote.reset remote;
+  let w_wall, _ = Common.run_operations inst write_ops in
+  let w_total = w_wall +. Remote.simulated_seconds remote in
+  Remote.detach store remote;
+  (Common.kops count r_total, Common.kops count w_total)
+
+let fig21 () =
+  let results =
+    List.map
+      (fun n ->
+        ( n,
+          List.map
+            (fun kind ->
+              remote_throughput
+                ~make_inst:(fun store _n ->
+                  Common.make ~record_bytes:266 kind store)
+                ~cache_nodes:Params.client_cache_nodes
+                ~network:Remote.gigabit_lan n)
+            Common.all ))
+      (Params.system_sweep ())
+  in
+  Table.series
+    ~title:"Figure 21a: Forkbase-integrated READ throughput (kops/s, simulated client/server)"
+    ~x_label:"#records" ~columns:(Common.names Common.all)
+    (List.map (fun (n, per) -> (string_of_int n, List.map fst per)) results);
+  Table.series
+    ~title:"Figure 21b: Forkbase-integrated WRITE throughput (kops/s)"
+    ~x_label:"#records" ~columns:(Common.names Common.all)
+    (List.map (fun (n, per) -> (string_of_int n, List.map snd per)) results)
+
+let fig22 () =
+  let forkbase store _n =
+    Pos.generic (Pos.empty store (Pos.config ~leaf_target:4096 ()))
+  in
+  let noms store _n = Prolly.generic (Prolly.empty store) in
+  let rows =
+    List.map
+      (fun n ->
+        let fr, fw =
+          remote_throughput ~make_inst:forkbase
+            ~cache_nodes:Params.client_cache_nodes ~network:Remote.gigabit_lan
+            n
+        in
+        (* Noms: same client cache, but each server round trip goes over
+           HTTP, and every write re-runs the sliding-window hash over the
+           internal layers (the Prolly rule). *)
+        let nr, nw =
+          remote_throughput ~make_inst:noms
+            ~cache_nodes:Params.client_cache_nodes
+            ~network:Remote.http_overhead n
+        in
+        (string_of_int n, [ fr; nr; fw; nw ]))
+      (Params.system_sweep ())
+  in
+  Table.series
+    ~title:"Figure 22: Forkbase (POS) vs Noms (Prolly) throughput, 4KB nodes (kops/s)"
+    ~x_label:"#records"
+    ~columns:[ "FB read"; "Noms read"; "FB write"; "Noms write" ]
+    rows
+
+let run () =
+  fig21 ();
+  fig22 ()

@@ -1,0 +1,184 @@
+(* Figure 6 — YCSB throughput across skew (θ) × write ratio × N.
+   Figure 7a — Wiki throughput (read / write).
+   Figure 7b — Ethereum throughput: per-block indexes behind a block list. *)
+
+open Siri_core
+module Store = Siri_store.Store
+module Ycsb = Siri_workload.Ycsb
+module Wiki = Siri_workload.Wiki
+module Ethereum = Siri_workload.Ethereum
+module Clock = Siri_benchkit.Clock
+module Table = Siri_benchkit.Table
+
+let fig6 () =
+  let count = Params.ops_count () in
+  List.iter
+    (fun theta ->
+      List.iter
+        (fun write_ratio ->
+          let rows =
+            List.map
+              (fun n ->
+                let y = Ycsb.create ~seed:Params.seed ~n () in
+                let cols =
+                  List.map
+                    (fun kind ->
+                      let inst = Common.ycsb_instance kind n in
+                      let rng = Rng.create (Params.seed + n) in
+                      let ops =
+                        Ycsb.operations y ~rng ~theta
+                          ~mix:{ Ycsb.write_ratio } ~count
+                      in
+                      let seconds, _ = Common.run_operations inst ops in
+                      Common.kops count seconds)
+                    Common.all
+                in
+                (string_of_int n, cols))
+              (Params.n_sweep ())
+          in
+          Table.series
+            ~title:
+              (Printf.sprintf
+                 "Figure 6: YCSB throughput (kops/s), theta=%.1f write \
+                  ratio=%.1f"
+                 theta write_ratio)
+            ~x_label:"#records" ~columns:(Common.names Common.all) rows)
+        Params.write_ratios)
+    Params.thetas
+
+let fig7a () =
+  let pages = Params.wiki_pages () in
+  let wiki = Wiki.create ~seed:Params.seed ~pages () in
+  let count = Params.ops_count () in
+  let record_bytes = 150 in
+  let rows =
+    List.map
+      (fun kind ->
+        let store = Store.create () in
+        let inst =
+          Common.load
+            (Common.make ~record_bytes kind store)
+            (Wiki.dataset wiki)
+        in
+        let rng = Rng.create Params.seed in
+        let read_ops =
+          List.init count (fun _ -> Ycsb.Read (Wiki.key wiki (Rng.int rng pages)))
+        in
+        let write_ops =
+          List.init count (fun _ ->
+              let id = Rng.int rng pages in
+              Ycsb.Write (Wiki.key wiki id, Wiki.value wiki ~revision:1 id))
+        in
+        let rs, _ = Common.run_operations inst read_ops in
+        let ws, _ = Common.run_operations inst write_ops in
+        [ Common.name kind;
+          Table.fmt_float (Common.kops count rs);
+          Table.fmt_float (Common.kops count ws) ])
+      Common.all
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf "Figure 7a: Wiki throughput (kops/s), %d pages" pages)
+    ~headers:[ "index"; "read"; "write" ]
+    rows
+
+(* The blockchain storage pattern: one index per block, a block list scanned
+   from the head on reads, versions at block granularity. *)
+let fig7b () =
+  let nblocks = Params.eth_blocks () in
+  let blocks =
+    Ethereum.blocks ~seed:Params.seed ~txs_per_block:Params.eth_txs_per_block
+      ~count:nblocks ()
+  in
+  let count = Params.ops_count () in
+  let rows =
+    List.map
+      (fun kind ->
+        let store = Store.create () in
+        (* Write workload: append each block as a fresh index built from
+           scratch (batch loading — where POS-Tree's bottom-up build
+           shines). *)
+        let t0 = Clock.now () in
+        let chain =
+          List.map
+            (fun b ->
+              let entries = Ethereum.entries_of_block b in
+              let inst =
+                Common.make ~record_bytes:570
+                  kind store
+              in
+              Common.load inst entries)
+            blocks
+        in
+        let write_seconds = Clock.now () -. t0 in
+        let writes = nblocks * Params.eth_txs_per_block in
+        (* Read workload: pick random transactions; scan the block list from
+           the head, probing each per-block index. *)
+        let rng = Rng.create Params.seed in
+        let block_arr = Array.of_list blocks in
+        let chain_rev = List.rev chain in
+        let t0 = Clock.now () in
+        for _ = 1 to count do
+          let b = Rng.int rng nblocks in
+          let txs = block_arr.(b).Ethereum.txs in
+          let tx = List.nth txs (Rng.int rng (List.length txs)) in
+          let rec scan = function
+            | [] -> ()
+            | inst :: rest -> (
+                match inst.Generic.lookup tx.Ethereum.hash_hex with
+                | Some _ -> ()
+                | None -> scan rest)
+          in
+          scan chain_rev
+        done;
+        let read_seconds = Clock.now () -. t0 in
+        [ Common.name kind;
+          Table.fmt_float (Common.kops count read_seconds);
+          Table.fmt_float (Common.kops writes write_seconds) ])
+      Common.all
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Figure 7b: Ethereum throughput (kops/s), %d blocks x %d txs" nblocks
+         Params.eth_txs_per_block)
+    ~headers:[ "index"; "read"; "write" ]
+    rows
+
+(* Ablation: the effect of the write batch size on throughput — the design
+   choice behind POS-Tree's Figure 6 write advantage.  Per-op commits hit
+   every structure's full path-copy cost; batches amortise it, most of all
+   for the streaming bottom-up POS-Tree builder. *)
+let batch_throughput () =
+  let n = Params.pick ~quick:16_000 ~full:160_000 in
+  let count = Params.ops_count () in
+  let y = Ycsb.create ~seed:Params.seed ~n () in
+  let rows =
+    List.map
+      (fun batch ->
+        let cols =
+          List.map
+            (fun kind ->
+              let inst = Common.ycsb_instance kind n in
+              let rng = Rng.create Params.seed in
+              let ops =
+                Ycsb.operations y ~rng ~theta:0.0
+                  ~mix:{ Ycsb.write_ratio = 1.0 } ~count
+              in
+              let seconds, _ = Common.run_operations ~write_batch:batch inst ops in
+              Common.kops count seconds)
+            Common.all
+        in
+        (string_of_int batch, cols))
+      (Params.pick ~quick:[ 1; 10; 100; 1_000 ] ~full:[ 1; 10; 100; 1_000; 4_000; 16_000 ])
+  in
+  Table.series
+    ~title:
+      (Printf.sprintf
+         "Ablation: write throughput (kops/s) vs commit batch size (N=%d)" n)
+    ~x_label:"batch" ~columns:(Common.names Common.all) rows
+
+let run () =
+  fig6 ();
+  fig7a ();
+  fig7b ()

@@ -1,0 +1,64 @@
+(* Bechamel micro-benchmarks: per-operation cost of lookup and point update
+   for every structure at a fixed dataset size — the per-op view behind the
+   throughput figures, measured with OLS fitting instead of wall-clock
+   batching. *)
+
+open Bechamel
+open Toolkit
+open Siri_core
+module Ycsb = Siri_workload.Ycsb
+module Table = Siri_benchkit.Table
+
+let tests () =
+  let n = Params.pick ~quick:20_000 ~full:160_000 in
+  let y = Ycsb.create ~seed:Params.seed ~n () in
+  let mk_tests kind =
+    let inst = Common.ycsb_instance kind n in
+    let rng = Rng.create Params.seed in
+    let lookup =
+      Test.make
+        ~name:(Common.name kind ^ "/lookup")
+        (Staged.stage (fun () ->
+             ignore (inst.Generic.lookup (Ycsb.key y (Rng.int rng n)))))
+    in
+    let update =
+      Test.make
+        ~name:(Common.name kind ^ "/update")
+        (Staged.stage (fun () ->
+             ignore
+               (inst.Generic.batch
+                  [ Kv.Put (Ycsb.key y (Rng.int rng n), "updated-value") ])))
+    in
+    [ lookup; update ]
+  in
+  Test.make_grouped ~name:"ops" ~fmt:"%s %s"
+    (List.concat_map mk_tests Common.all)
+
+let run () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~stabilize:true ~quota:(Time.second 0.25) ()
+  in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> est
+          | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Table.print ~title:"Bechamel: per-operation cost (OLS fit)"
+    ~headers:[ "operation"; "ns/op"; "us/op" ]
+    (List.map
+       (fun (name, ns) ->
+         [ name; Printf.sprintf "%.0f" ns; Printf.sprintf "%.2f" (ns /. 1e3) ])
+       rows)

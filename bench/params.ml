@@ -1,0 +1,90 @@
+(* Experiment scales.
+
+   [quick] (default) shrinks the paper's parameters so the whole suite runs
+   in minutes on a laptop; [full] restores the Table 2 values (hours).  Both
+   keep the *ratios* between settings, which is what the figures' shapes
+   depend on. *)
+
+type scale = Quick | Full
+
+let scale = ref Quick
+let is_full () = !scale = Full
+let pick ~quick ~full = if is_full () then full else quick
+
+(* Record-count sweep of Figures 6/14 (paper: 10k..2.56M). *)
+let n_sweep () =
+  pick
+    ~quick:[ 4_000; 16_000; 64_000 ]
+    ~full:
+      [ 10_000; 20_000; 40_000; 80_000; 160_000; 320_000; 640_000;
+        1_280_000; 2_560_000 ]
+
+(* Operations measured per workload run. *)
+let ops_count () = pick ~quick:2_000 ~full:10_000
+
+(* Writes are committed in batches (Table 2 default batch size) — this is
+   where POS-Tree's bottom-up batching pays off (Section 5.2). *)
+let write_batch () = pick ~quick:1_000 ~full:4_000
+
+(* MBT's bucket count is fixed for the lifetime of the index; one value per
+   experiment, so N/B grows along the record sweep as in the paper. *)
+let mbt_buckets () = pick ~quick:1_000 ~full:10_000
+
+(* Zipfian skews and write mixes of Figure 6 (Table 2). *)
+let thetas = [ 0.0; 0.5; 0.9 ]
+let write_ratios = [ 0.0; 0.5; 1.0 ]
+
+(* Figure 10 latency distribution setting (paper: 160k keys, 10k ops). *)
+let latency_n () = pick ~quick:40_000 ~full:160_000
+let latency_ops () = pick ~quick:4_000 ~full:10_000
+
+(* Figure 1 versions sweep (paper: 100k records, 1k updates, 100..500). *)
+let fig1_base () = pick ~quick:20_000 ~full:100_000
+let fig1_updates () = pick ~quick:500 ~full:1_000
+let fig1_versions () = pick ~quick:[ 10; 20; 30; 40; 50 ] ~full:[ 100; 200; 300; 400; 500 ]
+
+(* Wiki dataset (paper: ~850MB x 300 versions). *)
+let wiki_pages () = pick ~quick:20_000 ~full:200_000
+let wiki_versions () = pick ~quick:30 ~full:300
+let wiki_edits () = pick ~quick:200 ~full:2_000
+
+(* Ethereum dataset (paper: 300k blocks; we keep the per-block shape). *)
+let eth_blocks () = pick ~quick:60 ~full:1_000
+let eth_txs_per_block = 100
+
+(* Figure 17/18 collaboration settings (paper: 10 groups, 40k init,
+   160k-record workloads, batch 4k). *)
+let groups () = pick ~quick:3 ~full:10
+let group_init () = pick ~quick:5_000 ~full:40_000
+let group_workload () = pick ~quick:20_000 ~full:160_000
+let default_batch () = pick ~quick:1_000 ~full:4_000
+let overlap_sweep () =
+  pick
+    ~quick:[ 0.2; 0.4; 0.6; 0.8; 1.0 ]
+    ~full:[ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]
+let batch_sweep () =
+  pick ~quick:[ 250; 500; 1_000; 2_000; 4_000 ]
+       ~full:[ 1_000; 2_000; 4_000; 8_000; 16_000 ]
+
+(* Figure 14 storage sweep (paper: 40k..640k). *)
+let storage_sweep () =
+  pick ~quick:[ 10_000; 20_000; 40_000; 80_000 ]
+       ~full:[ 40_000; 80_000; 160_000; 320_000; 640_000 ]
+
+(* Figure 8 diff sweep (paper: up to 2.5M). *)
+let diff_sweep () =
+  pick ~quick:[ 10_000; 20_000; 40_000 ] ~full:[ 500_000; 1_000_000; 1_500_000; 2_000_000; 2_500_000 ]
+
+(* Table 3 parameter sweeps. *)
+let table3_pos_node_sizes = [ 512; 1_024; 2_048; 4_096 ]
+let table3_mbt_buckets () =
+  pick ~quick:[ 500; 1_000; 2_000; 4_000 ] ~full:[ 4_000; 6_000; 8_000; 10_000 ]
+let table3_n () = pick ~quick:20_000 ~full:160_000
+
+(* Figure 21/22 system experiment. *)
+let system_sweep () =
+  pick ~quick:[ 4_000; 16_000; 64_000 ]
+       ~full:[ 10_000; 40_000; 160_000; 640_000; 1_280_000 ]
+let client_cache_nodes = 100_000
+
+let seed = 2020

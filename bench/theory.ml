@@ -1,0 +1,181 @@
+(* Section 4.1 — operation bounds: predicted cost model next to measured
+   traversal lengths and latencies across N.
+   Section 4.2 — deduplication ratio: measured eta of sequentially evolved
+   versions next to the closed form 1/2 - alpha/2. *)
+
+open Siri_core
+module Store = Siri_store.Store
+module Ycsb = Siri_workload.Ycsb
+module Versions = Siri_workload.Versions
+module Clock = Siri_benchkit.Clock
+module Table = Siri_benchkit.Table
+
+let bounds_kind = function
+  | Common.Kpos -> Bounds.Pos
+  | Common.Kmbt -> Bounds.Mbt
+  | Common.Kmpt -> Bounds.Mpt
+  | Common.Kmvbt | Common.Kprolly -> Bounds.Mvbt
+
+let bounds () =
+  let probes = 1_000 in
+  List.iter
+    (fun n ->
+      let y = Ycsb.create ~seed:Params.seed ~n () in
+      let params =
+        { Bounds.default with Bounds.n; m = 25; b = max 16 (n * 266 / 1024); l = 20 }
+      in
+      let rows =
+        List.map
+          (fun kind ->
+            let inst = Common.ycsb_instance kind n in
+            let rng = Rng.create Params.seed in
+            let keys = List.init probes (fun _ -> Ycsb.key y (Rng.int rng n)) in
+            let total_path =
+              List.fold_left (fun acc k -> acc + inst.Generic.path_length k) 0 keys
+            in
+            let total_path = ref total_path in
+            let seconds =
+              Clock.time_unit (fun () ->
+                  List.iter (fun k -> ignore (inst.Generic.lookup k)) keys)
+            in
+            [ Common.name kind;
+              Printf.sprintf "%.1f"
+                (Float.of_int !total_path /. Float.of_int probes);
+              Printf.sprintf "%.1f"
+                (Bounds.cost (bounds_kind kind) Bounds.Lookup params);
+              Printf.sprintf "%.2f" (seconds /. Float.of_int probes *. 1e6) ])
+          Common.all
+      in
+      Table.print
+        ~title:
+          (Printf.sprintf
+             "Section 4.1: lookup — measured path length vs predicted (N=%d)"
+             n)
+        ~headers:[ "index"; "measured path"; "predicted cost"; "us/lookup" ]
+        rows)
+    (Params.n_sweep ());
+  (* The full asymptotic table for reference. *)
+  let p = Bounds.default in
+  Table.print
+    ~title:"Section 4.1: asymptotic cost model (N=1M, m=25, B=10k, L=20, delta=1k)"
+    ~headers:[ "index"; "lookup"; "update"; "diff"; "merge" ]
+    (List.map
+       (fun (name, cells) ->
+         name :: List.map (fun (_, c) -> Table.fmt_float c) cells)
+       (Bounds.table p))
+
+let eta () =
+  let n = Params.pick ~quick:10_000 ~full:100_000 in
+  let versions = 5 in
+  let rows =
+    List.map
+      (fun alpha ->
+        let per_kind =
+          List.map
+            (fun kind ->
+              let store = Store.create () in
+              let y = Ycsb.create ~seed:Params.seed ~n () in
+              let inst =
+                Common.load
+                  (Common.make ~record_bytes:266 kind store)
+                  (Ycsb.dataset y)
+              in
+              let rng = Rng.create Params.seed in
+              let batches =
+                Versions.continuous_updates ~ycsb:y ~rng ~alpha ~versions
+              in
+              let _, roots =
+                List.fold_left
+                  (fun (inst, roots) ops ->
+                    let inst = inst.Generic.batch ops in
+                    (inst, inst.Generic.root :: roots))
+                  (inst, [ inst.Generic.root ])
+                  batches
+              in
+              (* The Section 4.2.2 closed form is derived for a PAIR of
+                 consecutive versions: average eta over consecutive pairs. *)
+              let rec pairs acc = function
+                | a :: (b :: _ as rest) ->
+                    pairs (Dedup.dedup_ratio store [ a; b ] :: acc) rest
+                | _ -> acc
+              in
+              let es = pairs [] roots in
+              List.fold_left ( +. ) 0.0 es /. Float.of_int (List.length es))
+            Common.all
+        in
+        ( Printf.sprintf "%.1f" alpha,
+          per_kind @ [ Dedup.analytic_eta ~alpha ] ))
+      [ 0.1; 0.2; 0.3; 0.5; 0.7; 0.9 ]
+  in
+  Table.series
+    ~title:
+      (Printf.sprintf
+         "Section 4.2: measured eta of %d sequential versions vs analytic \
+          1/2 - alpha/2 (N=%d)"
+         (versions + 1) n)
+    ~x_label:"alpha"
+    ~columns:(Common.names Common.all @ [ "analytic" ])
+    rows
+
+(* Extension (the paper's stated future work): deduplication of a BRANCHING
+   version DAG rather than a sequential chain.  A base version forks into
+   [branches]; each branch then evolves independently with alpha-fraction
+   contiguous updates per version.  We report measured eta over the whole
+   DAG next to the sequential closed form: branches share the base but not
+   each other's changes, so eta decays faster with alpha than 1/2-alpha/2
+   and grows with the branch count's shared ancestry. *)
+let eta_dag () =
+  let n = Params.pick ~quick:8_000 ~full:80_000 in
+  let versions_per_branch = 3 in
+  let rows =
+    List.concat_map
+      (fun branches ->
+        List.map
+          (fun alpha ->
+            let per_kind =
+              List.map
+                (fun kind ->
+                  let store = Store.create () in
+                  let y = Ycsb.create ~seed:Params.seed ~n () in
+                  let base =
+                    Common.load
+                      (Common.make ~record_bytes:266 kind store)
+                      (Ycsb.dataset y)
+                  in
+                  let roots = ref [ base.Generic.root ] in
+                  for b = 1 to branches do
+                    let rng = Rng.create (Params.seed + b) in
+                    let batches =
+                      Versions.continuous_updates ~ycsb:y ~rng ~alpha
+                        ~versions:versions_per_branch
+                    in
+                    let _ =
+                      List.fold_left
+                        (fun inst ops ->
+                          let inst = inst.Generic.batch ops in
+                          roots := inst.Generic.root :: !roots;
+                          inst)
+                        base batches
+                    in
+                    ()
+                  done;
+                  Dedup.dedup_ratio store !roots)
+                Common.all
+            in
+            ( Printf.sprintf "b=%d a=%.1f" branches alpha,
+              per_kind @ [ Dedup.analytic_eta ~alpha ] ))
+          [ 0.1; 0.3; 0.5 ])
+      [ 2; 4 ]
+  in
+  Table.series
+    ~title:
+      (Printf.sprintf
+         "Extension: eta of a branching version DAG (%d versions/branch,           N=%d) vs the sequential closed form"
+         versions_per_branch n)
+    ~x_label:"branches/alpha"
+    ~columns:(Common.names Common.all @ [ "seq analytic" ])
+    rows
+
+let run () =
+  bounds ();
+  eta ()

@@ -1,0 +1,277 @@
+(* siri_cli — inspect SIRI indexes from the command line.
+
+   Data files are TSV: one "key<TAB>value" record per line.
+
+     siri_cli gen --count 1000 > data.tsv
+     siri_cli stats --index pos data.tsv
+     siri_cli get --index mpt data.tsv some-key
+     siri_cli prove --index pos data.tsv some-key
+     siri_cli diff --index pos v1.tsv v2.tsv
+     siri_cli merge --index pos --policy right a.tsv b.tsv
+     siri_cli properties --index mbt data.tsv  *)
+
+open Cmdliner
+open Siri_core
+module Store = Siri_store.Store
+module Hash = Siri_crypto.Hash
+
+(* --- index selection ------------------------------------------------------- *)
+
+type index_kind = Pos | Mpt | Mbt | Mvbt | Prolly
+
+let kind_conv =
+  Arg.enum
+    [ ("pos", Pos); ("mpt", Mpt); ("mbt", Mbt); ("mvbt", Mvbt); ("prolly", Prolly) ]
+
+let index_arg =
+  Arg.(
+    value
+    & opt kind_conv Pos
+    & info [ "i"; "index" ] ~docv:"INDEX"
+        ~doc:"Index structure: $(b,pos), $(b,mpt), $(b,mbt), $(b,mvbt) or $(b,prolly).")
+
+let make kind store =
+  match kind with
+  | Pos ->
+      Siri_pos.Pos_tree.generic
+        (Siri_pos.Pos_tree.empty store (Siri_pos.Pos_tree.config ()))
+  | Prolly -> Siri_prolly.Prolly.generic (Siri_prolly.Prolly.empty store)
+  | Mpt -> Siri_mpt.Mpt.generic (Siri_mpt.Mpt.empty store)
+  | Mbt ->
+      Siri_mbt.Mbt.generic
+        (Siri_mbt.Mbt.empty store (Siri_mbt.Mbt.config ~capacity:1024 ~fanout:4 ()))
+  | Mvbt ->
+      Siri_mvbt.Mvbt.generic (Siri_mvbt.Mvbt.empty store (Siri_mvbt.Mvbt.config ()))
+
+(* --- tsv io ------------------------------------------------------------------ *)
+
+let read_tsv path =
+  let ic = open_in path in
+  let rec loop acc n =
+    match input_line ic with
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    | line -> (
+        match String.index_opt line '\t' with
+        | None when line = "" -> loop acc (n + 1)
+        | None ->
+            close_in ic;
+            failwith (Printf.sprintf "%s:%d: missing TAB separator" path n)
+        | Some i ->
+            let k = String.sub line 0 i in
+            let v = String.sub line (i + 1) (String.length line - i - 1) in
+            loop ((k, v) :: acc) (n + 1))
+  in
+  loop [] 1
+
+let load kind path =
+  let store = Store.create () in
+  let inst = make kind store in
+  (store, Generic.of_entries inst (read_tsv path))
+
+let file_arg idx docv =
+  Arg.(required & pos idx (some file) None & info [] ~docv)
+
+let key_arg idx = Arg.(required & pos idx (some string) None & info [] ~docv:"KEY")
+
+(* --- commands ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let run kind path =
+    let store, inst = load kind path in
+    let st = Store.stats store in
+    let pages = Generic.page_set inst in
+    Printf.printf "index      : %s\n" inst.Generic.name;
+    Printf.printf "records    : %d\n" (inst.Generic.cardinal ());
+    Printf.printf "root       : %s\n" (Hash.to_hex inst.Generic.root);
+    Printf.printf "nodes      : %d\n" (Hash.Set.cardinal pages);
+    Printf.printf "bytes      : %s\n"
+      (Siri_benchkit.Table.fmt_bytes (Store.bytes_of_set store pages));
+    Printf.printf "store puts : %d (%d unique)\n" st.Store.puts st.Store.unique_nodes;
+    (match kind with
+    | Pos | Prolly | Mvbt ->
+        let decode_bytes, root =
+          match kind with
+          | Mvbt ->
+              let cfg = Siri_mvbt.Mvbt.config () in
+              let t = Siri_mvbt.Mvbt.of_root store cfg inst.Generic.root in
+              ((fun () -> Siri_mvbt.Mvbt.stats t), inst.Generic.root)
+          | _ ->
+              let cfg =
+                if kind = Prolly then Siri_prolly.Prolly.default_config
+                else Siri_pos.Pos_tree.config ()
+              in
+              let t = Siri_pos.Pos_tree.of_root store cfg inst.Generic.root in
+              ((fun () -> Siri_pos.Pos_tree.stats t), inst.Generic.root)
+        in
+        ignore root;
+        Format.printf "%a" Tree_stats.pp (decode_bytes ())
+    | Mpt | Mbt -> ());
+    0
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Build an index from a TSV file and print statistics.")
+    Term.(const run $ index_arg $ file_arg 0 "FILE")
+
+let get_cmd =
+  let run kind path key =
+    let _, inst = load kind path in
+    match inst.Generic.lookup key with
+    | Some v ->
+        print_endline v;
+        0
+    | None ->
+        prerr_endline "key not found";
+        1
+  in
+  Cmd.v (Cmd.info "get" ~doc:"Look up one key.")
+    Term.(const run $ index_arg $ file_arg 0 "FILE" $ key_arg 1)
+
+let prove_cmd =
+  let run kind path key =
+    let _, inst = load kind path in
+    let proof = inst.Generic.prove key in
+    Printf.printf "key        : %s\n" key;
+    Printf.printf "claims     : %s\n"
+      (match proof.Proof.value with Some v -> "present, value " ^ v | None -> "absent");
+    Printf.printf "proof      : %d nodes, %d bytes\n"
+      (List.length proof.Proof.nodes)
+      (Proof.size_bytes proof);
+    Printf.printf "verified   : %b (against root %s)\n"
+      (inst.Generic.verify ~root:inst.Generic.root proof)
+      (Hash.short inst.Generic.root);
+    0
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:"Produce and verify a Merkle (membership or absence) proof for KEY.")
+    Term.(const run $ index_arg $ file_arg 0 "FILE" $ key_arg 1)
+
+let diff_cmd =
+  let run kind path1 path2 =
+    let store = Store.create () in
+    let inst = make kind store in
+    let v1 = Generic.of_entries inst (read_tsv path1) in
+    let v2 = Generic.of_entries inst (read_tsv path2) in
+    let diffs = v1.Generic.diff v2.Generic.root in
+    List.iter
+      (fun { Kv.key; left; right } ->
+        match (left, right) with
+        | Some _, None -> Printf.printf "- %s\n" key
+        | None, Some _ -> Printf.printf "+ %s\n" key
+        | _ -> Printf.printf "~ %s\n" key)
+      diffs;
+    Printf.eprintf "%d records differ\n" (List.length diffs);
+    0
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Diff two TSV datasets through the index ($(b,-) left-only, $(b,+) right-only, $(b,~) changed).")
+    Term.(const run $ index_arg $ file_arg 0 "FILE1" $ file_arg 1 "FILE2")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt (enum [ ("left", Kv.Prefer_left); ("right", Kv.Prefer_right); ("fail", Kv.Fail_on_conflict) ])
+        Kv.Fail_on_conflict
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:"Conflict policy: $(b,left), $(b,right) or $(b,fail).")
+
+let merge_cmd =
+  let run kind policy path1 path2 =
+    let store = Store.create () in
+    let inst = make kind store in
+    let v1 = Generic.of_entries inst (read_tsv path1) in
+    let v2 = Generic.of_entries inst (read_tsv path2) in
+    match v1.Generic.merge policy v2.Generic.root with
+    | Ok merged ->
+        List.iter
+          (fun (k, v) -> Printf.printf "%s\t%s\n" k v)
+          (merged.Generic.to_list ());
+        Printf.eprintf "merged %d records\n" (merged.Generic.cardinal ());
+        0
+    | Error conflicts ->
+        List.iter
+          (fun c ->
+            Printf.eprintf "conflict: %s (%s vs %s)\n" c.Kv.key c.Kv.left_value
+              c.Kv.right_value)
+          conflicts;
+        1
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:"Merge two TSV datasets (union of records); prints the result as TSV.")
+    Term.(const run $ index_arg $ policy_arg $ file_arg 0 "FILE1" $ file_arg 1 "FILE2")
+
+let properties_cmd =
+  let run kind path =
+    let entries = read_tsv path in
+    let store = Store.create () in
+    let build e = Generic.of_entries (make kind store) e in
+    let si =
+      Properties.structurally_invariant ~build ~entries ~permutations:3 ~seed:7
+    in
+    let ri =
+      match entries with
+      | [] -> true
+      | (k, v) :: _ ->
+          Properties.recursively_identical ~build
+            ~entries:(List.tl entries)
+            ~extra:(k, v)
+    in
+    let ur =
+      Properties.universally_reusable ~build ~entries
+        ~more:(List.init 20 (fun i -> (Printf.sprintf "zz-extra-%d" i, string_of_int i)))
+    in
+    Printf.printf "structurally invariant : %b\n" si;
+    Printf.printf "recursively identical  : %b\n" ri;
+    Printf.printf "universally reusable   : %b\n" ur;
+    if si && ri && ur then begin
+      print_endline "=> the index behaves as a SIRI instance on this data";
+      0
+    end
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "properties"
+       ~doc:"Check the three SIRI properties (Definition 3.1) on this data.")
+    Term.(const run $ index_arg $ file_arg 0 "FILE")
+
+let range_cmd =
+  let lo = Arg.(value & opt (some string) None & info [ "lo" ] ~docv:"LO" ~doc:"Lower bound (inclusive).") in
+  let hi = Arg.(value & opt (some string) None & info [ "hi" ] ~docv:"HI" ~doc:"Upper bound (inclusive).") in
+  let run kind path lo hi =
+    let _, inst = load kind path in
+    let records = inst.Generic.range ~lo ~hi in
+    List.iter (fun (k, v) -> Printf.printf "%s\t%s\n" k v) records;
+    Printf.eprintf "%d records in range\n" (List.length records);
+    0
+  in
+  Cmd.v
+    (Cmd.info "range"
+       ~doc:"List records with LO <= key <= HI (either bound may be omitted).")
+    Term.(const run $ index_arg $ file_arg 0 "FILE" $ lo $ hi)
+
+let gen_cmd =
+  let count =
+    Arg.(value & opt int 1000 & info [ "count"; "n" ] ~docv:"N" ~doc:"Records to generate.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let run count seed =
+    let y = Siri_workload.Ycsb.create ~seed ~n:count () in
+    List.iter
+      (fun (k, v) -> Printf.printf "%s\t%s\n" k v)
+      (Siri_workload.Ycsb.dataset y);
+    0
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a YCSB-like dataset as TSV on stdout.")
+    Term.(const run $ count $ seed)
+
+let () =
+  let doc = "inspect and compare indexes for immutable data (MPT, MBT, POS-Tree)" in
+  let info = Cmd.info "siri_cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval' (Cmd.group info
+       [ stats_cmd; get_cmd; prove_cmd; range_cmd; diff_cmd; merge_cmd;
+         properties_cmd; gen_cmd ]))

@@ -1,0 +1,69 @@
+(* A wiki revision store — the Figure 1 scenario: many versions of a
+   mutating dataset, stored raw vs deduplicated, across all four indexes.
+
+   Run with:  dune exec examples/versioned_wiki.exe
+
+   Loads a synthetic Wikipedia-abstract dataset, applies 30 versioned
+   edit batches to each index kind, and reports how index-level
+   deduplication compares with storing every version separately. *)
+
+open Siri_core
+module Store = Siri_store.Store
+module Mpt = Siri_mpt.Mpt
+module Mbt = Siri_mbt.Mbt
+module Pos = Siri_pos.Pos_tree
+module Mvbt = Siri_mvbt.Mvbt
+module Wiki = Siri_workload.Wiki
+module Table = Siri_benchkit.Table
+
+let pages = 5_000
+let versions = 30
+let edits_per_version = 150
+
+let run_index name (mk : Store.t -> Generic.t) =
+  let store = Store.create () in
+  let wiki = Wiki.create ~pages () in
+  let rng = Rng.create 7 in
+  let v0 = Generic.of_entries (mk store) (Wiki.dataset wiki) in
+  let stream = Wiki.version_stream wiki ~rng ~versions ~edits_per_version in
+  let heads =
+    List.rev
+      (List.fold_left
+         (fun heads ops ->
+           match heads with
+           | latest :: _ -> latest.Generic.batch ops :: heads
+           | [] -> assert false)
+         [ v0 ] stream)
+  in
+  let roots = List.map (fun h -> h.Generic.root) heads in
+  let raw = Dedup.sum_bytes store roots in
+  let deduplicated = Dedup.union_bytes store roots in
+  (name, raw, deduplicated, Dedup.dedup_ratio store roots)
+
+let () =
+  Printf.printf
+    "Storing %d wiki pages over %d versions (%d edits each), per index:\n"
+    pages (versions + 1) edits_per_version;
+  let results =
+    [ run_index "mpt" (fun s -> Mpt.generic (Mpt.empty s));
+      run_index "mbt"
+        (fun s -> Mbt.generic (Mbt.empty s (Mbt.config ~capacity:1024 ~fanout:4 ())));
+      run_index "pos-tree"
+        (fun s -> Pos.generic (Pos.empty s (Pos.config ~leaf_target:1024 ())));
+      run_index "mvmb+-tree"
+        (fun s -> Mvbt.generic (Mvbt.empty s (Mvbt.config ()))) ]
+  in
+  Table.print ~title:"raw vs deduplicated storage (all versions retained)"
+    ~headers:[ "index"; "raw (all versions)"; "deduplicated"; "saved"; "eta" ]
+    (List.map
+       (fun (name, raw, dedup, eta) ->
+         [ name;
+           Table.fmt_bytes raw;
+           Table.fmt_bytes dedup;
+           Printf.sprintf "%.1fx" (Float.of_int raw /. Float.of_int dedup);
+           Printf.sprintf "%.3f" eta ])
+       results);
+  print_newline ();
+  Printf.printf
+    "Every version stays queryable: this is what makes branching, audit and\n\
+     time-travel cheap — the Figure 1 effect at index level.\n"

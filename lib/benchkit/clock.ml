@@ -1,0 +1,11 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let x = f () in
+  (x, now () -. t0)
+
+let time_unit f = snd (time f)
+
+let throughput ~ops ~seconds =
+  if seconds <= 0.0 then 0.0 else Float.of_int ops /. seconds

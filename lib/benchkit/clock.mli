@@ -1,0 +1,12 @@
+(** Wall-clock timing helpers for the benchmark harness. *)
+
+val now : unit -> float
+(** Seconds since the epoch, microsecond resolution. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with the elapsed seconds. *)
+
+val time_unit : (unit -> unit) -> float
+
+val throughput : ops:int -> seconds:float -> float
+(** Operations per second (0 when [seconds] = 0). *)

@@ -1,0 +1,46 @@
+let fmt_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else if Float.abs x >= 1000.0 then Printf.sprintf "%.0f" x
+  else if Float.abs x >= 1.0 then Printf.sprintf "%.2f" x
+  else Printf.sprintf "%.4f" x
+
+let fmt_bytes n =
+  let f = Float.of_int n in
+  if f >= 1_073_741_824.0 then Printf.sprintf "%.2f GB" (f /. 1_073_741_824.0)
+  else if f >= 1_048_576.0 then Printf.sprintf "%.2f MB" (f /. 1_048_576.0)
+  else if f >= 1024.0 then Printf.sprintf "%.2f KB" (f /. 1024.0)
+  else Printf.sprintf "%d B" n
+
+let print ?(out = stdout) ~title ~headers rows =
+  let all = headers :: rows in
+  let cols = List.length headers in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell ->
+           let w = List.nth widths c in
+           if c = 0 then Printf.sprintf "%-*s" w cell
+           else Printf.sprintf "%*s" w cell)
+         row)
+  in
+  let rule =
+    String.concat "--"
+      (List.map (fun w -> String.make w '-') widths)
+  in
+  Printf.fprintf out "\n== %s ==\n%s\n%s\n" title (render headers) rule;
+  List.iter (fun row -> Printf.fprintf out "%s\n" (render row)) rows;
+  flush out
+
+let series ?(out = stdout) ~title ~x_label ~columns rows =
+  print ~out ~title ~headers:(x_label :: columns)
+    (List.map (fun (x, ys) -> x :: List.map fmt_float ys) rows)

@@ -1,0 +1,23 @@
+(** Aligned text tables and gnuplot-style series for benchmark output. *)
+
+val print :
+  ?out:out_channel -> title:string -> headers:string list ->
+  string list list -> unit
+(** Column-aligned table with a title rule. *)
+
+val series :
+  ?out:out_channel ->
+  title:string ->
+  x_label:string ->
+  columns:string list ->
+  (string * float list) list ->
+  unit
+(** One row per x point: [(x, [y per column])] — the data behind a figure,
+    printable or plottable as-is. *)
+
+val fmt_float : float -> string
+(** Compact rendering: integers without decimals, small values with
+    precision. *)
+
+val fmt_bytes : int -> string
+(** Human units: "1.5 MB". *)

@@ -1,0 +1,30 @@
+(** Buzhash — a cyclic-polynomial rolling hash over a fixed-size byte window.
+
+    This is the "Rabin fingerprint" role in POS-Tree: the hash of the last
+    [window] bytes is compared against a boundary pattern to decide where
+    nodes split.  The hash is deterministic (fixed substitution table), and
+    rolling: each input byte updates it in O(1). *)
+
+type t
+(** Mutable rolling state. *)
+
+val create : window:int -> t
+(** A fresh state with an empty window.  [window] must be positive. *)
+
+val window : t -> int
+val reset : t -> unit
+
+val roll : t -> char -> int
+(** Push one byte through the window and return the updated hash value.
+    Until [window] bytes have been fed the hash covers only what was fed. *)
+
+val value : t -> int
+(** Current hash value. *)
+
+val fed : t -> int
+(** Number of bytes fed since the last {!reset} (not capped at the window). *)
+
+val hash_string : window:int -> string -> int
+(** Hash of the last [window] bytes of [s] (or all of [s] if shorter),
+    computed by rolling from a fresh state — used in tests as the reference
+    for the rolling property. *)

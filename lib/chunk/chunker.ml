@@ -1,0 +1,93 @@
+module Hash = Siri_crypto.Hash
+
+type config = {
+  window : int;
+  pattern_bits : int;
+  min_size : int;
+  max_size : int;
+}
+
+let config ?(window = 67) ?(min_size = 0) ?max_size ~pattern_bits () =
+  if pattern_bits < 1 || pattern_bits > 32 then
+    invalid_arg "Chunker.config: pattern_bits out of range";
+  let max_size =
+    match max_size with Some m -> m | None -> 64 * (1 lsl pattern_bits)
+  in
+  if min_size < 0 || max_size <= min_size then
+    invalid_arg "Chunker.config: bad min/max sizes";
+  { window; pattern_bits; min_size; max_size }
+
+let config_for_leaf_size target =
+  let rec bits b = if 1 lsl b >= target || b >= 30 then b else bits (b + 1) in
+  config ~pattern_bits:(bits 1) ()
+
+type t = {
+  c : config;
+  bh : Buzhash.t;
+  mask : int;
+  mutable bytes : int;    (* bytes since last boundary *)
+  mutable matched : bool; (* pattern seen within the current item run *)
+}
+
+let create c =
+  { c;
+    bh = Buzhash.create ~window:c.window;
+    mask = (1 lsl c.pattern_bits) - 1;
+    bytes = 0;
+    matched = false }
+
+let conf t = t.c
+
+let reset t =
+  Buzhash.reset t.bh;
+  t.bytes <- 0;
+  t.matched <- false
+
+let feed t item =
+  (* The window rolls within one item only: whether an item carries a
+     boundary is then a property of the item's own bytes, so re-chunking
+     after an edit realigns with the old boundaries at the very next
+     pattern-carrying item (fast resynchronisation). *)
+  Buzhash.reset t.bh;
+  let n = String.length item in
+  for i = 0 to n - 1 do
+    let h = Buzhash.roll t.bh item.[i] in
+    t.bytes <- t.bytes + 1;
+    if (not t.matched) && t.bytes >= t.c.min_size && h land t.mask = t.mask
+    then t.matched <- true
+  done;
+  let boundary = t.matched || t.bytes >= t.c.max_size in
+  if boundary then reset t;
+  boundary
+
+let size t = t.bytes
+
+let hash_boundary c h =
+  (* Fold the first 8 digest bytes into an int and test the pattern; the
+     digest is uniform so any fixed bits work. *)
+  let v =
+    let acc = ref 0 in
+    for i = 0 to 7 do
+      acc := (!acc lsl 8) lor Hash.byte h i
+    done;
+    !acc
+  in
+  let mask = (1 lsl c.pattern_bits) - 1 in
+  v land mask = mask
+
+let split c items =
+  let t = create c in
+  let chunks = ref [] and current = ref [] in
+  let flush () =
+    if !current <> [] then begin
+      chunks := List.rev !current :: !chunks;
+      current := []
+    end
+  in
+  List.iter
+    (fun item ->
+      current := item :: !current;
+      if feed t item then flush ())
+    items;
+  flush ();
+  List.rev !chunks

@@ -1,0 +1,75 @@
+(* A nibble sequence is a string of bytes each in 0..15.  One byte per nibble
+   wastes half the space in memory but makes slicing trivial; the compact
+   encoding is used whenever a path is serialized into a node. *)
+
+type t = string
+
+let of_key key =
+  String.init
+    (2 * String.length key)
+    (fun i ->
+      let c = Char.code key.[i / 2] in
+      Char.chr (if i mod 2 = 0 then c lsr 4 else c land 0xF))
+
+let of_nibble_string s =
+  String.iter
+    (fun c -> if Char.code c > 15 then invalid_arg "Nibbles.of_nibble_string")
+    s;
+  s
+
+let to_key t =
+  let n = String.length t in
+  if n mod 2 <> 0 then invalid_arg "Nibbles.to_key: odd length";
+  String.init (n / 2) (fun i ->
+      Char.chr ((Char.code t.[2 * i] lsl 4) lor Char.code t.[(2 * i) + 1]))
+
+let empty = ""
+let length = String.length
+let is_empty t = t = ""
+let get t i = Char.code t.[i]
+let sub = String.sub
+let drop t n = String.sub t n (String.length t - n)
+let concat a b = a ^ b
+let cons n t = String.make 1 (Char.chr n) ^ t
+
+let common_prefix a b =
+  let limit = min (String.length a) (String.length b) in
+  let rec loop i = if i < limit && a.[i] = b.[i] then loop (i + 1) else i in
+  loop 0
+
+let equal = String.equal
+let compare = String.compare
+
+(* Hex-prefix encoding (Yellow Paper appendix C):
+   flag nibble = 2*leaf + parity; odd paths pack their first nibble next to
+   the flag, even paths pad with a zero nibble. *)
+let compact_encode ~leaf t =
+  let n = String.length t in
+  let odd = n mod 2 = 1 in
+  let flag = (if leaf then 2 else 0) + if odd then 1 else 0 in
+  let first =
+    if odd then Char.chr ((flag lsl 4) lor get t 0) else Char.chr (flag lsl 4)
+  in
+  let start = if odd then 1 else 0 in
+  let body =
+    String.init
+      ((n - start) / 2)
+      (fun i ->
+        Char.chr ((get t (start + (2 * i)) lsl 4) lor get t (start + (2 * i) + 1)))
+  in
+  String.make 1 first ^ body
+
+let compact_decode s =
+  if String.length s = 0 then invalid_arg "Nibbles.compact_decode: empty";
+  let flag = Char.code s.[0] lsr 4 in
+  if flag > 3 then invalid_arg "Nibbles.compact_decode: bad flag";
+  let leaf = flag land 2 <> 0 in
+  let odd = flag land 1 <> 0 in
+  let body = of_key (String.sub s 1 (String.length s - 1)) in
+  let path =
+    if odd then cons (Char.code s.[0] land 0xF) body else body
+  in
+  (leaf, path)
+
+let pp fmt t =
+  String.iter (fun c -> Format.fprintf fmt "%x" (Char.code c)) t

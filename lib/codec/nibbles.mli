@@ -1,0 +1,52 @@
+(** Nibble (hex-digit) paths for the Merkle Patricia Trie.
+
+    MPT splits each key byte into two 4-bit nibbles; paths in branch nodes
+    fan out over 16 children, and extension/leaf nodes carry compacted nibble
+    runs ("encodedPath").  This module represents nibble sequences and the
+    hex-prefix compact encoding of the Ethereum Yellow Paper (Appendix C). *)
+
+type t
+(** An immutable nibble sequence. *)
+
+val of_key : string -> t
+(** Expand a byte-string key into its 2×length nibble sequence. *)
+
+val of_nibble_string : string -> t
+(** Adopt a raw buffer with one nibble value (0–15) per byte — used when a
+    traversal accumulates nibbles in a [Buffer].  Raises [Invalid_argument]
+    if any byte exceeds 15. *)
+
+val to_key : t -> string
+(** Inverse of {!of_key}.  Raises [Invalid_argument] on odd length. *)
+
+val empty : t
+val length : t -> int
+val is_empty : t -> bool
+
+val get : t -> int -> int
+(** [get t i] is the [i]-th nibble, in [0, 15]. *)
+
+val sub : t -> int -> int -> t
+(** [sub t off len] — a slice, sharing no mutable state. *)
+
+val drop : t -> int -> t
+(** Drop the first [n] nibbles. *)
+
+val concat : t -> t -> t
+val cons : int -> t -> t
+
+val common_prefix : t -> t -> int
+(** Length of the longest common prefix. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val compact_encode : leaf:bool -> t -> string
+(** Hex-prefix encoding: packs nibbles into bytes with a flag nibble that
+    records parity and the leaf/extension distinction. *)
+
+val compact_decode : string -> bool * t
+(** Inverse of {!compact_encode}: returns [(leaf, path)]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Hex digits, e.g. [3a7f]. *)

@@ -1,0 +1,124 @@
+type t = String of string | List of t list
+
+(* Big-endian minimal representation of a length (empty for zero). *)
+let be_bytes n =
+  let rec loop n acc =
+    if n = 0 then acc else loop (n lsr 8) (Char.chr (n land 0xFF) :: acc)
+  in
+  let chars = loop n [] in
+  String.init (List.length chars) (List.nth chars)
+
+let rec encode_to buf item =
+  match item with
+  | String s ->
+      let n = String.length s in
+      if n = 1 && Char.code s.[0] < 0x80 then Buffer.add_string buf s
+      else if n <= 55 then begin
+        Buffer.add_char buf (Char.chr (0x80 + n));
+        Buffer.add_string buf s
+      end
+      else begin
+        let len_bytes = be_bytes n in
+        Buffer.add_char buf (Char.chr (0xB7 + String.length len_bytes));
+        Buffer.add_string buf len_bytes;
+        Buffer.add_string buf s
+      end
+  | List items ->
+      let payload = Buffer.create 64 in
+      List.iter (encode_to payload) items;
+      let n = Buffer.length payload in
+      if n <= 55 then begin
+        Buffer.add_char buf (Char.chr (0xC0 + n));
+        Buffer.add_buffer buf payload
+      end
+      else begin
+        let len_bytes = be_bytes n in
+        Buffer.add_char buf (Char.chr (0xF7 + String.length len_bytes));
+        Buffer.add_string buf len_bytes;
+        Buffer.add_buffer buf payload
+      end
+
+let encode item =
+  let buf = Buffer.create 64 in
+  encode_to buf item;
+  Buffer.contents buf
+
+let bad msg = invalid_arg ("Rlp.decode: " ^ msg)
+
+(* Decode one item starting at [pos]; returns (item, next position). *)
+let rec decode_at s pos =
+  if pos >= String.length s then bad "truncated";
+  let prefix = Char.code s.[pos] in
+  let need_len n from =
+    if from + n > String.length s then bad "truncated payload";
+    n
+  in
+  let read_be_len off n =
+    if n > 8 then bad "length too large";
+    if off + n > String.length s then bad "truncated length";
+    if n > 0 && s.[off] = '\000' then bad "non-canonical length (leading zero)";
+    let rec loop i acc =
+      if i = n then acc else loop (i + 1) ((acc lsl 8) lor Char.code s.[off + i])
+    in
+    let v = loop 0 0 in
+    if v <= 55 then bad "non-canonical length (should be short form)";
+    v
+  in
+  if prefix < 0x80 then (String (String.make 1 (Char.chr prefix)), pos + 1)
+  else if prefix <= 0xB7 then begin
+    let n = need_len (prefix - 0x80) (pos + 1) in
+    if n = 1 && Char.code s.[pos + 1] < 0x80 then
+      bad "non-canonical single byte";
+    (String (String.sub s (pos + 1) n), pos + 1 + n)
+  end
+  else if prefix <= 0xBF then begin
+    let len_len = prefix - 0xB7 in
+    let n = read_be_len (pos + 1) len_len in
+    let _ = need_len n (pos + 1 + len_len) in
+    (String (String.sub s (pos + 1 + len_len) n), pos + 1 + len_len + n)
+  end
+  else if prefix <= 0xF7 then begin
+    let n = need_len (prefix - 0xC0) (pos + 1) in
+    (List (decode_list s (pos + 1) (pos + 1 + n)), pos + 1 + n)
+  end
+  else begin
+    let len_len = prefix - 0xF7 in
+    let n = read_be_len (pos + 1) len_len in
+    let _ = need_len n (pos + 1 + len_len) in
+    let start = pos + 1 + len_len in
+    (List (decode_list s start (start + n)), start + n)
+  end
+
+and decode_list s pos stop =
+  if pos = stop then []
+  else if pos > stop then bad "list payload overrun"
+  else
+    let item, next = decode_at s pos in
+    item :: decode_list s next stop
+
+let decode s =
+  let item, next = decode_at s 0 in
+  if next <> String.length s then bad "trailing bytes";
+  item
+
+let of_int n =
+  if n < 0 then invalid_arg "Rlp.of_int: negative";
+  String (be_bytes n)
+
+let to_int = function
+  | List _ -> invalid_arg "Rlp.to_int: list"
+  | String s ->
+      if String.length s > 8 then invalid_arg "Rlp.to_int: too long";
+      if String.length s > 0 && s.[0] = '\000' then
+        invalid_arg "Rlp.to_int: leading zero";
+      String.fold_left (fun acc c -> (acc lsl 8) lor Char.code c) 0 s
+
+let rec pp fmt = function
+  | String s ->
+      if String.for_all (fun c -> c >= ' ' && c < '\127') s then
+        Format.fprintf fmt "%S" s
+      else Format.fprintf fmt "0x%s" (Siri_crypto.Hex.encode s)
+  | List items ->
+      Format.fprintf fmt "[@[<hov>%a@]]"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ";@ ") pp)
+        items

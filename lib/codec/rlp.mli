@@ -1,0 +1,26 @@
+(** RLP — Ethereum's Recursive Length Prefix encoding.
+
+    Used by the Ethereum-like workload to serialize synthetic transactions,
+    exactly as the paper's Ethereum dataset stores RLP-encoded raw
+    transactions.  Implements the encoding of the Yellow Paper, Appendix B. *)
+
+type t =
+  | String of string  (** a byte string item *)
+  | List of t list  (** a (possibly nested) list of items *)
+
+val encode : t -> string
+(** Canonical RLP encoding. *)
+
+val decode : string -> t
+(** Inverse of {!encode}.  Raises [Invalid_argument] on malformed or
+    non-canonical input, or if trailing bytes remain. *)
+
+val of_int : int -> t
+(** Big-endian minimal encoding of a non-negative integer, as Ethereum
+    encodes scalars (zero is the empty string). *)
+
+val to_int : t -> int
+(** Inverse of {!of_int}.  Raises [Invalid_argument] on a list or an
+    over-long scalar. *)
+
+val pp : Format.formatter -> t -> unit

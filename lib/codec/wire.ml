@@ -1,0 +1,93 @@
+module Hash = Siri_crypto.Hash
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create ?(capacity = 256) () = Buffer.create capacity
+  let length = Buffer.length
+
+  let u8 t v =
+    if v < 0 || v > 0xFF then invalid_arg "Wire.Writer.u8";
+    Buffer.add_char t (Char.chr v)
+
+  let u16 t v =
+    if v < 0 || v > 0xFFFF then invalid_arg "Wire.Writer.u16";
+    Buffer.add_char t (Char.chr (v lsr 8));
+    Buffer.add_char t (Char.chr (v land 0xFF))
+
+  let u32 t v =
+    if v < 0 || v > 0xFFFFFFFF then invalid_arg "Wire.Writer.u32";
+    Buffer.add_char t (Char.chr ((v lsr 24) land 0xFF));
+    Buffer.add_char t (Char.chr ((v lsr 16) land 0xFF));
+    Buffer.add_char t (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char t (Char.chr (v land 0xFF))
+
+  let rec varint t v =
+    if v < 0 then invalid_arg "Wire.Writer.varint: negative";
+    if v < 0x80 then Buffer.add_char t (Char.chr v)
+    else begin
+      Buffer.add_char t (Char.chr (0x80 lor (v land 0x7F)));
+      varint t (v lsr 7)
+    end
+
+  let raw t s = Buffer.add_string t s
+
+  let str t s =
+    varint t (String.length s);
+    raw t s
+
+  let hash t h = raw t (Hash.to_raw h)
+  let contents = Buffer.contents
+end
+
+module Reader = struct
+  type t = { src : string; mutable pos : int }
+
+  exception Truncated
+
+  let of_string src = { src; pos = 0 }
+  let pos t = t.pos
+  let remaining t = String.length t.src - t.pos
+  let at_end t = remaining t = 0
+
+  let need t n = if remaining t < n then raise Truncated
+
+  let u8 t =
+    need t 1;
+    let v = Char.code t.src.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let hi = u8 t in
+    let lo = u8 t in
+    (hi lsl 8) lor lo
+
+  let u32 t =
+    let hi = u16 t in
+    let lo = u16 t in
+    (hi lsl 16) lor lo
+
+  let varint t =
+    (* Cap the shift: a malicious run of continuation bytes must fail
+       cleanly instead of shifting past the word size. *)
+    let rec loop shift acc =
+      if shift > 56 then raise Truncated;
+      let b = u8 t in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else loop (shift + 7) acc
+    in
+    loop 0 0
+
+  let raw t n =
+    need t n;
+    let s = String.sub t.src t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let str t =
+    let n = varint t in
+    raw t n
+
+  let hash t = Hash.of_raw (raw t Hash.size)
+end

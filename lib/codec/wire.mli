@@ -1,0 +1,55 @@
+(** Binary node serialization: append-only writers and positional readers.
+
+    All index nodes are encoded with these primitives before being hashed and
+    stored, so encodings must be canonical: the same logical node always
+    yields the same bytes. *)
+
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+
+  val u8 : t -> int -> unit
+  (** One byte, 0..255. *)
+
+  val u16 : t -> int -> unit
+  (** Two bytes big-endian, 0..65535. *)
+
+  val u32 : t -> int -> unit
+  (** Four bytes big-endian, 0..2^32-1 (must fit; on 64-bit OCaml ints do). *)
+
+  val varint : t -> int -> unit
+  (** LEB128 unsigned varint; argument must be non-negative. *)
+
+  val raw : t -> string -> unit
+  (** Append bytes verbatim. *)
+
+  val str : t -> string -> unit
+  (** Length-prefixed (varint) string. *)
+
+  val hash : t -> Siri_crypto.Hash.t -> unit
+  (** Append the raw 32 bytes of a digest. *)
+
+  val contents : t -> string
+end
+
+module Reader : sig
+  type t
+
+  val of_string : string -> t
+  val pos : t -> int
+  val remaining : t -> int
+  val at_end : t -> bool
+
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val varint : t -> int
+  val raw : t -> int -> string
+  val str : t -> string
+  val hash : t -> Siri_crypto.Hash.t
+
+  exception Truncated
+  (** Raised by any read that runs past the end of input. *)
+end

@@ -1,0 +1,52 @@
+type params = { n : int; m : int; b : int; l : int; delta : int }
+
+let default = { n = 1_000_000; m = 25; b = 10_000; l = 20; delta = 1_000 }
+
+type structure = Mpt | Mbt | Pos | Mvbt
+type operation = Lookup | Update | Diff | Merge
+
+let structure_name = function
+  | Mpt -> "MPT"
+  | Mbt -> "MBT"
+  | Pos -> "POS-Tree"
+  | Mvbt -> "MVMB+-Tree"
+
+let operation_name = function
+  | Lookup -> "lookup"
+  | Update -> "update"
+  | Diff -> "diff"
+  | Merge -> "merge"
+
+let logf base x =
+  if x <= 1.0 then 0.0 else Float.max 1.0 (log x /. log base)
+
+let cost s op p =
+  let n = Float.of_int p.n
+  and m = Float.of_int p.m
+  and b = Float.of_int p.b
+  and l = Float.of_int p.l
+  and d = Float.of_int p.delta in
+  let single = function
+    | Mpt -> Float.max l (logf m n)
+    | Mbt -> logf m b +. logf 2.0 (n /. b)
+    | Pos | Mvbt -> logf m n
+  in
+  let update = function
+    (* Updates add node copying: MBT copies an N/B-sized bucket. *)
+    | Mbt -> logf m b +. (n /. b)
+    | s -> single s
+  in
+  match op with
+  | Lookup -> single s
+  | Update -> update s
+  | Diff -> d *. single s
+  | Merge -> d *. update s
+
+let table p =
+  List.map
+    (fun s ->
+      ( structure_name s,
+        List.map
+          (fun op -> (operation_name op, cost s op p))
+          [ Lookup; Update; Diff; Merge ] ))
+    [ Mpt; Mbt; Pos; Mvbt ]

@@ -1,0 +1,32 @@
+(** Asymptotic operation bounds of Section 4.1, as evaluable cost models.
+
+    These return the dominant term of each complexity expression (unit:
+    abstract "node visits"), so benchmarks can print the predicted growth
+    next to measured numbers and check the *shape* of the curves. *)
+
+type params = {
+  n : int;  (** total records N *)
+  m : int;  (** fanout of POS-Tree / MBT (entries per node) *)
+  b : int;  (** MBT bucket count B *)
+  l : int;  (** key length in nibbles, L *)
+  delta : int;  (** differing records δ for diff/merge *)
+}
+
+val default : params
+(** N = 1_000_000, m = 25, B = 10_000, L = 20, δ = 1_000. *)
+
+type structure = Mpt | Mbt | Pos | Mvbt
+type operation = Lookup | Update | Diff | Merge
+
+val structure_name : structure -> string
+val operation_name : operation -> string
+
+val cost : structure -> operation -> params -> float
+(** Predicted cost:
+    - MPT lookup/update: max(L, log_m N)
+    - MBT lookup/update: log_m B + log₂(N/B) for lookup, log_m B + N/B update
+    - POS / MVMB+ lookup/update: log_m N
+    - diff/merge: δ × the structure's lookup/update-style term. *)
+
+val table : params -> (string * (string * float) list) list
+(** Rows (structure, [(operation, cost)]) — the Section 4.1 summary. *)

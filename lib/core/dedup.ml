@@ -1,0 +1,29 @@
+open Siri_crypto
+module Store = Siri_store.Store
+
+let union_set store roots = Store.reachable_many store roots
+
+let union_bytes store roots = Store.bytes_of_set store (union_set store roots)
+
+let sum_bytes store roots =
+  List.fold_left
+    (fun acc root -> acc + Store.bytes_of_set store (Store.reachable store root))
+    0 roots
+
+let union_nodes store roots = Hash.Set.cardinal (union_set store roots)
+
+let sum_nodes store roots =
+  List.fold_left
+    (fun acc root -> acc + Hash.Set.cardinal (Store.reachable store root))
+    0 roots
+
+let ratio union total =
+  if total = 0 then 0.0 else 1.0 -. (Float.of_int union /. Float.of_int total)
+
+let dedup_ratio store roots =
+  ratio (union_bytes store roots) (sum_bytes store roots)
+
+let node_sharing_ratio store roots =
+  ratio (union_nodes store roots) (sum_nodes store roots)
+
+let analytic_eta ~alpha = 0.5 -. (alpha /. 2.0)

@@ -1,0 +1,26 @@
+open Siri_crypto
+module Store = Siri_store.Store
+
+type t = {
+  name : string;
+  store : Store.t;
+  root : Hash.t;
+  lookup : Kv.key -> Kv.value option;
+  path_length : Kv.key -> int;
+  batch : Kv.op list -> t;
+  to_list : unit -> (Kv.key * Kv.value) list;
+  cardinal : unit -> int;
+  diff : Hash.t -> Kv.diff_entry list;
+  merge : Kv.merge_policy -> Hash.t -> (t, Kv.conflict list) result;
+  prove : Kv.key -> Proof.t;
+  verify : root:Hash.t -> Proof.t -> bool;
+  reopen : Hash.t -> t;
+  range : lo:Kv.key option -> hi:Kv.key option -> (Kv.key * Kv.value) list;
+}
+
+let insert t k v = t.batch [ Kv.Put (k, v) ]
+let remove t k = t.batch [ Kv.Del k ]
+let of_entries t entries = t.batch (List.map (fun (k, v) -> Kv.Put (k, v)) entries)
+let page_set t = Store.reachable t.store t.root
+let node_count t = Hash.Set.cardinal (page_set t)
+let total_bytes t = Store.bytes_of_set t.store (page_set t)

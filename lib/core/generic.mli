@@ -1,0 +1,52 @@
+(** A uniform, first-class view of any SIRI index instance.
+
+    The four structures (MPT, MBT, POS-Tree, MVMB+-Tree) have different
+    configurations and node layouts, so each library exposes its own typed
+    API plus a [generic] constructor producing this record.  Benchmarks,
+    the Forkbase engine, and the SIRI property checkers work exclusively
+    against this interface.
+
+    Instances are immutable: every write returns a fresh handle whose [root]
+    identifies the new version; old handles stay valid (copy-on-write node
+    sharing in the underlying store). *)
+
+open Siri_crypto
+
+type t = {
+  name : string;  (** e.g. ["pos-tree"] *)
+  store : Siri_store.Store.t;
+  root : Hash.t;  (** {!Hash.null} for an empty instance *)
+  lookup : Kv.key -> Kv.value option;
+  path_length : Kv.key -> int;
+      (** number of nodes traversed by [lookup] (Figure 9) *)
+  batch : Kv.op list -> t;  (** apply a write batch, yielding a new version *)
+  to_list : unit -> (Kv.key * Kv.value) list;  (** sorted by key *)
+  cardinal : unit -> int;
+  diff : Hash.t -> Kv.diff_entry list;
+      (** differing records against another version of the same index kind,
+          identified by its root *)
+  merge :
+    Kv.merge_policy -> Hash.t -> (t, Kv.conflict list) result;
+      (** union of the records of both versions (Section 4.1.4) *)
+  prove : Kv.key -> Proof.t;
+  verify : root:Hash.t -> Proof.t -> bool;
+      (** store-independent proof check against a trusted root digest *)
+  reopen : Hash.t -> t;
+      (** view another version (same index kind, same store) by its root —
+          what a checkout of an old commit does *)
+  range : lo:Kv.key option -> hi:Kv.key option -> (Kv.key * Kv.value) list;
+      (** records with lo <= key <= hi (inclusive; [None] = unbounded),
+          sorted by key.  Ordered trees prune subtrees outside the range;
+          MBT has no key order and scans (documented O(N)). *)
+}
+
+val insert : t -> Kv.key -> Kv.value -> t
+val remove : t -> Kv.key -> t
+val of_entries : t -> (Kv.key * Kv.value) list -> t
+(** Bulk-load into (a fresh version of) the given instance. *)
+
+val page_set : t -> Hash.Set.t
+(** Reachable pages [P(I)] of this version. *)
+
+val node_count : t -> int
+val total_bytes : t -> int

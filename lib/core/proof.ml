@@ -1,0 +1,17 @@
+type t = { key : Kv.key; value : Kv.value option; nodes : string list }
+
+let root_hash t =
+  match t.nodes with
+  | [] -> None
+  | first :: _ -> Some (Siri_crypto.Hash.of_string first)
+
+let size_bytes t =
+  List.fold_left (fun acc n -> acc + String.length n) 0 t.nodes
+
+let tamper t =
+  match List.rev t.nodes with
+  | [] -> { t with value = Some "tampered" }
+  | deepest :: rest ->
+      let b = Bytes.of_string (if deepest = "" then "x" else deepest) in
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 1));
+      { t with nodes = List.rev (Bytes.to_string b :: rest) }

@@ -1,0 +1,51 @@
+open Siri_crypto
+
+type build = (Kv.key * Kv.value) list -> Generic.t
+
+let structurally_invariant ~build ~entries ~permutations ~seed =
+  let rng = Rng.create seed in
+  let reference = (build entries).Generic.root in
+  let rec loop i =
+    if i >= permutations then true
+    else
+      let shuffled = Rng.shuffle rng entries in
+      (* Insert one by one so that intermediate structures differ. *)
+      let inst =
+        List.fold_left
+          (fun inst (k, v) -> Generic.insert inst k v)
+          (build []) shuffled
+      in
+      Hash.equal inst.Generic.root reference && loop (i + 1)
+  in
+  loop 0
+
+let recursively_identical ~build ~entries ~extra =
+  let smaller = build entries in
+  let larger = Generic.insert smaller (fst extra) (snd extra) in
+  let p = Generic.page_set larger and p' = Generic.page_set smaller in
+  let inter = Hash.Set.cardinal (Hash.Set.inter p p') in
+  let minus = Hash.Set.cardinal (Hash.Set.diff p p') in
+  inter >= minus
+
+let universally_reusable ~build ~entries ~more =
+  (* The property is existential ("there always exists a larger instance"),
+     so keep growing the record set until the page set genuinely grows —
+     a small extension can merge into existing chunks without adding
+     nodes. *)
+  let inst = build entries in
+  let p = Generic.page_set inst in
+  let rec attempt round extra =
+    round <= 8
+    &&
+    let bigger = Generic.of_entries inst extra in
+    let p' = Generic.page_set bigger in
+    if
+      Hash.Set.cardinal p' > Hash.Set.cardinal p
+      && not (Hash.Set.is_empty (Hash.Set.inter p p'))
+    then true
+    else
+      attempt (round + 1)
+        (extra
+        @ List.map (fun (k, v) -> (Printf.sprintf "%s~%d" k round, v)) extra)
+  in
+  attempt 0 more

@@ -1,0 +1,33 @@
+(** Checkers for the three SIRI properties of Definition 3.1.
+
+    Each checker takes a [build] function that constructs an instance from a
+    record list (all builds must target the same store so that page sets are
+    comparable) and decides the property on concrete data.  They are used by
+    the test suite to certify MPT/MBT/POS-Tree as SIRI — and to certify that
+    the MVMB+-Tree baseline is *not* structurally invariant, and that the
+    ablated POS-Tree variants of Section 5.5 lose the expected property. *)
+
+type build = (Kv.key * Kv.value) list -> Generic.t
+
+val structurally_invariant :
+  build:build ->
+  entries:(Kv.key * Kv.value) list ->
+  permutations:int ->
+  seed:int ->
+  bool
+(** Build the same record set in [permutations] shuffled insertion orders
+    (one record batch per insertion, so intermediate shapes differ) and check
+    all roots coincide: P(I) = P(I') ⇐ R(I) = R(I'). *)
+
+val recursively_identical :
+  build:build -> entries:(Kv.key * Kv.value) list -> extra:Kv.key * Kv.value ->
+  bool
+(** With R(I) = R(I') + r:  |P(I) ∩ P(I')| ≥ |P(I) − P(I')|. *)
+
+val universally_reusable :
+  build:build ->
+  entries:(Kv.key * Kv.value) list ->
+  more:(Kv.key * Kv.value) list ->
+  bool
+(** There is a node p ∈ P(I) and a strictly larger instance I' with
+    p ∈ P(I'); checked by growing I with [more] records. *)

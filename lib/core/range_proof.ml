@@ -1,0 +1,85 @@
+open Siri_crypto
+
+type t = {
+  lo : Kv.key option;
+  hi : Kv.key option;
+  entries : (Kv.key * Kv.value) list;
+  nodes : string list;
+}
+
+let size_bytes t = List.fold_left (fun acc n -> acc + String.length n) 0 t.nodes
+
+let in_range ~lo ~hi k =
+  (match lo with None -> true | Some l -> String.compare k l >= 0)
+  && match hi with None -> true | Some h -> String.compare k h <= 0
+
+(* Child i of an internal node covers (split_{i-1}, split_i]; it intersects
+   [lo, hi] iff split_i >= lo and split_{i-1} < hi (with open sides for the
+   first child and unbounded queries). *)
+let child_intersects ~lo ~hi ~prev_split ~split =
+  (match lo with None -> true | Some l -> String.compare split l >= 0)
+  && (match (hi, prev_split) with
+     | None, _ | _, None -> true
+     | Some h, Some p -> String.compare p h < 0)
+
+let prove ~get ~decode ~root ~lo ~hi =
+  if Hash.is_null root then { lo; hi; entries = []; nodes = [] }
+  else begin
+    let nodes = ref [] in
+    let entries = ref [] in
+    let rec walk h =
+      let bytes = get h in
+      nodes := bytes :: !nodes;
+      match decode bytes with
+      | Tree_diff.Entries es ->
+          List.iter (fun (k, v) -> if in_range ~lo ~hi k then entries := (k, v) :: !entries) es
+      | Tree_diff.Children (_, refs) ->
+          let prev = ref None in
+          List.iter
+            (fun (split, child) ->
+              if child_intersects ~lo ~hi ~prev_split:!prev ~split then walk child;
+              prev := Some split)
+            refs
+    in
+    walk root;
+    { lo; hi; entries = List.rev !entries; nodes = List.rev !nodes }
+  end
+
+exception Bad
+
+let verify ~decode ~root t =
+  let lo = t.lo and hi = t.hi in
+  if Hash.is_null root then t.nodes = [] && t.entries = []
+  else begin
+    (* Replay the pruned pre-order traversal, consuming nodes in order. *)
+    let queue = ref t.nodes in
+    let collected = ref [] in
+    let next expected =
+      match !queue with
+      | [] -> raise Bad
+      | bytes :: rest ->
+          if not (Hash.equal (Hash.of_string bytes) expected) then raise Bad;
+          queue := rest;
+          bytes
+    in
+    let rec walk h =
+      let bytes = next h in
+      match decode bytes with
+      | exception Bad -> raise Bad
+      | exception _ -> raise Bad
+      | Tree_diff.Entries es ->
+          List.iter
+            (fun (k, v) -> if in_range ~lo ~hi k then collected := (k, v) :: !collected)
+            es
+      | Tree_diff.Children (_, refs) ->
+          let prev = ref None in
+          List.iter
+            (fun (split, child) ->
+              if child_intersects ~lo ~hi ~prev_split:!prev ~split then walk child;
+              prev := Some split)
+            refs
+    in
+    match walk root with
+    | () -> !queue = [] && List.rev !collected = t.entries
+    | exception Bad -> false
+  end

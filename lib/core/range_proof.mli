@@ -1,0 +1,39 @@
+(** Verifiable range scans over ordered Merkle search trees (POS-Tree,
+    MVMB+-Tree, Prolly Tree).
+
+    A range proof for [lo, hi] contains, in pre-order, the serialized bytes
+    of every node whose key range intersects the query interval.  A verifier
+    holding only the trusted root digest replays the pruned traversal —
+    re-hashing each node and descending exactly into the intersecting
+    children — and recovers the complete, authenticated set of records in
+    the range: nothing can be added, dropped or reordered without breaking
+    the hash chain.
+
+    Bounds are inclusive; [None] means unbounded on that side, so
+    [lo = None, hi = None] is a proof of the entire record set. *)
+
+open Siri_crypto
+
+type t = {
+  lo : Kv.key option;
+  hi : Kv.key option;
+  entries : (Kv.key * Kv.value) list;  (** claimed records, sorted *)
+  nodes : string list;  (** intersecting nodes, pre-order from the root *)
+}
+
+val size_bytes : t -> int
+
+val prove :
+  get:(Hash.t -> string) ->
+  decode:(string -> Tree_diff.node) ->
+  root:Hash.t ->
+  lo:Kv.key option ->
+  hi:Kv.key option ->
+  t
+(** Build a proof from a store view.  [decode] interprets node bytes as the
+    index's leaf/internal shape (the same adapter used by {!Tree_diff}). *)
+
+val verify :
+  decode:(string -> Tree_diff.node) -> root:Hash.t -> t -> bool
+(** Re-hash and replay; [true] iff the node chain matches [root] and the
+    claimed [entries] are exactly the in-range records it authenticates. *)

@@ -1,0 +1,47 @@
+(* splitmix64-style generator truncated to OCaml's 63-bit native ints. *)
+
+type t = { mutable state : int }
+
+let mix z =
+  let z = (z lxor (z lsr 30)) * 0x2F51AFD7ED558CC5 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x24F6CCEFDF541052 land max_int in
+  z lxor (z lsr 31)
+
+let next t =
+  t.state <- (t.state + 0x1E3779B97F4A7C15) land max_int;
+  mix t.state
+
+let create seed = { state = mix (seed land max_int) }
+let split t = { state = mix (next t) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free modulo is fine here: bound << 2^62 keeps bias negligible
+     for workload generation. *)
+  next t mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t = Float.of_int (next t land 0x3FFFFFFFFFFFFF) /. 18014398509481984.0
+let bool t = next t land 1 = 1
+
+let alnum = "abcdefghijklmnopqrstuvwxyz0123456789"
+let char_alnum t = alnum.[int t (String.length alnum)]
+let string_alnum t n = String.init n (fun _ -> char_alnum t)
+let bytes_random t n = String.init n (fun _ -> Char.chr (int t 256))
+
+let shuffle t l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))

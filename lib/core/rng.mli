@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random generator (splitmix-style).
+
+    All workloads and experiments draw from this so that runs are exactly
+    reproducible from a seed, independent of OCaml's stdlib Random state. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val split : t -> t
+(** An independent generator derived from the current state. *)
+
+val int : t -> int -> int
+(** [int t bound] — uniform in [0, bound).  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] — uniform in [lo, hi] inclusive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+
+val char_alnum : t -> char
+(** Uniform over [a-z0-9]. *)
+
+val string_alnum : t -> int -> string
+val bytes_random : t -> int -> string
+
+val shuffle : t -> 'a list -> 'a list
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

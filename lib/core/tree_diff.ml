@@ -1,0 +1,87 @@
+open Siri_crypto
+
+type node =
+  | Entries of (Kv.key * Kv.value) list
+  | Children of int * (Kv.key * Hash.t) list
+
+let entries ~decode root =
+  let rec walk h acc =
+    if Hash.is_null h then acc
+    else
+      match decode h with
+      | Entries es -> List.rev_append es acc
+      | Children (_, kids) ->
+          List.fold_left (fun acc (_, ch) -> walk ch acc) acc kids
+  in
+  List.rev (walk root [])
+
+(* The refinement loop keeps, for each side, a key-ordered list of subtree
+   roots that have no identical counterpart on the other side.  Each round:
+   (1) drop hashes present on both sides (identical subtrees — the pruning
+   step); (2) expand the tallest remaining nodes one level.  When only
+   leaves remain, compare their record streams. *)
+let diff ~decode ~left ~right =
+  if Hash.equal left right then []
+  else begin
+    let height h =
+      if Hash.is_null h then 0
+      else match decode h with Entries _ -> 0 | Children (lvl, _) -> lvl
+    in
+    let count tbl h = match Hash.Table.find_opt tbl h with Some n -> n | None -> 0 in
+    let prune l r =
+      (* Remove pairwise-equal hashes across the two multisets. *)
+      let tbl = Hash.Table.create 64 in
+      List.iter (fun h -> Hash.Table.replace tbl h (count tbl h + 1)) r;
+      let l' =
+        List.filter
+          (fun h ->
+            let c = count tbl h in
+            if c > 0 then begin
+              Hash.Table.replace tbl h (c - 1);
+              false
+            end
+            else true)
+          l
+      in
+      let r' =
+        (* Keep each right hash only as many times as it survived. *)
+        let seen = Hash.Table.create 64 in
+        List.filter
+          (fun h ->
+            let used = count seen h in
+            Hash.Table.replace seen h (used + 1);
+            used < count tbl h)
+          r
+      in
+      (l', r')
+    in
+    let expand target_height roots =
+      List.concat_map
+        (fun h ->
+          if Hash.is_null h then []
+          else if height h < target_height then [ h ]
+          else
+            match decode h with
+            | Entries _ -> [ h ]
+            | Children (_, kids) -> List.map snd kids)
+        roots
+    in
+    let rec refine l r =
+      let l, r = prune l r in
+      let hmax =
+        List.fold_left (fun acc h -> max acc (height h)) 0 (List.rev_append l r)
+      in
+      if hmax = 0 then begin
+        let flatten roots =
+          List.concat_map
+            (fun h ->
+              if Hash.is_null h then []
+              else match decode h with Entries es -> es | Children _ -> [])
+            roots
+        in
+        Kv.diff_sorted (flatten l) (flatten r)
+      end
+      else refine (expand hmax l) (expand hmax r)
+    in
+    refine [ left ] [ right ]
+  end

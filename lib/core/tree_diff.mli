@@ -1,0 +1,24 @@
+(** Hash-pruned diff for ordered Merkle search trees (POS-Tree, MVMB+-Tree,
+    Prolly Tree).
+
+    Structural invariance makes identical key ranges materialize as identical
+    nodes, so the diff walks both trees top-down and discards every subtree
+    whose hash appears on both sides; only the [O(δ)] differing regions are
+    ever decoded (the Diff bound of Section 4.1.3). *)
+
+open Siri_crypto
+
+type node =
+  | Entries of (Kv.key * Kv.value) list
+      (** a leaf: its sorted records *)
+  | Children of int * (Kv.key * Hash.t) list
+      (** an internal node: its height (leaf = 0, so height ≥ 1 here) and
+          sorted (split-key, child-hash) pairs *)
+
+val diff :
+  decode:(Hash.t -> node) -> left:Hash.t -> right:Hash.t -> Kv.diff_entry list
+(** [decode] maps a node hash to its shape; {!Hash.null} roots denote empty
+    trees and are never passed to [decode]. *)
+
+val entries : decode:(Hash.t -> node) -> Hash.t -> (Kv.key * Kv.value) list
+(** All records under a root, in key order. *)

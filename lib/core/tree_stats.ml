@@ -1,0 +1,95 @@
+open Siri_crypto
+
+type level = {
+  height : int;
+  nodes : int;
+  bytes : int;
+  entries : int;
+  min_node_bytes : int;
+  max_node_bytes : int;
+}
+
+type t = {
+  levels : level list;
+  total_nodes : int;
+  total_bytes : int;
+  records : int;
+  height : int;
+}
+
+let collect ~get ~decode ~root =
+  let visited = Hash.Table.create 256 in
+  let acc : (int, level) Hashtbl.t = Hashtbl.create 8 in
+  let bump ~height ~bytes ~entries =
+    let cur =
+      match Hashtbl.find_opt acc height with
+      | Some l -> l
+      | None ->
+          { height;
+            nodes = 0;
+            bytes = 0;
+            entries = 0;
+            min_node_bytes = max_int;
+            max_node_bytes = 0 }
+    in
+    Hashtbl.replace acc height
+      { cur with
+        nodes = cur.nodes + 1;
+        bytes = cur.bytes + bytes;
+        entries = cur.entries + entries;
+        min_node_bytes = min cur.min_node_bytes bytes;
+        max_node_bytes = max cur.max_node_bytes bytes }
+  in
+  let rec walk h =
+    if (not (Hash.is_null h)) && not (Hash.Table.mem visited h) then begin
+      Hash.Table.add visited h ();
+      let bytes = get h in
+      match decode bytes with
+      | Tree_diff.Entries es ->
+          bump ~height:0 ~bytes:(String.length bytes) ~entries:(List.length es)
+      | Tree_diff.Children (lvl, refs) ->
+          bump ~height:lvl ~bytes:(String.length bytes) ~entries:(List.length refs);
+          List.iter (fun (_, c) -> walk c) refs
+    end
+  in
+  walk root;
+  let levels =
+    Hashtbl.fold (fun _ l ls -> l :: ls) acc []
+    |> List.sort (fun (a : level) (b : level) -> compare a.height b.height)
+  in
+  let records =
+    match levels with
+    | [] -> 0
+    | (leaf : level) :: _ when leaf.height = 0 -> leaf.entries
+    | _ -> 0
+  in
+  { levels;
+    total_nodes = List.fold_left (fun a (l : level) -> a + l.nodes) 0 levels;
+    total_bytes = List.fold_left (fun a (l : level) -> a + l.bytes) 0 levels;
+    records;
+    height = List.length levels }
+
+let mean_leaf_bytes t =
+  match List.find_opt (fun (l : level) -> l.height = 0) t.levels with
+  | Some l when l.nodes > 0 -> Float.of_int l.bytes /. Float.of_int l.nodes
+  | _ -> 0.0
+
+let mean_fanout t =
+  let internal = List.filter (fun (l : level) -> l.height > 0) t.levels in
+  let nodes = List.fold_left (fun a (l : level) -> a + l.nodes) 0 internal in
+  let refs = List.fold_left (fun a (l : level) -> a + l.entries) 0 internal in
+  if nodes = 0 then 0.0 else Float.of_int refs /. Float.of_int nodes
+
+let pp fmt t =
+  Format.fprintf fmt "height %d, %d nodes, %d bytes, %d records@." t.height
+    t.total_nodes t.total_bytes t.records;
+  List.iter
+    (fun (l : level) ->
+      Format.fprintf fmt
+        "  level %d: %d nodes, %d bytes (min %d / avg %.0f / max %d), %d %s@."
+        l.height l.nodes l.bytes
+        (if l.nodes = 0 then 0 else l.min_node_bytes)
+        (if l.nodes = 0 then 0.0 else Float.of_int l.bytes /. Float.of_int l.nodes)
+        l.max_node_bytes l.entries
+        (if l.height = 0 then "records" else "refs"))
+    t.levels

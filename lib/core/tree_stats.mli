@@ -1,0 +1,41 @@
+(** Structural statistics of an index instance — node counts and byte sizes
+    per level, fanouts, and entry distribution.
+
+    Works over the same decode adapter as {!Tree_diff}, so it applies to any
+    of the ordered Merkle trees (POS-Tree, MVMB+-Tree, Prolly); the CLI and
+    benchmarks use it to report how well a configuration hits its node-size
+    target. *)
+
+open Siri_crypto
+
+type level = {
+  height : int;  (** 0 = leaves *)
+  nodes : int;
+  bytes : int;
+  entries : int;  (** records at level 0, child refs above *)
+  min_node_bytes : int;
+  max_node_bytes : int;
+}
+
+type t = {
+  levels : level list;  (** leaves first *)
+  total_nodes : int;
+  total_bytes : int;
+  records : int;
+  height : int;
+}
+
+val collect :
+  get:(Hash.t -> string) ->
+  decode:(string -> Tree_diff.node) ->
+  root:Hash.t ->
+  t
+(** Walk the tree (each distinct node once — shared nodes are not double
+    counted). *)
+
+val mean_leaf_bytes : t -> float
+val mean_fanout : t -> float
+(** Average child count of internal nodes (0 for a leaf-only tree). *)
+
+val pp : Format.formatter -> t -> unit
+(** A small per-level table. *)

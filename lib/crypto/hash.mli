@@ -1,0 +1,54 @@
+(** Cryptographic hash values (32-byte SHA-256 digests).
+
+    A [Hash.t] identifies an immutable node in the content-addressed store:
+    two nodes share storage iff their hashes are equal.  The representation is
+    the raw 32-byte digest string. *)
+
+type t
+(** A 32-byte digest. *)
+
+val size : int
+(** Digest size in bytes (32). *)
+
+val of_string : string -> t
+(** Hash of arbitrary data: [of_string s] = SHA-256(s). *)
+
+val of_bytes : bytes -> t
+(** Same as {!of_string} for byte buffers. *)
+
+val of_raw : string -> t
+(** Adopt a pre-computed 32-byte digest.  Raises [Invalid_argument] if the
+    length is not {!size}. *)
+
+val to_raw : t -> string
+(** The raw 32-byte digest. *)
+
+val to_hex : t -> string
+(** 64-char lowercase hex rendering. *)
+
+val of_hex : string -> t
+(** Inverse of {!to_hex}.  Raises [Invalid_argument] on malformed input. *)
+
+val short : t -> string
+(** First 8 hex chars — for logs and error messages. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val hash : t -> int
+(** A cheap hash for [Hashtbl]: folds the first bytes of the digest. *)
+
+val byte : t -> int -> int
+(** [byte h i] is the [i]-th byte of the digest as an integer. *)
+
+val null : t
+(** The all-zero digest, used as a sentinel for "no child". *)
+
+val is_null : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints {!short}. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Table : Hashtbl.S with type key = t

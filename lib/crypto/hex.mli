@@ -1,0 +1,12 @@
+(** Hexadecimal encoding of arbitrary strings. *)
+
+val encode : string -> string
+(** Lowercase hex, two chars per input byte. *)
+
+val decode : string -> string
+(** Inverse of {!encode}.  Raises [Invalid_argument] on odd length or
+    non-hex characters. *)
+
+val is_hex : string -> bool
+(** True iff the string is valid (even-length, hex-digit-only) input for
+    {!decode}. *)

@@ -1,0 +1,31 @@
+(** Pure-OCaml SHA-256 (FIPS 180-4).
+
+    Implemented from scratch because no cryptographic package is available in
+    the build environment.  Verified against the NIST short-message test
+    vectors in the test suite. *)
+
+type ctx
+(** Streaming hash context (mutable). *)
+
+val init : unit -> ctx
+(** Fresh context. *)
+
+val feed_bytes : ctx -> ?off:int -> ?len:int -> bytes -> unit
+(** Absorb [len] bytes of [b] starting at [off] (defaults: whole buffer). *)
+
+val feed_string : ctx -> ?off:int -> ?len:int -> string -> unit
+(** Same as {!feed_bytes} for strings. *)
+
+val finalize : ctx -> string
+(** Pad, finish and return the 32-byte digest.  The context must not be
+    reused afterwards. *)
+
+val digest_string : string -> string
+(** One-shot digest of a string: [digest_string s] is the 32-byte SHA-256
+    of [s]. *)
+
+val digest_bytes : bytes -> string
+(** One-shot digest of a byte buffer. *)
+
+val to_hex : string -> string
+(** Lowercase hex rendering of a raw digest (or any string). *)

@@ -1,0 +1,119 @@
+(** A Forkbase-like versioned storage engine over any SIRI index.
+
+    Data lives in named branches; every write batch creates a commit — an
+    immutable, content-addressed object pointing at its parent commit and at
+    the index root for that version.  Because commits and index nodes share
+    the same content-addressed store, the full history deduplicates at node
+    granularity and any commit can be checked out in O(1).
+
+    This is the integration layer of Section 5.6: benchmarks run the same
+    key-value workloads through an engine backed by each index kind. *)
+
+open Siri_crypto
+open Siri_core
+module Store = Siri_store.Store
+
+type t
+
+type commit = {
+  id : Hash.t;  (** content hash of the commit object *)
+  parent : Hash.t option;
+  index_root : Hash.t;
+  message : string;
+  version : int;  (** 0 for the initial commit of a branch *)
+}
+
+val create : empty_index:Generic.t -> t
+(** A fresh engine whose ["master"] branch starts at the given (usually
+    empty) index instance.  The engine uses the instance's store. *)
+
+val store : t -> Store.t
+val branches : t -> string list
+
+val fork : t -> from:string -> string -> unit
+(** [fork t ~from name] creates branch [name] at [from]'s head.  O(1): only
+    a new head pointer; all data is shared.  Raises [Invalid_argument] if
+    [name] exists or [from] does not. *)
+
+val head : t -> string -> commit
+val history : t -> string -> commit list
+(** Head first, ending at the initial commit. *)
+
+val index : t -> string -> Generic.t
+(** The index instance at a branch's head. *)
+
+val checkout : t -> Hash.t -> Generic.t
+(** The index instance of any past commit. *)
+
+val commit : t -> branch:string -> message:string -> Kv.op list -> commit
+(** Apply a write batch on a branch and advance its head. *)
+
+val get : t -> branch:string -> Kv.key -> Kv.value option
+val put : t -> branch:string -> Kv.key -> Kv.value -> commit
+
+val diff_branches : t -> string -> string -> Kv.diff_entry list
+
+val merge_base : t -> string -> string -> commit
+(** The nearest common ancestor of two branches' heads in the commit DAG
+    (at worst the initial commit, which every branch descends from). *)
+
+val merge_branches :
+  t -> into:string -> from:string -> policy:Kv.merge_policy ->
+  (commit, Kv.conflict list) result
+(** Three-way merge: changes are computed against {!merge_base}, so a
+    record only conflicts when BOTH branches changed it since they diverged
+    (to different values, or delete-vs-modify).  Non-conflicting changes
+    from both sides are combined; on success the merged version is
+    committed on [into].  Under [Fail_on_conflict], a delete-vs-modify
+    conflict reports the deleted side as the empty string. *)
+
+(** {2 Optimistic transactions}
+
+    A transaction snapshots a branch head, tracks the keys it reads and
+    buffers its writes; {!commit_txn} re-validates the read set against the
+    current head (first-committer-wins OCC) and either commits atomically or
+    reports the conflicting keys. *)
+
+type txn
+
+val begin_txn : t -> branch:string -> txn
+val txn_get : txn -> Kv.key -> Kv.value option
+val txn_put : txn -> Kv.key -> Kv.value -> unit
+val txn_del : txn -> Kv.key -> unit
+
+val commit_txn :
+  txn -> message:string -> (commit, [ `Conflict of Kv.key list ]) result
+(** Fails iff another commit changed a key this transaction read (or wrote)
+    since it began.  A failed transaction leaves the branch untouched and
+    can simply be retried from a fresh {!begin_txn}. *)
+
+(** {2 Persistence}
+
+    An engine persists as two files: the content-addressed store
+    ([path], via {!Siri_store.Store.save}) and the branch heads
+    ([path ^ ".heads"], one "branch<TAB>commit-hex" line each). *)
+
+val save : t -> string -> unit
+
+val load : empty_index:Generic.t -> string -> t
+(** [empty_index] supplies the index kind (and configuration) the engine
+    was built with; its store is ignored in favour of the loaded one.
+    Raises [Failure] on malformed files. *)
+
+(** {2 History management} *)
+
+val verify_history : t -> string -> (int, [ `Tampered of Hash.t ]) result
+(** Walk a branch's commit chain re-hashing every commit object and every
+    index node reachable from each version: returns the number of commits
+    checked, or the first tampered node found. *)
+
+val prune : t -> keep:int -> int
+(** Retain only the newest [keep] commits of every branch (at least the
+    head), rewrite their parent links to ground the truncated chains, and
+    garbage-collect everything unreachable.  Returns the number of store
+    nodes reclaimed. *)
+
+val dedup_ratio : t -> float
+(** η over the head versions of all branches. *)
+
+val total_versions : t -> int

@@ -1,0 +1,64 @@
+open Siri_crypto
+
+(* Hash table + intrusive doubly-linked recency list. *)
+
+type entry = {
+  key : Hash.t;
+  mutable prev : entry option;
+  mutable next : entry option;
+}
+
+type t = {
+  capacity : int;
+  tbl : entry Hash.Table.t;
+  mutable first : entry option;  (* most recent *)
+  mutable last : entry option;  (* least recent *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  { capacity; tbl = Hash.Table.create (2 * capacity); first = None; last = None }
+
+let mem t h = Hash.Table.mem t.tbl h
+let size t = Hash.Table.length t.tbl
+
+let unlink t e =
+  (match e.prev with
+  | Some p -> p.next <- e.next
+  | None -> t.first <- e.next);
+  (match e.next with
+  | Some n -> n.prev <- e.prev
+  | None -> t.last <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.next <- t.first;
+  e.prev <- None;
+  (match t.first with Some f -> f.prev <- Some e | None -> t.last <- Some e);
+  t.first <- Some e
+
+let evict_last t =
+  match t.last with
+  | None -> ()
+  | Some e ->
+      unlink t e;
+      Hash.Table.remove t.tbl e.key
+
+let touch t h =
+  match Hash.Table.find_opt t.tbl h with
+  | Some e ->
+      unlink t e;
+      push_front t e;
+      true
+  | None ->
+      if Hash.Table.length t.tbl >= t.capacity then evict_last t;
+      let e = { key = h; prev = None; next = None } in
+      Hash.Table.add t.tbl h e;
+      push_front t e;
+      false
+
+let clear t =
+  Hash.Table.reset t.tbl;
+  t.first <- None;
+  t.last <- None

@@ -1,0 +1,17 @@
+(** A fixed-capacity LRU set of node hashes — the client-side node cache of
+    the Forkbase deployment simulation (Section 5.6.1). *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] in entries; must be positive. *)
+
+val mem : t -> Siri_crypto.Hash.t -> bool
+(** Membership test; does NOT refresh recency. *)
+
+val touch : t -> Siri_crypto.Hash.t -> bool
+(** Insert-or-refresh; returns [true] if the hash was already present (a
+    cache hit).  Evicts the least recently used entry on overflow. *)
+
+val clear : t -> unit
+val size : t -> int

@@ -1,0 +1,61 @@
+module Store = Siri_store.Store
+
+type network = { rtt_s : float; bandwidth_bps : float }
+
+let gigabit_lan = { rtt_s = 0.0002; bandwidth_bps = 125_000_000.0 }
+let http_overhead = { rtt_s = 0.001; bandwidth_bps = 125_000_000.0 }
+
+type t = {
+  net : network;
+  cache : Lru.t option;
+  mutable sim : float;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let transfer t size = t.net.rtt_s +. (Float.of_int size /. t.net.bandwidth_bps)
+
+let on_get t h size =
+  match t.cache with
+  | Some cache ->
+      if Lru.touch cache h then t.hits <- t.hits + 1
+      else begin
+        t.misses <- t.misses + 1;
+        t.sim <- t.sim +. transfer t size
+      end
+  | None ->
+      t.misses <- t.misses + 1;
+      t.sim <- t.sim +. transfer t size
+
+let on_put t h size =
+  (* Writes stream to the server; batching amortises the round trip, so we
+     charge bandwidth only.  A freshly written node is hot at the client. *)
+  t.sim <- t.sim +. (Float.of_int size /. t.net.bandwidth_bps);
+  match t.cache with Some cache -> ignore (Lru.touch cache h) | None -> ()
+
+let attach store ?(cache_nodes = 0) net =
+  let t =
+    { net;
+      cache = (if cache_nodes > 0 then Some (Lru.create ~capacity:cache_nodes) else None);
+      sim = 0.0;
+      hits = 0;
+      misses = 0 }
+  in
+  Store.set_get_observer store (Some (on_get t));
+  Store.set_put_observer store (Some (on_put t));
+  t
+
+let detach store _t =
+  Store.set_get_observer store None;
+  Store.set_put_observer store None
+
+let simulated_seconds t = t.sim
+let hits t = t.hits
+let misses t = t.misses
+
+let reset t =
+  t.sim <- 0.0;
+  t.hits <- 0;
+  t.misses <- 0
+
+let clear_cache t = match t.cache with Some c -> Lru.clear c | None -> ()

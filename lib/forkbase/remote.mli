@@ -1,0 +1,45 @@
+(** Simulated client/server deployment (Section 5.6).
+
+    The Forkbase system experiment runs a servlet and a client over a
+    network: reads that miss the client's node cache pay a round trip plus
+    transfer time, writes ship their bytes to the server.  The simulation
+    attaches observers to the node store and accounts those costs in
+    *simulated seconds* — the benchmark then reports
+    [compute time + simulated network time], which reproduces the régime
+    where remote access dominates without actually sleeping.
+
+    A Noms-like deployment is the same simulation without a client cache
+    (every read pays the HTTP round trip) and with a higher per-request
+    overhead. *)
+
+module Store = Siri_store.Store
+
+type network = {
+  rtt_s : float;  (** per-request round-trip latency *)
+  bandwidth_bps : float;  (** payload bytes per second *)
+}
+
+val gigabit_lan : network
+(** 0.2 ms RTT, 1 Gb/s — the paper's testbed network. *)
+
+val http_overhead : network
+(** The Noms HTTP setup: 1 ms per request, same bandwidth. *)
+
+type t
+
+val attach : Store.t -> ?cache_nodes:int -> network -> t
+(** Install observers on the store.  [cache_nodes = 0] (or omitted cache)
+    disables the client cache.  Only one simulation may be attached to a
+    store at a time. *)
+
+val detach : Store.t -> t -> unit
+
+val simulated_seconds : t -> float
+(** Accumulated network time since attach (or the last {!reset}). *)
+
+val hits : t -> int
+val misses : t -> int
+val reset : t -> unit
+(** Zero the counters and simulated time (the cache keeps its contents). *)
+
+val clear_cache : t -> unit

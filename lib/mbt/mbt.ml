@@ -1,0 +1,363 @@
+open Siri_crypto
+open Siri_core
+module Store = Siri_store.Store
+module Wire = Siri_codec.Wire
+
+type config = { capacity : int; fanout : int }
+
+let config ?(capacity = 1024) ?(fanout = 2) () =
+  if capacity < 1 then invalid_arg "Mbt.config: capacity must be >= 1";
+  if fanout < 2 then invalid_arg "Mbt.config: fanout must be >= 2";
+  { capacity; fanout }
+
+(* Node counts per level, leaves (buckets) first; the last level has one
+   node, the root.  For capacity 1 the bucket itself is the root. *)
+let level_counts cfg =
+  let rec loop count acc =
+    if count = 1 then List.rev (1 :: List.tl acc)
+    else
+      let next = (count + cfg.fanout - 1) / cfg.fanout in
+      loop next (next :: acc)
+  in
+  Array.of_list (loop cfg.capacity [ cfg.capacity ])
+
+type t = {
+  store : Store.t;
+  cfg : config;
+  root : Hash.t;
+  counts : int array;  (** cached level sizes *)
+}
+
+let root t = t.root
+let store t = t.store
+let conf t = t.cfg
+let depth t = Array.length t.counts - 1
+
+(* --- codec -------------------------------------------------------------- *)
+
+let tag_bucket = 0
+let tag_internal = 1
+
+let encode_bucket entries =
+  let w = Wire.Writer.create () in
+  Wire.Writer.u8 w tag_bucket;
+  Wire.Writer.varint w (Array.length entries);
+  Array.iter
+    (fun (k, v) ->
+      Wire.Writer.str w k;
+      Wire.Writer.str w v)
+    entries;
+  Wire.Writer.contents w
+
+let encode_internal hashes =
+  let w = Wire.Writer.create () in
+  Wire.Writer.u8 w tag_internal;
+  Wire.Writer.varint w (Array.length hashes);
+  Array.iter (fun h -> Wire.Writer.hash w h) hashes;
+  Wire.Writer.contents w
+
+type node = Bucket of (Kv.key * Kv.value) array | Internal of Hash.t array
+
+let decode bytes =
+  let r = Wire.Reader.of_string bytes in
+  let tag = Wire.Reader.u8 r in
+  if tag = tag_bucket then begin
+    let n = Wire.Reader.varint r in
+    Bucket
+      (Array.init n (fun _ ->
+           let k = Wire.Reader.str r in
+           let v = Wire.Reader.str r in
+           (k, v)))
+  end
+  else
+    Internal (Array.init (Wire.Reader.varint r) (fun _ -> Wire.Reader.hash r))
+
+let put_bucket store entries = Store.put store (encode_bucket entries)
+
+let put_internal store hashes =
+  Store.put store ~children:(Array.to_list hashes) (encode_internal hashes)
+
+(* --- construction ------------------------------------------------------- *)
+
+(* Build the internal levels over the given level-0 hashes. *)
+let build_up store cfg leaf_hashes =
+  let rec loop hashes =
+    let n = Array.length hashes in
+    if n = 1 then hashes.(0)
+    else begin
+      let parents = (n + cfg.fanout - 1) / cfg.fanout in
+      let next =
+        Array.init parents (fun i ->
+            let lo = i * cfg.fanout in
+            let hi = min (lo + cfg.fanout) n in
+            put_internal store (Array.sub hashes lo (hi - lo)))
+      in
+      loop next
+    end
+  in
+  loop leaf_hashes
+
+let empty store cfg =
+  let empty_bucket = put_bucket store [||] in
+  let leaves = Array.make cfg.capacity empty_bucket in
+  { store; cfg; root = build_up store cfg leaves; counts = level_counts cfg }
+
+let of_root store cfg root = { store; cfg; root; counts = level_counts cfg }
+
+(* --- lookup ------------------------------------------------------------- *)
+
+let bucket_index cfg key =
+  (* Uniform bucket choice from the key's digest. *)
+  let h = Hash.of_string key in
+  let v = ref 0 in
+  for i = 0 to 6 do
+    v := (!v lsl 8) lor Hash.byte h i
+  done;
+  !v mod cfg.capacity
+
+(* Hashes along the path root→bucket for bucket index [b]; returns the
+   decoded bucket and the list of (internal node, child slot) pairs visited,
+   root first. *)
+let walk t b =
+  let d = depth t in
+  let rec go h level acc =
+    match decode (Store.get t.store h) with
+    | Bucket entries ->
+        assert (level = 0);
+        (entries, List.rev acc)
+    | Internal children ->
+        (* index of the target node at [level - 1] is b / fanout^(level-1);
+           the child slot within this node is that index mod fanout. *)
+        let idx_below =
+          let rec div v k = if k = 0 then v else div (v / t.cfg.fanout) (k - 1) in
+          div b (level - 1)
+        in
+        let slot = idx_below mod t.cfg.fanout in
+        go children.(slot) (level - 1) ((h, children, slot) :: acc)
+  in
+  go t.root d []
+
+type bucket = (Kv.key * Kv.value) array
+
+let load_bucket t key = fst (walk t (bucket_index t.cfg key))
+
+let scan_bucket entries key =
+  let rec bsearch lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let k, v = entries.(mid) in
+      match String.compare key k with
+      | 0 -> Some v
+      | c when c < 0 -> bsearch lo mid
+      | _ -> bsearch (mid + 1) hi
+  in
+  bsearch 0 (Array.length entries)
+
+let bucket_size = Array.length
+
+let lookup t key = scan_bucket (load_bucket t key) key
+let path_length t _key = depth t + 1
+
+(* --- updates ------------------------------------------------------------ *)
+
+(* Apply sorted ops to a sorted entry array. *)
+let apply_ops entries ops =
+  Array.of_list (Kv.apply_sorted (Array.to_list entries) ops)
+
+(* Rewrite the path to bucket [b] so that the bucket holds [entries']. *)
+let rewrite_path t b entries' =
+  let _, path = walk t b in
+  let new_leaf = put_bucket t.store entries' in
+  let rec rebuild path child =
+    match path with
+    | [] -> child
+    | (_, children, slot) :: above ->
+        let children = Array.copy children in
+        children.(slot) <- child;
+        rebuild above (put_internal t.store children)
+  in
+  { t with root = rebuild (List.rev path) new_leaf }
+
+let batch t ops =
+  (* Group ops by bucket; rewrite each touched path once. *)
+  let by_bucket = Hashtbl.create 16 in
+  List.iter
+    (fun op ->
+      let b = bucket_index t.cfg (Kv.key_of_op op) in
+      Hashtbl.replace by_bucket b
+        (op :: (try Hashtbl.find by_bucket b with Not_found -> [])))
+    ops;
+  Hashtbl.fold
+    (fun b ops_rev acc -> (b, Kv.sort_ops (List.rev ops_rev)) :: acc)
+    by_bucket []
+  |> List.sort compare
+  |> List.fold_left
+       (fun t (b, ops) ->
+         let entries, _ = walk t b in
+         rewrite_path t b (apply_ops entries ops))
+       t
+
+let insert t key value = batch t [ Kv.Put (key, value) ]
+let remove t key = batch t [ Kv.Del key ]
+
+let of_entries store cfg entries =
+  (* Bulk build: fill all buckets, then hash bottom-up once. *)
+  let buckets = Array.make cfg.capacity [] in
+  List.iter
+    (fun (k, v) ->
+      let b = bucket_index cfg k in
+      buckets.(b) <- (k, v) :: buckets.(b))
+    entries;
+  let store_bucket lst =
+    let arr =
+      Array.of_list
+        (Kv.apply_sorted [] (Kv.sort_ops (List.map (fun (k, v) -> Kv.Put (k, v)) lst)))
+    in
+    put_bucket store arr
+  in
+  let leaves = Array.map store_bucket buckets in
+  { store; cfg; root = build_up store cfg leaves; counts = level_counts cfg }
+
+(* --- traversal ----------------------------------------------------------- *)
+
+let iter t f =
+  let rec go h =
+    match decode (Store.get t.store h) with
+    | Bucket entries -> Array.iter (fun (k, v) -> f k v) entries
+    | Internal children -> Array.iter go children
+  in
+  go t.root
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun k v -> acc := (k, v) :: !acc);
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
+
+let cardinal t =
+  let n = ref 0 in
+  iter t (fun _ _ -> incr n);
+  !n
+
+(* --- diff ----------------------------------------------------------------- *)
+
+let diff t1 t2 =
+  if t1.cfg <> t2.cfg then
+    invalid_arg "Mbt.diff: instances have different configurations";
+  let rec go h1 h2 acc =
+    if Hash.equal h1 h2 then acc
+    else
+      match (decode (Store.get t1.store h1), decode (Store.get t2.store h2)) with
+      | Bucket e1, Bucket e2 ->
+          List.rev_append
+            (Kv.diff_sorted (Array.to_list e1) (Array.to_list e2))
+            acc
+      | Internal c1, Internal c2 ->
+          let acc = ref acc in
+          for i = 0 to max (Array.length c1) (Array.length c2) - 1 do
+            acc := go c1.(i) c2.(i) !acc
+          done;
+          !acc
+      | _ -> invalid_arg "Mbt.diff: shape mismatch"
+  in
+  List.sort
+    (fun (a : Kv.diff_entry) (b : Kv.diff_entry) ->
+      String.compare a.key b.key)
+    (go t1.root t2.root [])
+
+let merge t1 t2 ~policy =
+  let diffs = diff t1 t2 in
+  let conflicts = ref [] in
+  let ops =
+    List.filter_map
+      (fun { Kv.key; left; right } ->
+        match (left, right) with
+        | _, None -> None
+        | None, Some rv -> Some (Kv.Put (key, rv))
+        | Some lv, Some rv -> (
+            match Kv.merge_values policy key lv rv with
+            | Ok v -> if String.equal v lv then None else Some (Kv.Put (key, v))
+            | Error c ->
+                conflicts := c :: !conflicts;
+                None))
+      diffs
+  in
+  match !conflicts with
+  | [] -> Ok (batch t1 ops)
+  | cs -> Error (List.rev cs)
+
+(* --- proofs ---------------------------------------------------------------- *)
+
+let prove t key =
+  let b = bucket_index t.cfg key in
+  let d = depth t in
+  let rec go h level acc =
+    let bytes = Store.get t.store h in
+    let acc = bytes :: acc in
+    match decode bytes with
+    | Bucket entries -> (scan_bucket entries key, acc)
+    | Internal children ->
+        let idx_below =
+          let rec div v k = if k = 0 then v else div (v / t.cfg.fanout) (k - 1) in
+          div b (level - 1)
+        in
+        go children.(idx_below mod t.cfg.fanout) (level - 1) acc
+  in
+  let value, rev_nodes = go t.root d [] in
+  { Proof.key; value; nodes = List.rev rev_nodes }
+
+let verify_proof cfg ~root (proof : Proof.t) =
+  let b = bucket_index cfg (proof.key : string) in
+  let counts = level_counts cfg in
+  let d = Array.length counts - 1 in
+  let rec go expected level nodes =
+    match nodes with
+    | [] -> false
+    | bytes :: rest ->
+        Hash.equal (Hash.of_string bytes) expected
+        &&
+        (match decode bytes with
+        | exception _ -> false
+        | Bucket entries ->
+            level = 0 && rest = [] && scan_bucket entries proof.key = proof.value
+        | Internal children ->
+            level > 0
+            &&
+            let idx_below =
+              let rec div v k = if k = 0 then v else div (v / cfg.fanout) (k - 1) in
+              div b (level - 1)
+            in
+            let slot = idx_below mod cfg.fanout in
+            slot < Array.length children && go children.(slot) (level - 1) rest)
+  in
+  go root d proof.nodes
+
+(* --- generic ----------------------------------------------------------------- *)
+
+let rec generic t =
+  { Generic.name = "mbt";
+    store = t.store;
+    root = t.root;
+    lookup = lookup t;
+    path_length = path_length t;
+    batch = (fun ops -> generic (batch t ops));
+    to_list = (fun () -> to_list t);
+    cardinal = (fun () -> cardinal t);
+    diff = (fun other -> diff t (of_root t.store t.cfg other));
+    merge =
+      (fun policy other ->
+        match merge t (of_root t.store t.cfg other) ~policy with
+        | Ok m -> Ok (generic m)
+        | Error cs -> Error cs);
+    prove = prove t;
+    verify = (fun ~root proof -> verify_proof t.cfg ~root proof);
+    reopen = (fun r -> generic (of_root t.store t.cfg r));
+    range =
+      (fun ~lo ~hi ->
+        (* MBT hashes keys into buckets: no key order to prune by, so a
+           range is a filtered full scan. *)
+        List.filter
+          (fun (k, _) ->
+            (match lo with None -> true | Some l -> String.compare k l >= 0)
+            && match hi with None -> true | Some h -> String.compare k h <= 0)
+          (to_list t)) }

@@ -1,0 +1,77 @@
+(** Merkle Bucket Tree (Section 3.4.2) — a Merkle tree over a fixed hash
+    table, as in Hyperledger Fabric 0.6.
+
+    Records hash into one of [capacity] buckets (sorted within each bucket);
+    a complete [fanout]-ary Merkle tree of hashes sits on top.  [capacity]
+    and [fanout] are fixed for the lifetime of the index, so the tree shape
+    never changes — only node contents do.  Lookups compute the bucket index
+    from the key hash and derive the root-to-leaf path arithmetically.
+
+    The structure is trivially structurally invariant (a record's position
+    depends only on its key), but buckets grow linearly with N/B, which is
+    what makes its update cost O(log_m B + N/B). *)
+
+open Siri_crypto
+open Siri_core
+module Store = Siri_store.Store
+
+type config = { capacity : int;  (** number of buckets, B *) fanout : int }
+
+val config : ?capacity:int -> ?fanout:int -> unit -> config
+(** Defaults: [capacity = 1024], [fanout = 2] (Hyperledger 0.6 shape). *)
+
+type t
+
+val empty : Store.t -> config -> t
+(** Builds the complete tree of empty buckets (all shared — empty buckets
+    are byte-identical). *)
+
+val of_root : Store.t -> config -> Hash.t -> t
+val root : t -> Hash.t
+val store : t -> Store.t
+val conf : t -> config
+
+val bucket_index : config -> Kv.key -> int
+(** hash(key) mod B — which bucket a key lives in. *)
+
+val lookup : t -> Kv.key -> Kv.value option
+val path_length : t -> Kv.key -> int
+
+(** Lookup split into its two phases so that benchmarks can time them
+    separately (Figure 13): *)
+
+type bucket
+(** A decoded leaf bucket. *)
+
+val load_bucket : t -> Kv.key -> bucket
+(** Traverse the tree and fetch + decode the bucket — the "load" phase. *)
+
+val scan_bucket : bucket -> Kv.key -> Kv.value option
+(** Binary search within the bucket — the "scan" phase. *)
+
+val bucket_size : bucket -> int
+
+val insert : t -> Kv.key -> Kv.value -> t
+val remove : t -> Kv.key -> t
+val batch : t -> Kv.op list -> t
+(** Groups ops by bucket so each touched path is rewritten once. *)
+
+val of_entries : Store.t -> config -> (Kv.key * Kv.value) list -> t
+
+val to_list : t -> (Kv.key * Kv.value) list
+(** Sorted by key (buckets are collected and then sorted — MBT has no global
+    key order). *)
+
+val cardinal : t -> int
+val iter : t -> (Kv.key -> Kv.value -> unit) -> unit
+
+val diff : t -> t -> Kv.diff_entry list
+(** Positional diff: corresponding subtrees are compared by hash and pruned
+    when equal.  Both instances must share the same [config]. *)
+
+val merge : t -> t -> policy:Kv.merge_policy -> (t, Kv.conflict list) result
+
+val prove : t -> Kv.key -> Proof.t
+val verify_proof : config -> root:Hash.t -> Proof.t -> bool
+
+val generic : t -> Generic.t

@@ -1,0 +1,584 @@
+open Siri_crypto
+open Siri_core
+module Store = Siri_store.Store
+module Nibbles = Siri_codec.Nibbles
+module Wire = Siri_codec.Wire
+
+type t = { store : Store.t; root : Hash.t }
+
+type node =
+  | Leaf of Nibbles.t * Kv.value
+  | Ext of Nibbles.t * Hash.t
+  | Branch of Hash.t array * Kv.value option
+
+let empty store = { store; root = Hash.null }
+let of_root store root = { store; root }
+let root t = t.root
+let store t = t.store
+let is_empty t = Hash.is_null t.root
+
+(* --- node codec ------------------------------------------------------- *)
+
+let tag_leaf = 0
+let tag_ext = 1
+let tag_branch = 2
+
+let encode node =
+  let w = Wire.Writer.create () in
+  (match node with
+  | Leaf (path, v) ->
+      Wire.Writer.u8 w tag_leaf;
+      Wire.Writer.str w (Nibbles.compact_encode ~leaf:true path);
+      Wire.Writer.str w v
+  | Ext (path, child) ->
+      Wire.Writer.u8 w tag_ext;
+      Wire.Writer.str w (Nibbles.compact_encode ~leaf:false path);
+      Wire.Writer.hash w child
+  | Branch (children, value) ->
+      Wire.Writer.u8 w tag_branch;
+      let bitmap = ref 0 in
+      Array.iteri
+        (fun i c -> if not (Hash.is_null c) then bitmap := !bitmap lor (1 lsl i))
+        children;
+      Wire.Writer.u16 w !bitmap;
+      Array.iter
+        (fun c -> if not (Hash.is_null c) then Wire.Writer.hash w c)
+        children;
+      (match value with
+      | None -> Wire.Writer.u8 w 0
+      | Some v ->
+          Wire.Writer.u8 w 1;
+          Wire.Writer.str w v));
+  Wire.Writer.contents w
+
+let decode bytes =
+  let r = Wire.Reader.of_string bytes in
+  let tag = Wire.Reader.u8 r in
+  if tag = tag_leaf then begin
+    let _, path = Nibbles.compact_decode (Wire.Reader.str r) in
+    Leaf (path, Wire.Reader.str r)
+  end
+  else if tag = tag_ext then begin
+    let _, path = Nibbles.compact_decode (Wire.Reader.str r) in
+    Ext (path, Wire.Reader.hash r)
+  end
+  else begin
+    let bitmap = Wire.Reader.u16 r in
+    let children =
+      Array.init 16 (fun i ->
+          if bitmap land (1 lsl i) <> 0 then Wire.Reader.hash r else Hash.null)
+    in
+    let value =
+      if Wire.Reader.u8 r = 1 then Some (Wire.Reader.str r) else None
+    in
+    Branch (children, value)
+  end
+
+let node_children = function
+  | Leaf _ -> []
+  | Ext (_, c) -> [ c ]
+  | Branch (children, _) ->
+      Array.to_list children |> List.filter (fun c -> not (Hash.is_null c))
+
+let put store node =
+  Store.put store ~children:(node_children node) (encode node)
+
+let get store h = decode (Store.get store h)
+
+(* --- lookup ------------------------------------------------------------ *)
+
+(* Returns the value and the number of nodes visited. *)
+let lookup_count store root key =
+  let rec go h path visited =
+    if Hash.is_null h then (None, visited)
+    else
+      match get store h with
+      | Leaf (p, v) ->
+          if Nibbles.equal p path then (Some v, visited + 1)
+          else (None, visited + 1)
+      | Ext (p, child) ->
+          let np = Nibbles.length p in
+          if
+            Nibbles.length path >= np
+            && Nibbles.common_prefix p path = np
+          then go child (Nibbles.drop path np) (visited + 1)
+          else (None, visited + 1)
+      | Branch (children, value) ->
+          if Nibbles.is_empty path then (value, visited + 1)
+          else
+            go children.(Nibbles.get path 0) (Nibbles.drop path 1) (visited + 1)
+  in
+  go root (Nibbles.of_key key) 0
+
+let lookup t key = fst (lookup_count t.store t.root key)
+let path_length t key = snd (lookup_count t.store t.root key)
+
+(* --- insert ------------------------------------------------------------ *)
+
+(* Wrap a subtree (already stored, rooted at [h]) under [prefix] nibbles:
+   produces [h] itself for an empty prefix, otherwise an extension. *)
+let extend store prefix h =
+  if Nibbles.is_empty prefix then h else put store (Ext (prefix, h))
+
+(* Attach the tail of a diverged path into a fresh branch slot set. *)
+let branch_with store items value =
+  let children = Array.make 16 Hash.null in
+  List.iter (fun (nib, h) -> children.(nib) <- h) items;
+  put store (Branch (children, value))
+
+let rec ins store h path value =
+  if Hash.is_null h then put store (Leaf (path, value))
+  else
+    match get store h with
+    | Leaf (p, v) ->
+        let common = Nibbles.common_prefix p path in
+        if common = Nibbles.length p && common = Nibbles.length path then
+          put store (Leaf (p, value))
+        else begin
+          (* Diverge: split into a branch under the shared prefix. *)
+          let p' = Nibbles.drop p common and path' = Nibbles.drop path common in
+          let slot_of tail v =
+            (Nibbles.get tail 0, put store (Leaf (Nibbles.drop tail 1, v)))
+          in
+          let items = ref [] and bvalue = ref None in
+          if Nibbles.is_empty p' then bvalue := Some v
+          else items := slot_of p' v :: !items;
+          if Nibbles.is_empty path' then bvalue := Some value
+          else items := slot_of path' value :: !items;
+          let b = branch_with store !items !bvalue in
+          extend store (Nibbles.sub p 0 common) b
+        end
+    | Ext (p, child) ->
+        let common = Nibbles.common_prefix p path in
+        if common = Nibbles.length p then
+          let child' = ins store child (Nibbles.drop path common) value in
+          put store (Ext (p, child'))
+        else begin
+          let p' = Nibbles.drop p common and path' = Nibbles.drop path common in
+          (* p' is non-empty here; the extension's own subtree hangs off
+             nibble p'.(0), compacted if any path remains. *)
+          let sub = extend store (Nibbles.drop p' 1) child in
+          let items = ref [ (Nibbles.get p' 0, sub) ] and bvalue = ref None in
+          if Nibbles.is_empty path' then bvalue := Some value
+          else
+            items :=
+              (Nibbles.get path' 0, put store (Leaf (Nibbles.drop path' 1, value)))
+              :: !items;
+          let b = branch_with store !items !bvalue in
+          extend store (Nibbles.sub p 0 common) b
+        end
+    | Branch (children, bvalue) ->
+        if Nibbles.is_empty path then put store (Branch (children, Some value))
+        else begin
+          let i = Nibbles.get path 0 in
+          let children = Array.copy children in
+          children.(i) <- ins store children.(i) (Nibbles.drop path 1) value;
+          put store (Branch (children, bvalue))
+        end
+
+let insert t key value =
+  { t with root = ins t.store t.root (Nibbles.of_key key) value }
+
+(* --- remove ------------------------------------------------------------ *)
+
+(* After deletion a branch may be left with a single child and no value, or
+   only a value; collapse it to keep the shape canonical. *)
+let collapse_branch store children bvalue =
+  let live =
+    Array.to_list (Array.mapi (fun i c -> (i, c)) children)
+    |> List.filter (fun (_, c) -> not (Hash.is_null c))
+  in
+  match (live, bvalue) with
+  | [], None -> Hash.null
+  | [], Some v -> put store (Leaf (Nibbles.empty, v))
+  | [ (i, c) ], None -> (
+      let prefix = Nibbles.cons i Nibbles.empty in
+      match get store c with
+      | Leaf (p, v) -> put store (Leaf (Nibbles.concat prefix p, v))
+      | Ext (p, gc) -> put store (Ext (Nibbles.concat prefix p, gc))
+      | Branch _ -> put store (Ext (prefix, c)))
+  | _ -> put store (Branch (children, bvalue))
+
+(* Re-compact an extension whose child may have collapsed. *)
+let collapse_ext store p child =
+  if Hash.is_null child then Hash.null
+  else
+    match get store child with
+    | Leaf (p', v) -> put store (Leaf (Nibbles.concat p p', v))
+    | Ext (p', gc) -> put store (Ext (Nibbles.concat p p', gc))
+    | Branch _ -> put store (Ext (p, child))
+
+let rec del store h path =
+  if Hash.is_null h then Hash.null
+  else
+    match get store h with
+    | Leaf (p, _) -> if Nibbles.equal p path then Hash.null else h
+    | Ext (p, child) ->
+        let np = Nibbles.length p in
+        if Nibbles.length path >= np && Nibbles.common_prefix p path = np then begin
+          let child' = del store child (Nibbles.drop path np) in
+          if Hash.equal child' child then h else collapse_ext store p child'
+        end
+        else h
+    | Branch (children, bvalue) ->
+        if Nibbles.is_empty path then
+          if bvalue = None then h else collapse_branch store children None
+        else begin
+          let i = Nibbles.get path 0 in
+          let child' = del store children.(i) (Nibbles.drop path 1) in
+          if Hash.equal child' children.(i) then h
+          else begin
+            let children = Array.copy children in
+            children.(i) <- child';
+            collapse_branch store children bvalue
+          end
+        end
+
+let remove t key = { t with root = del t.store t.root (Nibbles.of_key key) }
+
+let batch t ops =
+  List.fold_left
+    (fun t op ->
+      match op with
+      | Kv.Put (k, v) -> insert t k v
+      | Kv.Del k -> remove t k)
+    t ops
+
+let of_entries store entries =
+  batch (empty store) (List.map (fun (k, v) -> Kv.Put (k, v)) entries)
+
+(* --- traversal ---------------------------------------------------------- *)
+
+let iter_prefixed store root f =
+  let buf = Buffer.create 32 in
+  let push nibs =
+    Buffer.add_string buf
+      (String.init (Nibbles.length nibs) (fun i ->
+           Char.chr (Nibbles.get nibs i)))
+  in
+  let pop n =
+    Buffer.truncate buf (Buffer.length buf - n)
+  in
+  let key_of_buf () =
+    Nibbles.to_key (Nibbles.of_nibble_string (Buffer.contents buf))
+  in
+  let rec go h =
+    if not (Hash.is_null h) then
+      match get store h with
+      | Leaf (p, v) ->
+          push p;
+          f (key_of_buf ()) v;
+          pop (Nibbles.length p)
+      | Ext (p, child) ->
+          push p;
+          go child;
+          pop (Nibbles.length p)
+      | Branch (children, bvalue) ->
+          (match bvalue with Some v -> f (key_of_buf ()) v | None -> ());
+          Array.iteri
+            (fun i c ->
+              if not (Hash.is_null c) then begin
+                push (Nibbles.cons i Nibbles.empty);
+                go c;
+                pop 1
+              end)
+            children
+  in
+  go root
+
+let iter t f = iter_prefixed t.store t.root f
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun k v -> acc := (k, v) :: !acc);
+  List.rev !acc
+
+let cardinal t =
+  let n = ref 0 in
+  iter t (fun _ _ -> incr n);
+  !n
+
+(* --- range queries --------------------------------------------------------- *)
+
+let in_range ~lo ~hi k =
+  (match lo with None -> true | Some l -> String.compare k l >= 0)
+  && match hi with None -> true | Some h -> String.compare k h <= 0
+
+(* All keys in a subtree extend the accumulated nibble prefix, so the
+   subtree is prunable when the prefix already falls outside the bounds:
+   strictly below lo's nibbles, strictly above hi's, or a strict extension
+   of hi (longer keys with an equal prefix sort after hi). *)
+let range t ~lo ~hi =
+  let lo_n = Option.map Nibbles.of_key lo in
+  let hi_n = Option.map Nibbles.of_key hi in
+  let buf = Buffer.create 32 in
+  let acc = ref [] in
+  let cmp_prefix bound =
+    let lp = Buffer.length buf and lb = Nibbles.length bound in
+    let l = min lp lb in
+    let rec go i =
+      if i = l then 0
+      else
+        let c = compare (Char.code (Buffer.nth buf i)) (Nibbles.get bound i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  in
+  let prune () =
+    (match lo_n with Some b -> cmp_prefix b < 0 | None -> false)
+    || (match hi_n with
+       | Some b ->
+           let c = cmp_prefix b in
+           c > 0 || (c = 0 && Buffer.length buf > Nibbles.length b)
+       | None -> false)
+  in
+  let push nibs =
+    Buffer.add_string buf
+      (String.init (Nibbles.length nibs) (fun i -> Char.chr (Nibbles.get nibs i)))
+  in
+  let pop n = Buffer.truncate buf (Buffer.length buf - n) in
+  let emit v =
+    let key = Nibbles.to_key (Nibbles.of_nibble_string (Buffer.contents buf)) in
+    if in_range ~lo ~hi key then acc := (key, v) :: !acc
+  in
+  let rec go h =
+    if not (Hash.is_null h) && not (prune ()) then
+      match get t.store h with
+      | Leaf (p, v) ->
+          push p;
+          if not (prune ()) then emit v;
+          pop (Nibbles.length p)
+      | Ext (p, child) ->
+          push p;
+          go child;
+          pop (Nibbles.length p)
+      | Branch (children, bvalue) ->
+          (match bvalue with Some v -> emit v | None -> ());
+          Array.iteri
+            (fun i c ->
+              if not (Hash.is_null c) then begin
+                Buffer.add_char buf (Char.chr i);
+                go c;
+                pop 1
+              end)
+            children
+  in
+  go t.root;
+  List.rev !acc
+
+(* --- diff --------------------------------------------------------------- *)
+
+(* A subtree reference during diff: either a stored node (hash known, can be
+   pruned by equality) or a virtual node produced when peeling one nibble off
+   a compacted path. *)
+type vref =
+  | VHash of Hash.t
+  | VLeaf of Nibbles.t * Kv.value
+  | VExt of Nibbles.t * Hash.t
+
+(* Expand a reference at the current prefix into (value-at-prefix, child
+   table indexed by nibble). *)
+let rec expand store vr =
+  match vr with
+  | VLeaf (p, v) ->
+      if Nibbles.is_empty p then (Some v, [||])
+      else begin
+        let children = Array.make 16 None in
+        children.(Nibbles.get p 0) <- Some (VLeaf (Nibbles.drop p 1, v));
+        (None, children)
+      end
+  | VExt (p, h) ->
+      if Nibbles.is_empty p then
+        (* Fully consumed extension: behave as the referenced node. *)
+        expand_hash store h
+      else begin
+        let children = Array.make 16 None in
+        let rest = Nibbles.drop p 1 in
+        children.(Nibbles.get p 0) <-
+          Some (if Nibbles.is_empty rest then VHash h else VExt (rest, h));
+        (None, children)
+      end
+  | VHash h -> expand_hash store h
+
+and expand_hash store h =
+  if Hash.is_null h then (None, [||])
+  else
+    match get store h with
+    | Leaf (p, v) -> expand store (VLeaf (p, v))
+    | Ext (p, c) -> expand store (VExt (p, c))
+    | Branch (children, bvalue) ->
+        (bvalue, Array.map (fun c ->
+             if Hash.is_null c then None else Some (VHash c)) children)
+
+let vref_equal a b =
+  match (a, b) with VHash x, VHash y -> Hash.equal x y | _ -> false
+
+let collect_side store vr prefix_buf side acc =
+  (* All entries of a one-sided subtree, as diff entries. *)
+  let rec go vr acc =
+    let value, children = expand store vr in
+    let acc =
+      match value with
+      | None -> acc
+      | Some v ->
+          let key = Nibbles.to_key (Nibbles.of_nibble_string (Buffer.contents prefix_buf)) in
+          (match side with
+          | `Left -> { Kv.key; left = Some v; right = None }
+          | `Right -> { Kv.key; left = None; right = Some v })
+          :: acc
+    in
+    let acc = ref acc in
+    Array.iteri
+      (fun i child ->
+        match child with
+        | None -> ()
+        | Some c ->
+            Buffer.add_char prefix_buf (Char.chr i);
+            acc := go c !acc;
+            Buffer.truncate prefix_buf (Buffer.length prefix_buf - 1))
+      children;
+    !acc
+  in
+  go vr acc
+
+let diff t1 t2 =
+  let store = t1.store in
+  let prefix = Buffer.create 32 in
+  let rec go l r acc =
+    match (l, r) with
+    | None, None -> acc
+    | Some l, None -> collect_side store l prefix `Left acc
+    | None, Some r -> collect_side store r prefix `Right acc
+    | Some l, Some r when vref_equal l r -> acc
+    | Some l, Some r ->
+        let lv, lc = expand store l in
+        let rv, rc = expand store r in
+        let acc =
+          match (lv, rv) with
+          | None, None -> acc
+          | Some a, Some b when String.equal a b -> acc
+          | _ ->
+              { Kv.key = Nibbles.to_key (Nibbles.of_nibble_string (Buffer.contents prefix));
+                left = lv;
+                right = rv }
+              :: acc
+        in
+        let acc = ref acc in
+        let child arr i =
+          if Array.length arr = 0 then None else arr.(i)
+        in
+        for i = 0 to 15 do
+          match (child lc i, child rc i) with
+          | None, None -> ()
+          | cl, cr ->
+              Buffer.add_char prefix (Char.chr i);
+              acc := go cl cr !acc;
+              Buffer.truncate prefix (Buffer.length prefix - 1)
+        done;
+        !acc
+  in
+  let wrap h = if Hash.is_null h then None else Some (VHash h) in
+  List.rev (go (wrap t1.root) (wrap t2.root) [])
+
+(* --- merge -------------------------------------------------------------- *)
+
+let merge t1 t2 ~policy =
+  let diffs = diff t1 t2 in
+  let conflicts = ref [] in
+  let merged =
+    List.fold_left
+      (fun acc { Kv.key; left; right } ->
+        match (left, right) with
+        | _, None -> acc (* left-only records are already in t1 *)
+        | None, Some rv -> insert acc key rv
+        | Some lv, Some rv -> (
+            match Kv.merge_values policy key lv rv with
+            | Ok v -> if String.equal v lv then acc else insert acc key v
+            | Error c ->
+                conflicts := c :: !conflicts;
+                acc))
+      t1 diffs
+  in
+  match !conflicts with [] -> Ok merged | cs -> Error (List.rev cs)
+
+(* --- proofs ------------------------------------------------------------- *)
+
+let prove t key =
+  let rec go h path acc =
+    if Hash.is_null h then (None, acc)
+    else
+      let bytes = Store.get t.store h in
+      let acc = bytes :: acc in
+      match decode bytes with
+      | Leaf (p, v) ->
+          if Nibbles.equal p path then (Some v, acc) else (None, acc)
+      | Ext (p, child) ->
+          let np = Nibbles.length p in
+          if Nibbles.length path >= np && Nibbles.common_prefix p path = np
+          then go child (Nibbles.drop path np) acc
+          else (None, acc)
+      | Branch (children, bvalue) ->
+          if Nibbles.is_empty path then (bvalue, acc)
+          else go children.(Nibbles.get path 0) (Nibbles.drop path 1) acc
+  in
+  let value, rev_nodes = go t.root (Nibbles.of_key key) [] in
+  { Proof.key; value; nodes = List.rev rev_nodes }
+
+let verify_proof ~root (proof : Proof.t) =
+  (* Replay the traversal over the supplied node bytes, checking the hash
+     chain; the claimed value (or absence) must be what the replay finds. *)
+  let rec go expected path nodes =
+    match nodes with
+    | [] ->
+        (* Ran out of nodes: only valid if the traversal reached a null
+           slot, which proves absence. *)
+        if Hash.is_null expected then Ok None else Error ()
+    | bytes :: rest ->
+        if not (Hash.equal (Hash.of_string bytes) expected) then Error ()
+        else begin
+          match decode bytes with
+          | exception _ -> Error ()
+          | Leaf (p, v) ->
+              if rest <> [] then Error ()
+              else if Nibbles.equal p path then Ok (Some v)
+              else Ok None
+          | Ext (p, child) ->
+              let np = Nibbles.length p in
+              if Nibbles.length path >= np && Nibbles.common_prefix p path = np
+              then go child (Nibbles.drop path np) rest
+              else if rest = [] then Ok None
+              else Error ()
+          | Branch (children, bvalue) ->
+              if Nibbles.is_empty path then
+                if rest = [] then Ok bvalue else Error ()
+              else
+                go children.(Nibbles.get path 0) (Nibbles.drop path 1) rest
+        end
+  in
+  if Hash.is_null root then proof.nodes = [] && proof.value = None
+  else
+    match go root (Nibbles.of_key proof.key) proof.nodes with
+    | Ok v -> v = proof.value
+    | Error () -> false
+
+(* --- generic packaging --------------------------------------------------- *)
+
+let rec generic t =
+  { Generic.name = "mpt";
+    store = t.store;
+    root = t.root;
+    lookup = lookup t;
+    path_length = path_length t;
+    batch = (fun ops -> generic (batch t ops));
+    to_list = (fun () -> to_list t);
+    cardinal = (fun () -> cardinal t);
+    diff = (fun other_root -> diff t (of_root t.store other_root));
+    merge =
+      (fun policy other_root ->
+        match merge t (of_root t.store other_root) ~policy with
+        | Ok m -> Ok (generic m)
+        | Error cs -> Error cs);
+    prove = prove t;
+    verify = (fun ~root proof -> verify_proof ~root proof);
+    reopen = (fun r -> generic (of_root t.store r));
+    range = (fun ~lo ~hi -> range t ~lo ~hi) }

@@ -1,0 +1,58 @@
+(** Merkle Patricia Trie (Section 3.4.1) — a radix tree over hex nibbles with
+    path compaction and cryptographic authentication, as used by Ethereum.
+
+    Node kinds: {e branch} (16 children + optional value), {e extension}
+    (compacted shared path + one child), {e leaf} (compacted remaining path +
+    value); the null node is represented by {!Siri_crypto.Hash.null}.  The
+    shape depends only on the stored key set (structurally invariant), and
+    node-level copy-on-write shares all untouched nodes between versions. *)
+
+open Siri_crypto
+open Siri_core
+module Store = Siri_store.Store
+
+type t
+(** An immutable trie version: a store plus a root digest. *)
+
+val empty : Store.t -> t
+val of_root : Store.t -> Hash.t -> t
+val root : t -> Hash.t
+val store : t -> Store.t
+val is_empty : t -> bool
+
+val lookup : t -> Kv.key -> Kv.value option
+val path_length : t -> Kv.key -> int
+(** Nodes traversed by [lookup] — the tree-height metric of Figure 9. *)
+
+val insert : t -> Kv.key -> Kv.value -> t
+val remove : t -> Kv.key -> t
+(** Removal collapses single-child branches back into extensions/leaves, so
+    the shape stays canonical for the remaining key set. *)
+
+val batch : t -> Kv.op list -> t
+val of_entries : Store.t -> (Kv.key * Kv.value) list -> t
+
+val to_list : t -> (Kv.key * Kv.value) list
+(** Records sorted by key (byte order — nibble order coincides with it). *)
+
+val cardinal : t -> int
+val iter : t -> (Kv.key -> Kv.value -> unit) -> unit
+
+val range : t -> lo:Kv.key option -> hi:Kv.key option -> (Kv.key * Kv.value) list
+(** Records with lo <= key <= hi (inclusive; [None] = unbounded), in key
+    order; subtrees whose nibble prefix falls outside the bounds are
+    pruned. *)
+
+val diff : t -> t -> Kv.diff_entry list
+(** Hash-pruned structural diff: identical subtrees are skipped without
+    being decoded. *)
+
+val merge : t -> t -> policy:Kv.merge_policy -> (t, Kv.conflict list) result
+
+val prove : t -> Kv.key -> Proof.t
+val verify_proof : root:Hash.t -> Proof.t -> bool
+(** Checks the proof's node chain against the trusted root and replays the
+    traversal; accepts both membership and absence proofs. *)
+
+val generic : t -> Generic.t
+(** Package as a uniform SIRI instance. *)

@@ -1,0 +1,442 @@
+open Siri_crypto
+open Siri_core
+module Store = Siri_store.Store
+module Wire = Siri_codec.Wire
+
+type config = { leaf_capacity : int; internal_capacity : int }
+
+let config ?(leaf_capacity = 4) ?(internal_capacity = 25) () =
+  if leaf_capacity < 2 || internal_capacity < 2 then
+    invalid_arg "Mvbt.config: capacities must be >= 2";
+  { leaf_capacity; internal_capacity }
+
+type t = { store : Store.t; cfg : config; root : Hash.t }
+
+let empty store cfg = { store; cfg; root = Hash.null }
+let of_root store cfg root = { store; cfg; root }
+let root t = t.root
+let store t = t.store
+let conf t = t.cfg
+
+(* --- codec (same layout as POS-Tree nodes, without the salt) -------------- *)
+
+let tag_leaf = 0
+let tag_internal = 1
+
+type node =
+  | Leaf of (Kv.key * Kv.value) array
+  | Internal of int * (Kv.key * Hash.t) array
+
+let encode node =
+  let w = Wire.Writer.create ~capacity:1024 () in
+  (match node with
+  | Leaf entries ->
+      Wire.Writer.u8 w tag_leaf;
+      Wire.Writer.varint w (Array.length entries);
+      Array.iter
+        (fun (k, v) ->
+          Wire.Writer.str w k;
+          Wire.Writer.str w v)
+        entries
+  | Internal (level, refs) ->
+      Wire.Writer.u8 w tag_internal;
+      Wire.Writer.u8 w level;
+      Wire.Writer.varint w (Array.length refs);
+      Array.iter
+        (fun (k, h) ->
+          Wire.Writer.str w k;
+          Wire.Writer.hash w h)
+        refs);
+  Wire.Writer.contents w
+
+let decode bytes =
+  let r = Wire.Reader.of_string bytes in
+  if Wire.Reader.u8 r = tag_leaf then
+    Leaf
+      (Array.init (Wire.Reader.varint r) (fun _ ->
+           let k = Wire.Reader.str r in
+           let v = Wire.Reader.str r in
+           (k, v)))
+  else begin
+    let level = Wire.Reader.u8 r in
+    Internal
+      ( level,
+        Array.init (Wire.Reader.varint r) (fun _ ->
+            let k = Wire.Reader.str r in
+            let h = Wire.Reader.hash r in
+            (k, h)) )
+  end
+
+let put store node =
+  let children =
+    match node with
+    | Leaf _ -> []
+    | Internal (_, refs) -> Array.to_list (Array.map snd refs)
+  in
+  Store.put store ~children (encode node)
+
+let get store h = decode (Store.get store h)
+
+let max_key = function
+  | Leaf entries -> fst entries.(Array.length entries - 1)
+  | Internal (_, refs) -> fst refs.(Array.length refs - 1)
+
+(* --- search helpers -------------------------------------------------------- *)
+
+let child_for refs key =
+  let n = Array.length refs in
+  let rec bsearch lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if String.compare (fst refs.(mid)) key < 0 then bsearch (mid + 1) hi
+      else bsearch lo mid
+  in
+  bsearch 0 n (* may be n, meaning "beyond the last split key" *)
+
+let find_entry entries key =
+  let n = Array.length entries in
+  let rec bsearch lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let k, v = entries.(mid) in
+      match String.compare key k with
+      | 0 -> Some v
+      | c when c < 0 -> bsearch lo mid
+      | _ -> bsearch (mid + 1) hi
+  in
+  bsearch 0 n
+
+let lookup_count t key =
+  let rec go h visited =
+    match get t.store h with
+    | Leaf entries -> (find_entry entries key, visited + 1)
+    | Internal (_, refs) ->
+        let i = child_for refs key in
+        if i = Array.length refs then (None, visited + 1)
+        else go (snd refs.(i)) (visited + 1)
+  in
+  if Hash.is_null t.root then (None, 0) else go t.root 0
+
+let lookup t key = fst (lookup_count t key)
+let path_length t key = snd (lookup_count t key)
+
+let height t =
+  if Hash.is_null t.root then 0
+  else
+    match get t.store t.root with
+    | Leaf _ -> 1
+    | Internal (lvl, _) -> lvl + 1
+
+(* --- insert ------------------------------------------------------------------ *)
+
+(* Insert into a sorted entry array. *)
+let entry_insert entries key value =
+  let n = Array.length entries in
+  let pos = ref n in
+  (try
+     for i = 0 to n - 1 do
+       let c = String.compare key (fst entries.(i)) in
+       if c = 0 then begin
+         pos := -i - 1;
+         raise Exit
+       end
+       else if c < 0 then begin
+         pos := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !pos < 0 then begin
+    let entries = Array.copy entries in
+    entries.(- !pos - 1) <- (key, value);
+    entries
+  end
+  else begin
+    let out = Array.make (n + 1) (key, value) in
+    Array.blit entries 0 out 0 !pos;
+    Array.blit entries !pos out (!pos + 1) (n - !pos);
+    out
+  end
+
+let array_replace arr i x =
+  let arr = Array.copy arr in
+  arr.(i) <- x;
+  arr
+
+(* Replace slot [i] of [refs] by one or two refs. *)
+let splice refs i replacement =
+  match replacement with
+  | [ r ] -> array_replace refs i r
+  | [ r1; r2 ] ->
+      let n = Array.length refs in
+      let out = Array.make (n + 1) r1 in
+      Array.blit refs 0 out 0 i;
+      out.(i) <- r1;
+      out.(i + 1) <- r2;
+      Array.blit refs (i + 1) out (i + 2) (n - i - 1);
+      out
+  | _ -> assert false
+
+let split_if_needed store cap mk arr =
+  let n = Array.length arr in
+  if n <= cap then
+    let node = mk arr in
+    [ (max_key node, put store node) ]
+  else begin
+    let mid = n / 2 in
+    let left = mk (Array.sub arr 0 mid) in
+    let right = mk (Array.sub arr mid (n - mid)) in
+    [ (max_key left, put store left); (max_key right, put store right) ]
+  end
+
+(* Returns 1 or 2 replacement refs for the subtree rooted at [h]. *)
+let rec ins store cfg h key value =
+  match get store h with
+  | Leaf entries ->
+      let entries = entry_insert entries key value in
+      split_if_needed store cfg.leaf_capacity (fun a -> Leaf a) entries
+  | Internal (lvl, refs) ->
+      let i = min (child_for refs key) (Array.length refs - 1) in
+      let replacement = ins store cfg (snd refs.(i)) key value in
+      let refs = splice refs i replacement in
+      split_if_needed store cfg.internal_capacity
+        (fun a -> Internal (lvl, a))
+        refs
+
+let insert t key value =
+  if Hash.is_null t.root then
+    { t with root = put t.store (Leaf [| (key, value) |]) }
+  else
+    match ins t.store t.cfg t.root key value with
+    | [ (_, h) ] -> { t with root = h }
+    | two ->
+        let lvl =
+          match get t.store (snd (List.hd two)) with
+          | Leaf _ -> 1
+          | Internal (l, _) -> l + 1
+        in
+        { t with root = put t.store (Internal (lvl, Array.of_list two)) }
+
+(* --- remove ------------------------------------------------------------------- *)
+
+let entry_remove entries key =
+  let n = Array.length entries in
+  match Array.find_index (fun (k, _) -> String.equal k key) entries with
+  | None -> None
+  | Some i ->
+      let out = Array.make (n - 1) ("", "") in
+      Array.blit entries 0 out 0 i;
+      Array.blit entries (i + 1) out i (n - 1 - i);
+      Some out
+
+(* Returns the replacement ref, or None if the subtree became empty, or
+   raises Not_found if the key is absent (no copy needed). *)
+let rec del store h key =
+  match get store h with
+  | Leaf entries -> (
+      match entry_remove entries key with
+      | None -> raise Not_found
+      | Some [||] -> None
+      | Some entries ->
+          let node = Leaf entries in
+          Some (max_key node, put store node))
+  | Internal (lvl, refs) -> (
+      let i = child_for refs key in
+      if i >= Array.length refs then raise Not_found
+      else
+        match del store (snd refs.(i)) key with
+        | Some r ->
+            let refs = array_replace refs i r in
+            let node = Internal (lvl, refs) in
+            Some (max_key node, put store node)
+        | None ->
+            let n = Array.length refs in
+            if n = 1 then None
+            else begin
+              let refs' = Array.make (n - 1) refs.(0) in
+              Array.blit refs 0 refs' 0 i;
+              Array.blit refs (i + 1) refs' i (n - 1 - i);
+              let node = Internal (lvl, refs') in
+              Some (max_key node, put store node)
+            end)
+
+(* Drop single-child internal chains at the root after deletions. *)
+let rec collapse store h =
+  match get store h with
+  | Internal (_, [| (_, only) |]) -> collapse store only
+  | _ -> h
+
+let remove t key =
+  if Hash.is_null t.root then t
+  else
+    match del t.store t.root key with
+    | exception Not_found -> t
+    | None -> { t with root = Hash.null }
+    | Some (_, h) -> { t with root = collapse t.store h }
+
+let batch t ops =
+  List.fold_left
+    (fun t op ->
+      match op with
+      | Kv.Put (k, v) -> insert t k v
+      | Kv.Del k -> remove t k)
+    t ops
+
+let of_entries store cfg entries =
+  batch (empty store cfg) (List.map (fun (k, v) -> Kv.Put (k, v)) entries)
+
+(* --- traversal ------------------------------------------------------------------ *)
+
+let iter t f =
+  let rec go h =
+    match get t.store h with
+    | Leaf entries -> Array.iter (fun (k, v) -> f k v) entries
+    | Internal (_, refs) -> Array.iter (fun (_, c) -> go c) refs
+  in
+  if not (Hash.is_null t.root) then go t.root
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun k v -> acc := (k, v) :: !acc);
+  List.rev !acc
+
+let cardinal t =
+  let n = ref 0 in
+  iter t (fun _ _ -> incr n);
+  !n
+
+(* --- range queries ------------------------------------------------------------ *)
+
+let in_range ~lo ~hi k =
+  (match lo with None -> true | Some l -> String.compare k l >= 0)
+  && match hi with None -> true | Some h -> String.compare k h <= 0
+
+let range t ~lo ~hi =
+  let acc = ref [] in
+  let rec walk h =
+    match get t.store h with
+    | Leaf entries ->
+        Array.iter
+          (fun (k, v) -> if in_range ~lo ~hi k then acc := (k, v) :: !acc)
+          entries
+    | Internal (_, refs) ->
+        let prev = ref None in
+        Array.iter
+          (fun (split, child) ->
+            let hit =
+              (match lo with None -> true | Some l -> String.compare split l >= 0)
+              && (match (hi, !prev) with
+                 | None, _ | _, None -> true
+                 | Some h, Some p -> String.compare p h < 0)
+            in
+            if hit then walk child;
+            prev := Some split)
+          refs
+  in
+  if not (Hash.is_null t.root) then walk t.root;
+  List.rev !acc
+
+(* --- diff / merge / proofs -------------------------------------------------------- *)
+
+let td_decode_bytes bytes =
+  match decode bytes with
+  | Leaf entries -> Tree_diff.Entries (Array.to_list entries)
+  | Internal (lvl, refs) -> Tree_diff.Children (lvl, Array.to_list refs)
+
+let td_decode store h = td_decode_bytes (Store.get store h)
+
+let stats t =
+  Tree_stats.collect ~get:(Store.get t.store) ~decode:td_decode_bytes ~root:t.root
+
+let prove_range t ~lo ~hi =
+  Range_proof.prove ~get:(Store.get t.store) ~decode:td_decode_bytes
+    ~root:t.root ~lo ~hi
+
+let verify_range_proof ~root proof =
+  Range_proof.verify ~decode:td_decode_bytes ~root proof
+
+let diff t1 t2 =
+  Tree_diff.diff ~decode:(td_decode t1.store) ~left:t1.root ~right:t2.root
+
+let merge t1 t2 ~policy =
+  let diffs = diff t1 t2 in
+  let conflicts = ref [] in
+  let ops =
+    List.filter_map
+      (fun { Kv.key; left; right } ->
+        match (left, right) with
+        | _, None -> None
+        | None, Some rv -> Some (Kv.Put (key, rv))
+        | Some lv, Some rv -> (
+            match Kv.merge_values policy key lv rv with
+            | Ok v -> if String.equal v lv then None else Some (Kv.Put (key, v))
+            | Error c ->
+                conflicts := c :: !conflicts;
+                None))
+      diffs
+  in
+  match !conflicts with
+  | [] -> Ok (batch t1 ops)
+  | cs -> Error (List.rev cs)
+
+let prove t key =
+  let rec go h acc =
+    let bytes = Store.get t.store h in
+    let acc = bytes :: acc in
+    match decode bytes with
+    | Leaf entries -> (find_entry entries key, acc)
+    | Internal (_, refs) ->
+        let i = child_for refs key in
+        if i = Array.length refs then (None, acc) else go (snd refs.(i)) acc
+  in
+  if Hash.is_null t.root then { Proof.key; value = None; nodes = [] }
+  else begin
+    let value, rev_nodes = go t.root [] in
+    { Proof.key; value; nodes = List.rev rev_nodes }
+  end
+
+let verify_proof ~root (proof : Proof.t) =
+  let rec go expected nodes =
+    match nodes with
+    | [] -> Error ()
+    | bytes :: rest ->
+        if not (Hash.equal (Hash.of_string bytes) expected) then Error ()
+        else begin
+          match decode bytes with
+          | exception _ -> Error ()
+          | Leaf entries ->
+              if rest = [] then Ok (find_entry entries proof.key) else Error ()
+          | Internal (_, refs) ->
+              let i = child_for refs proof.key in
+              if i = Array.length refs then
+                if rest = [] then Ok None else Error ()
+              else go (snd refs.(i)) rest
+        end
+  in
+  if Hash.is_null root then proof.nodes = [] && proof.value = None
+  else
+    match go root proof.nodes with
+    | Ok v -> v = proof.value
+    | Error () -> false
+
+let rec generic t =
+  { Generic.name = "mvmb+-tree";
+    store = t.store;
+    root = t.root;
+    lookup = lookup t;
+    path_length = path_length t;
+    batch = (fun ops -> generic (batch t ops));
+    to_list = (fun () -> to_list t);
+    cardinal = (fun () -> cardinal t);
+    diff = (fun other -> diff t { t with root = other });
+    merge =
+      (fun policy other ->
+        match merge t { t with root = other } ~policy with
+        | Ok m -> Ok (generic m)
+        | Error cs -> Error cs);
+    prove = prove t;
+    verify = (fun ~root proof -> verify_proof ~root proof);
+    reopen = (fun r -> generic { t with root = r });
+    range = (fun ~lo ~hi -> range t ~lo ~hi) }

@@ -1,0 +1,53 @@
+(** Multi-Version Merkle B+-Tree — the non-SIRI baseline of Section 5.2.
+
+    A B+-tree whose child pointers are the cryptographic hashes of the child
+    nodes, with node-level copy-on-write: every update copies the root-to-
+    leaf path, so versions share all untouched nodes and the root digest
+    authenticates the content (tamper evidence like the SIRI structures).
+
+    What it deliberately lacks is structural invariance: split points depend
+    on insertion order (Figure 2), so equal record sets can yield different
+    trees and fewer pages deduplicate across independently-built instances.
+    Deletions do not rebalance (a node may underflow and an empty node is
+    simply dropped), which keeps the baseline faithful to a plain
+    copy-on-write B+-tree. *)
+
+open Siri_crypto
+open Siri_core
+module Store = Siri_store.Store
+
+type config = { leaf_capacity : int; internal_capacity : int }
+
+val config : ?leaf_capacity:int -> ?internal_capacity:int -> unit -> config
+(** Defaults sized so nodes are ≈ 1 KB with the paper's record sizes:
+    [leaf_capacity = 4] entries of ≈ 271 B, [internal_capacity = 25]. *)
+
+type t
+
+val empty : Store.t -> config -> t
+val of_root : Store.t -> config -> Hash.t -> t
+val root : t -> Hash.t
+val store : t -> Store.t
+val conf : t -> config
+val height : t -> int
+
+val lookup : t -> Kv.key -> Kv.value option
+val path_length : t -> Kv.key -> int
+val insert : t -> Kv.key -> Kv.value -> t
+val remove : t -> Kv.key -> t
+val batch : t -> Kv.op list -> t
+val of_entries : Store.t -> config -> (Kv.key * Kv.value) list -> t
+val to_list : t -> (Kv.key * Kv.value) list
+val cardinal : t -> int
+val iter : t -> (Kv.key -> Kv.value -> unit) -> unit
+val range : t -> lo:Kv.key option -> hi:Kv.key option -> (Kv.key * Kv.value) list
+(** Inclusive range scan in key order, pruning by split keys. *)
+
+val stats : t -> Tree_stats.t
+val prove_range : t -> lo:Kv.key option -> hi:Kv.key option -> Range_proof.t
+val verify_range_proof : root:Hash.t -> Range_proof.t -> bool
+val diff : t -> t -> Kv.diff_entry list
+val merge : t -> t -> policy:Kv.merge_policy -> (t, Kv.conflict list) result
+val prove : t -> Kv.key -> Proof.t
+val verify_proof : root:Hash.t -> Proof.t -> bool
+val generic : t -> Generic.t

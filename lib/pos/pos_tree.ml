@@ -1,0 +1,580 @@
+open Siri_crypto
+open Siri_core
+module Store = Siri_store.Store
+module Wire = Siri_codec.Wire
+module Chunker = Siri_chunk.Chunker
+
+type internal_rule =
+  | By_child_hash of { bits : int; min_items : int; max_items : int }
+  | By_rolling of Chunker.config
+
+type config = {
+  leaf : Chunker.config;
+  internal : internal_rule;
+  non_recursively_identical : bool;
+  local_split : bool;
+      (* Non-structurally-invariant mode (Section 5.5.1): updates stay
+         inside the touched node, which splits on overflow but never
+         re-merges with its successors — so boundaries depend on update
+         history, like a B+-tree. *)
+}
+
+let config ?(leaf_target = 1024) ?(internal_bits = 5) ?internal
+    ?(non_recursively_identical = false) () =
+  let internal =
+    match internal with
+    | Some rule -> rule
+    | None ->
+        By_child_hash
+          { bits = internal_bits; min_items = 2; max_items = 64 * (1 lsl internal_bits) }
+  in
+  { leaf = Chunker.config_for_leaf_size leaf_target;
+    internal;
+    non_recursively_identical;
+    local_split = false }
+
+let config_prolly ?(leaf_target = 4096) ?(internal_target = 4096) () =
+  { leaf = Chunker.config_for_leaf_size leaf_target;
+    internal = By_rolling (Chunker.config_for_leaf_size internal_target);
+    non_recursively_identical = false;
+    local_split = false }
+
+let config_non_structurally_invariant ?(leaf_target = 1024) () =
+  (* Pattern so rare (2^22 bytes expected) that almost every boundary is a
+     forced split at the maximum size; combined with local (in-node) update
+     handling, split points depend on the update history. *)
+  { leaf = Chunker.config ~pattern_bits:22 ~max_size:leaf_target ();
+    internal = By_child_hash { bits = 5; min_items = 2; max_items = 32 };
+    non_recursively_identical = false;
+    local_split = true }
+
+let config_non_recursively_identical ?(leaf_target = 1024) () =
+  { (config ~leaf_target ()) with non_recursively_identical = true }
+
+type t = { store : Store.t; cfg : config; root : Hash.t; salt : string }
+
+let empty store cfg = { store; cfg; root = Hash.null; salt = "" }
+let of_root store cfg root = { store; cfg; root; salt = "" }
+let root t = t.root
+let store t = t.store
+let conf t = t.cfg
+
+(* Fresh salts for the non-recursively-identical ablation: every write makes
+   byte-distinct nodes, so the content-addressed store can never share. *)
+let salt_counter = ref 0
+
+let next_salt () =
+  incr salt_counter;
+  Printf.sprintf "v%d" !salt_counter
+
+(* --- node codec ---------------------------------------------------------- *)
+
+let tag_leaf = 0
+let tag_internal = 1
+
+type node =
+  | Leaf of (Kv.key * Kv.value) array
+  | Internal of int * (Kv.key * Hash.t) array  (* height >= 1, split keys *)
+
+let encode_leaf salt entries =
+  let w = Wire.Writer.create ~capacity:1024 () in
+  Wire.Writer.u8 w tag_leaf;
+  Wire.Writer.str w salt;
+  Wire.Writer.varint w (Array.length entries);
+  Array.iter
+    (fun (k, v) ->
+      Wire.Writer.str w k;
+      Wire.Writer.str w v)
+    entries;
+  Wire.Writer.contents w
+
+let encode_internal salt level refs =
+  let w = Wire.Writer.create ~capacity:1024 () in
+  Wire.Writer.u8 w tag_internal;
+  Wire.Writer.str w salt;
+  Wire.Writer.u8 w level;
+  Wire.Writer.varint w (Array.length refs);
+  Array.iter
+    (fun (k, h) ->
+      Wire.Writer.str w k;
+      Wire.Writer.hash w h)
+    refs;
+  Wire.Writer.contents w
+
+let decode bytes =
+  let r = Wire.Reader.of_string bytes in
+  let tag = Wire.Reader.u8 r in
+  let _salt = Wire.Reader.str r in
+  if tag = tag_leaf then
+    Leaf
+      (Array.init (Wire.Reader.varint r) (fun _ ->
+           let k = Wire.Reader.str r in
+           let v = Wire.Reader.str r in
+           (k, v)))
+  else begin
+    let level = Wire.Reader.u8 r in
+    Internal
+      ( level,
+        Array.init (Wire.Reader.varint r) (fun _ ->
+            let k = Wire.Reader.str r in
+            let h = Wire.Reader.hash r in
+            (k, h)) )
+  end
+
+let get store h = decode (Store.get store h)
+
+(* Serialized form of a record as fed to the rolling hash. *)
+let ser_entry k v =
+  let w = Wire.Writer.create ~capacity:(String.length k + String.length v + 8) () in
+  Wire.Writer.str w k;
+  Wire.Writer.str w v;
+  Wire.Writer.contents w
+
+let ser_ref k h =
+  let w = Wire.Writer.create ~capacity:(String.length k + 40) () in
+  Wire.Writer.str w k;
+  Wire.Writer.hash w h;
+  Wire.Writer.contents w
+
+(* --- streaming rebuilder -------------------------------------------------- *)
+
+(* Stream 0 carries records; stream l>=1 carries refs to height-(l-1) nodes.
+   Chunk boundaries are decided as items arrive; a finished chunk becomes a
+   node whose ref is pushed onto the stream above.  Reusing a clean subtree
+   of height l is legal exactly when streams 0..l are at a boundary (all
+   pendings empty, rolling states reset). *)
+
+type item = Ent of Kv.key * Kv.value | Ref of Kv.key * Hash.t
+
+type stream = {
+  chunker : Chunker.t option;  (* stream 0, or internal By_rolling *)
+  mutable pending : item list;  (* reversed *)
+  mutable pending_count : int;
+  mutable total : int;
+}
+
+type rebuilder = {
+  rstore : Store.t;
+  rcfg : config;
+  rsalt : string;
+  mutable streams : stream array;
+}
+
+let new_stream cfg lvl =
+  let chunker =
+    if lvl = 0 then Some (Chunker.create cfg.leaf)
+    else
+      match cfg.internal with
+      | By_rolling c -> Some (Chunker.create c)
+      | By_child_hash _ -> None
+  in
+  { chunker; pending = []; pending_count = 0; total = 0 }
+
+let rebuilder store cfg salt =
+  { rstore = store; rcfg = cfg; rsalt = salt; streams = [||] }
+
+let stream r lvl =
+  let n = Array.length r.streams in
+  if lvl >= n then begin
+    let bigger =
+      Array.init (lvl + 1) (fun i ->
+          if i < n then r.streams.(i) else new_stream r.rcfg i)
+    in
+    r.streams <- bigger
+  end;
+  r.streams.(lvl)
+
+let item_key = function Ent (k, _) -> k | Ref (k, _) -> k
+
+let make_node r lvl items =
+  (* [items] in order; returns the ref of the created node. *)
+  let last_key = item_key (List.nth items (List.length items - 1)) in
+  let h =
+    if lvl = 0 then
+      let entries =
+        Array.of_list
+          (List.map (function Ent (k, v) -> (k, v) | Ref _ -> assert false) items)
+      in
+      Store.put r.rstore (encode_leaf r.rsalt entries)
+    else
+      let refs =
+        Array.of_list
+          (List.map (function Ref (k, h) -> (k, h) | Ent _ -> assert false) items)
+      in
+      Store.put r.rstore
+        ~children:(List.map (fun (_, h) -> h) (Array.to_list refs))
+        (encode_internal r.rsalt lvl refs)
+  in
+  (last_key, h)
+
+let rec add_item r lvl item =
+  let s = stream r lvl in
+  s.pending <- item :: s.pending;
+  s.pending_count <- s.pending_count + 1;
+  s.total <- s.total + 1;
+  let boundary =
+    match (lvl, r.rcfg.internal, item) with
+    | 0, _, Ent (k, v) -> (
+        match s.chunker with
+        | Some c -> Chunker.feed c (ser_entry k v)
+        | None -> assert false)
+    | _, By_rolling _, Ref (k, h) -> (
+        match s.chunker with
+        | Some c ->
+            (* Never cut a single-ref chunk: a chain of one-child internal
+               nodes would grow the tree height unboundedly. *)
+            let fired = Chunker.feed c (ser_ref k h) in
+            fired && s.pending_count >= 2
+        | None -> assert false)
+    | _, By_child_hash { bits; min_items; max_items }, Ref (_, h) ->
+        if s.pending_count >= max_items then true
+        else
+          s.pending_count >= min_items
+          && Chunker.hash_boundary
+               (Chunker.config ~pattern_bits:bits ()) h
+    | _ -> assert false
+  in
+  if boundary then flush_stream r lvl
+
+and flush_stream r lvl =
+  let s = stream r lvl in
+  if s.pending_count > 0 then begin
+    let items = List.rev s.pending in
+    s.pending <- [];
+    s.pending_count <- 0;
+    (match s.chunker with Some c -> Chunker.reset c | None -> ());
+    let k, h = make_node r lvl items in
+    add_item r (lvl + 1) (Ref (k, h))
+  end
+
+let add_entry r k v = add_item r 0 (Ent (k, v))
+
+(* A clean subtree of height [h] can be reused iff all streams up to and
+   including [h] are at a boundary. *)
+let can_reuse r height =
+  let rec check lvl =
+    if lvl > height then true
+    else if lvl >= Array.length r.streams then true
+    else r.streams.(lvl).pending_count = 0 && check (lvl + 1)
+  in
+  check 0
+
+let finish r =
+  let above_active lvl =
+    let rec check l =
+      l < Array.length r.streams
+      && (r.streams.(l).total > 0 || check (l + 1))
+    in
+    check (lvl + 1)
+  in
+  let rec loop lvl =
+    let s = stream r lvl in
+    if lvl >= 1 && s.total = 1 && s.pending_count = 1 && not (above_active lvl)
+    then
+      match s.pending with
+      | [ Ref (_, h) ] -> h
+      | _ -> assert false
+    else begin
+      flush_stream r lvl;
+      if s.total = 0 && not (above_active lvl) then Hash.null else loop (lvl + 1)
+    end
+  in
+  loop 0
+
+(* --- batch update ---------------------------------------------------------- *)
+
+(* Split sorted ops among children: child i takes ops with key <= its split
+   key; the last child also takes everything beyond the largest split key. *)
+let partition_ops refs ops =
+  let n = Array.length refs in
+  let buckets = Array.make n [] in
+  let rec go i ops =
+    match ops with
+    | [] -> ()
+    | op :: rest ->
+        let key = Kv.key_of_op op in
+        let rec advance i =
+          if i >= n - 1 then n - 1
+          else if String.compare key (fst refs.(i)) <= 0 then i
+          else advance (i + 1)
+        in
+        let i = advance i in
+        buckets.(i) <- op :: buckets.(i);
+        go i rest
+  in
+  go 0 ops;
+  Array.map List.rev buckets
+
+let rec emit r h height ops ~reuse =
+  if ops = [] && reuse && can_reuse r height then begin
+    (* Whole subtree is clean and chunking is aligned: reuse by ref.  The
+       subtree's max key is needed by the parent; it is the key of its last
+       item, which equals the split key the parent stored — the caller passes
+       it via [h]'s ref; here we only have the hash, so fetch lazily. *)
+    match get r.rstore h with
+    | Leaf entries when Array.length entries = 0 -> ()
+    | Leaf entries ->
+        add_item r (height + 1) (Ref (fst entries.(Array.length entries - 1), h))
+    | Internal (_, refs) ->
+        add_item r (height + 1) (Ref (fst refs.(Array.length refs - 1), h))
+  end
+  else
+    match get r.rstore h with
+    | Leaf entries ->
+        let merged = Kv.apply_sorted (Array.to_list entries) ops in
+        List.iter (fun (k, v) -> add_entry r k v) merged;
+        (* Local mode: contain the edit within this node's span — cut here
+           instead of re-chunking into the following nodes. *)
+        if r.rcfg.local_split then flush_stream r 0
+    | Internal (lvl, refs) ->
+        let buckets = partition_ops refs ops in
+        Array.iteri
+          (fun i (key, child) ->
+            if buckets.(i) = [] && reuse && can_reuse r (lvl - 1) then
+              add_item r lvl (Ref (key, child))
+            else emit r child (lvl - 1) buckets.(i) ~reuse)
+          refs
+
+let rebuild t ops salt ~reuse =
+  let r = rebuilder t.store t.cfg salt in
+  (if Hash.is_null t.root then
+     List.iter (fun (k, v) -> add_entry r k v) (Kv.apply_sorted [] ops)
+   else emit r t.root max_int ops ~reuse);
+  { t with root = finish r; salt }
+
+let batch t ops =
+  let ops = Kv.sort_ops ops in
+  if ops = [] then t
+  else if t.cfg.non_recursively_identical then
+    (* Fresh salt: every node of the new version is byte-distinct, and the
+       whole tree must be rewritten. *)
+    rebuild t ops (next_salt ()) ~reuse:false
+  else rebuild t ops t.salt ~reuse:true
+
+let insert t k v = batch t [ Kv.Put (k, v) ]
+let remove t k = batch t [ Kv.Del k ]
+
+let of_entries store cfg entries =
+  batch (empty store cfg) (List.map (fun (k, v) -> Kv.Put (k, v)) entries)
+
+(* --- queries ----------------------------------------------------------------- *)
+
+(* First index in [refs] whose split key is >= key, or none. *)
+let child_for refs key =
+  let n = Array.length refs in
+  let rec bsearch lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if String.compare (fst refs.(mid)) key < 0 then bsearch (mid + 1) hi
+      else bsearch lo mid
+  in
+  let i = bsearch 0 n in
+  if i = n then None else Some i
+
+let find_entry entries key =
+  let n = Array.length entries in
+  let rec bsearch lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let k, v = entries.(mid) in
+      match String.compare key k with
+      | 0 -> Some v
+      | c when c < 0 -> bsearch lo mid
+      | _ -> bsearch (mid + 1) hi
+  in
+  bsearch 0 n
+
+let lookup_count t key =
+  let rec go h visited =
+    match get t.store h with
+    | Leaf entries -> (find_entry entries key, visited + 1)
+    | Internal (_, refs) -> (
+        match child_for refs key with
+        | None -> (None, visited + 1)
+        | Some i -> go (snd refs.(i)) (visited + 1))
+  in
+  if Hash.is_null t.root then (None, 0) else go t.root 0
+
+let lookup t key = fst (lookup_count t key)
+let path_length t key = snd (lookup_count t key)
+
+let height t =
+  if Hash.is_null t.root then 0
+  else
+    match get t.store t.root with
+    | Leaf _ -> 1
+    | Internal (lvl, _) -> lvl + 1
+
+let iter t f =
+  let rec go h =
+    match get t.store h with
+    | Leaf entries -> Array.iter (fun (k, v) -> f k v) entries
+    | Internal (_, refs) -> Array.iter (fun (_, c) -> go c) refs
+  in
+  if not (Hash.is_null t.root) then go t.root
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun k v -> acc := (k, v) :: !acc);
+  List.rev !acc
+
+let cardinal t =
+  let n = ref 0 in
+  iter t (fun _ _ -> incr n);
+  !n
+
+let leaf_sizes t =
+  let acc = ref [] in
+  let rec go h =
+    match get t.store h with
+    | Leaf _ -> acc := Store.size_of t.store h :: !acc
+    | Internal (_, refs) -> Array.iter (fun (_, c) -> go c) refs
+  in
+  if not (Hash.is_null t.root) then go t.root;
+  List.rev !acc
+
+(* --- range queries ---------------------------------------------------------- *)
+
+let in_range ~lo ~hi k =
+  (match lo with None -> true | Some l -> String.compare k l >= 0)
+  && match hi with None -> true | Some h -> String.compare k h <= 0
+
+let range t ~lo ~hi =
+  let acc = ref [] in
+  let rec walk h =
+    match get t.store h with
+    | Leaf entries ->
+        Array.iter
+          (fun (k, v) -> if in_range ~lo ~hi k then acc := (k, v) :: !acc)
+          entries
+    | Internal (_, refs) ->
+        (* Child i covers (split_{i-1}, split_i]. *)
+        let prev = ref None in
+        Array.iter
+          (fun (split, child) ->
+            let hit =
+              (match lo with None -> true | Some l -> String.compare split l >= 0)
+              && (match (hi, !prev) with
+                 | None, _ | _, None -> true
+                 | Some h, Some p -> String.compare p h < 0)
+            in
+            if hit then walk child;
+            prev := Some split)
+          refs
+  in
+  if not (Hash.is_null t.root) then walk t.root;
+  List.rev !acc
+
+(* --- diff / merge --------------------------------------------------------------- *)
+
+let td_decode_bytes bytes =
+  match decode bytes with
+  | Leaf entries -> Tree_diff.Entries (Array.to_list entries)
+  | Internal (lvl, refs) -> Tree_diff.Children (lvl, Array.to_list refs)
+
+let td_decode store h = td_decode_bytes (Store.get store h)
+
+let diff t1 t2 =
+  Tree_diff.diff ~decode:(td_decode t1.store) ~left:t1.root ~right:t2.root
+
+let merge t1 t2 ~policy =
+  let diffs = diff t1 t2 in
+  let conflicts = ref [] in
+  let ops =
+    List.filter_map
+      (fun { Kv.key; left; right } ->
+        match (left, right) with
+        | _, None -> None
+        | None, Some rv -> Some (Kv.Put (key, rv))
+        | Some lv, Some rv -> (
+            match Kv.merge_values policy key lv rv with
+            | Ok v -> if String.equal v lv then None else Some (Kv.Put (key, v))
+            | Error c ->
+                conflicts := c :: !conflicts;
+                None))
+      diffs
+  in
+  match !conflicts with
+  | [] -> Ok (batch t1 ops)
+  | cs -> Error (List.rev cs)
+
+(* --- proofs ----------------------------------------------------------------------- *)
+
+let prove t key =
+  let rec go h acc =
+    let bytes = Store.get t.store h in
+    let acc = bytes :: acc in
+    match decode bytes with
+    | Leaf entries -> (find_entry entries key, acc)
+    | Internal (_, refs) -> (
+        match child_for refs key with
+        | None -> (None, acc)
+        | Some i -> go (snd refs.(i)) acc)
+  in
+  if Hash.is_null t.root then { Proof.key; value = None; nodes = [] }
+  else begin
+    let value, rev_nodes = go t.root [] in
+    { Proof.key; value; nodes = List.rev rev_nodes }
+  end
+
+let verify_proof ~root (proof : Proof.t) =
+  let rec go expected nodes =
+    match nodes with
+    | [] -> Error ()
+    | bytes :: rest ->
+        if not (Hash.equal (Hash.of_string bytes) expected) then Error ()
+        else begin
+          match decode bytes with
+          | exception _ -> Error ()
+          | Leaf entries ->
+              if rest = [] then Ok (find_entry entries proof.key) else Error ()
+          | Internal (_, refs) -> (
+              match child_for refs proof.key with
+              | None -> if rest = [] then Ok None else Error ()
+              | Some i -> go (snd refs.(i)) rest)
+        end
+  in
+  if Hash.is_null root then proof.nodes = [] && proof.value = None
+  else
+    match go root proof.nodes with
+    | Ok v -> v = proof.value
+    | Error () -> false
+
+let stats t =
+  Tree_stats.collect ~get:(Store.get t.store) ~decode:td_decode_bytes ~root:t.root
+
+(* --- range proofs --------------------------------------------------------------- *)
+
+let prove_range t ~lo ~hi =
+  Range_proof.prove
+    ~get:(Store.get t.store)
+    ~decode:td_decode_bytes ~root:t.root ~lo ~hi
+
+let verify_range_proof ~root proof =
+  Range_proof.verify ~decode:td_decode_bytes ~root proof
+
+(* --- generic ------------------------------------------------------------------------ *)
+
+let rec generic_named name t =
+  { Generic.name;
+    store = t.store;
+    root = t.root;
+    lookup = lookup t;
+    path_length = path_length t;
+    batch = (fun ops -> generic_named name (batch t ops));
+    to_list = (fun () -> to_list t);
+    cardinal = (fun () -> cardinal t);
+    diff = (fun other -> diff t { t with root = other });
+    merge =
+      (fun policy other ->
+        match merge t { t with root = other } ~policy with
+        | Ok m -> Ok (generic_named name m)
+        | Error cs -> Error cs);
+    prove = prove t;
+    verify = (fun ~root proof -> verify_proof ~root proof);
+    reopen = (fun r -> generic_named name { t with root = r });
+    range = (fun ~lo ~hi -> range t ~lo ~hi) }
+
+let generic t = generic_named "pos-tree" t

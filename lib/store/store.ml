@@ -1,0 +1,200 @@
+open Siri_crypto
+
+type node = { mutable bytes : string; children : Hash.t list }
+
+type stats = {
+  puts : int;
+  unique_nodes : int;
+  stored_bytes : int;
+  put_bytes : int;
+  gets : int;
+}
+
+type t = {
+  tbl : node Hash.Table.t;
+  mutable puts : int;
+  mutable put_bytes : int;
+  mutable stored_bytes : int;
+  mutable gets : int;
+  mutable get_observer : (Hash.t -> int -> unit) option;
+  mutable put_observer : (Hash.t -> int -> unit) option;
+}
+
+let create () =
+  { tbl = Hash.Table.create 4096;
+    puts = 0;
+    put_bytes = 0;
+    stored_bytes = 0;
+    gets = 0;
+    get_observer = None;
+    put_observer = None }
+
+let set_get_observer t obs = t.get_observer <- obs
+let set_put_observer t obs = t.put_observer <- obs
+
+let put t ?(children = []) bytes =
+  let h = Hash.of_string bytes in
+  t.puts <- t.puts + 1;
+  t.put_bytes <- t.put_bytes + String.length bytes;
+  if not (Hash.Table.mem t.tbl h) then begin
+    Hash.Table.add t.tbl h { bytes; children };
+    t.stored_bytes <- t.stored_bytes + String.length bytes
+  end;
+  (match t.put_observer with
+  | Some f -> f h (String.length bytes)
+  | None -> ());
+  h
+
+let get t h =
+  t.gets <- t.gets + 1;
+  let bytes = (Hash.Table.find t.tbl h).bytes in
+  (match t.get_observer with
+  | Some f -> f h (String.length bytes)
+  | None -> ());
+  bytes
+
+let find t h = match get t h with s -> Some s | exception Not_found -> None
+let mem t h = Hash.Table.mem t.tbl h
+let children t h = (Hash.Table.find t.tbl h).children
+let size_of t h = String.length (Hash.Table.find t.tbl h).bytes
+
+let iter_nodes t f =
+  Hash.Table.iter (fun _ node -> f node.bytes node.children) t.tbl
+
+let stats t =
+  { puts = t.puts;
+    unique_nodes = Hash.Table.length t.tbl;
+    stored_bytes = t.stored_bytes;
+    put_bytes = t.put_bytes;
+    gets = t.gets }
+
+let reset_counters t =
+  t.puts <- 0;
+  t.put_bytes <- 0;
+  t.gets <- 0
+
+let reachable_many t roots =
+  let visited = ref Hash.Set.empty in
+  let rec walk h =
+    if
+      (not (Hash.is_null h))
+      && (not (Hash.Set.mem h !visited))
+      && Hash.Table.mem t.tbl h
+    then begin
+      visited := Hash.Set.add h !visited;
+      List.iter walk (Hash.Table.find t.tbl h).children
+    end
+  in
+  List.iter walk roots;
+  !visited
+
+let reachable t root = reachable_many t [ root ]
+
+let bytes_of_set t set =
+  Hash.Set.fold
+    (fun h acc ->
+      match Hash.Table.find_opt t.tbl h with
+      | Some n -> acc + String.length n.bytes
+      | None -> acc)
+    set 0
+
+let gc t ~roots =
+  let live = reachable_many t roots in
+  let dead =
+    Hash.Table.fold
+      (fun h _ acc -> if Hash.Set.mem h live then acc else h :: acc)
+      t.tbl []
+  in
+  List.iter
+    (fun h ->
+      let n = Hash.Table.find t.tbl h in
+      t.stored_bytes <- t.stored_bytes - String.length n.bytes;
+      Hash.Table.remove t.tbl h)
+    dead;
+  List.length dead
+
+(* --- persistence ---------------------------------------------------------- *)
+
+let magic = "SIRISTORE1"
+
+let save t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc magic;
+     let write_varint n =
+       let rec go n =
+         if n < 0x80 then output_char oc (Char.chr n)
+         else begin
+           output_char oc (Char.chr (0x80 lor (n land 0x7F)));
+           go (n lsr 7)
+         end
+       in
+       go n
+     in
+     write_varint (Hash.Table.length t.tbl);
+     Hash.Table.iter
+       (fun _ node ->
+         write_varint (String.length node.bytes);
+         output_string oc node.bytes;
+         write_varint (List.length node.children);
+         List.iter (fun h -> output_string oc (Hash.to_raw h)) node.children)
+       t.tbl;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     Sys.remove tmp;
+     raise e);
+  Sys.rename tmp path
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let really n =
+        let b = really_input_string ic n in
+        b
+      in
+      if (try really (String.length magic) with End_of_file -> "") <> magic
+      then failwith "Store.load: bad magic";
+      let read_varint () =
+        let rec go shift acc =
+          let b = input_byte ic in
+          let acc = acc lor ((b land 0x7F) lsl shift) in
+          if b land 0x80 = 0 then acc else go (shift + 7) acc
+        in
+        try go 0 0 with End_of_file -> failwith "Store.load: truncated"
+      in
+      let t = create () in
+      let count = read_varint () in
+      (try
+         for _ = 1 to count do
+           let len = read_varint () in
+           let bytes = really len in
+           let nchildren = read_varint () in
+           let children =
+             List.init nchildren (fun _ -> Hash.of_raw (really Hash.size))
+           in
+           let h = put t ~children bytes in
+           ignore h
+         done
+       with End_of_file -> failwith "Store.load: truncated");
+      reset_counters t;
+      t)
+
+let corrupt t h =
+  let n = Hash.Table.find t.tbl h in
+  if String.length n.bytes = 0 then n.bytes <- "\001"
+  else begin
+    let b = Bytes.of_string n.bytes in
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xFF));
+    n.bytes <- Bytes.unsafe_to_string b
+  end
+
+let get_verified t h =
+  match find t h with
+  | None -> raise Not_found
+  | Some bytes ->
+      if Hash.equal (Hash.of_string bytes) h then Ok bytes
+      else Error (`Tampered h)

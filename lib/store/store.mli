@@ -1,0 +1,103 @@
+(** Content-addressed immutable node store.
+
+    Every index node is serialized and stored under the SHA-256 of its bytes.
+    Writing the same bytes twice stores one copy — this is the page-sharing
+    substrate that all SIRI deduplication rests on.  The store additionally
+    remembers each node's children hashes, so the reachable page set [P(I)]
+    of any index instance (identified by its root hash) can be traversed
+    generically, independent of the index type.
+
+    Counters distinguish logical writes ([puts]) from physically new nodes
+    ([unique_nodes]); benchmarks snapshot them with {!stats}. *)
+
+open Siri_crypto
+
+type t
+
+type stats = {
+  puts : int;          (** logical writes (including duplicates) *)
+  unique_nodes : int;  (** distinct nodes currently stored *)
+  stored_bytes : int;  (** sum of the byte sizes of distinct nodes *)
+  put_bytes : int;     (** bytes across all logical writes *)
+  gets : int;          (** node fetches *)
+}
+
+val create : unit -> t
+
+val put : t -> ?children:Hash.t list -> string -> Hash.t
+(** Store a serialized node; returns its content hash.  [children] lists the
+    hashes of the node's direct children (for reachability); they need not be
+    present yet. *)
+
+val get : t -> Hash.t -> string
+(** Raises [Not_found] if the hash is unknown. *)
+
+val find : t -> Hash.t -> string option
+val mem : t -> Hash.t -> bool
+
+val children : t -> Hash.t -> Hash.t list
+(** Direct children as declared at {!put} time.  Raises [Not_found]. *)
+
+val size_of : t -> Hash.t -> int
+(** Byte size of a stored node.  Raises [Not_found]. *)
+
+val iter_nodes : t -> (string -> Hash.t list -> unit) -> unit
+(** Apply a function to every stored node's bytes and children list (in
+    unspecified order) — used to graft one store into another. *)
+
+val stats : t -> stats
+val reset_counters : t -> unit
+(** Zero the [puts]/[put_bytes]/[gets] counters (stored nodes are kept). *)
+
+val set_get_observer : t -> (Hash.t -> int -> unit) option -> unit
+(** Install a callback invoked on every successful {!get} with the node
+    hash and its byte size — used by the client/server deployment simulation
+    to account for cache misses and transfer costs. *)
+
+val set_put_observer : t -> (Hash.t -> int -> unit) option -> unit
+(** Same for {!put} (called on every logical write, duplicate or not). *)
+
+(** {2 Page sets and reachability} *)
+
+val reachable : t -> Hash.t -> Hash.Set.t
+(** The page set of an instance: all nodes reachable from [root], including
+    the root itself.  Unknown hashes and {!Hash.null} children are skipped. *)
+
+val reachable_many : t -> Hash.t list -> Hash.Set.t
+(** Union of page sets — computed with a shared visited set, so shared
+    subtrees are walked once. *)
+
+val bytes_of_set : t -> Hash.Set.t -> int
+(** Total byte size of a page set. *)
+
+(** {2 Garbage collection} *)
+
+val gc : t -> roots:Hash.t list -> int
+(** Drop every node not reachable from [roots]; returns how many nodes were
+    reclaimed. *)
+
+(** {2 Persistence}
+
+    A store can be serialized to a file and reloaded — the on-disk format is
+    a length-prefixed node dump with per-node children lists; every node is
+    re-hashed on load, so a corrupted or truncated file is rejected. *)
+
+val save : t -> string -> unit
+(** Write all nodes to [path] (atomic via a temp file + rename). *)
+
+val load : string -> t
+(** Read a store back.  Raises [Failure] on a malformed or truncated file.
+    Nodes are re-hashed on load (the store is content-addressed), so bytes
+    altered on disk simply hash to a different key and every reference to
+    the original digest fails to resolve — tampering cannot be masked. *)
+
+(** {2 Tamper simulation (for tests, examples and the tamper-evidence
+    experiments)} *)
+
+val corrupt : t -> Hash.t -> unit
+(** Flip one byte of the stored payload while keeping its key — simulating
+    an attacker who rewrites a page in place.  Raises [Not_found]. *)
+
+val get_verified : t -> Hash.t -> (string, [ `Tampered of Hash.t ]) result
+(** Fetch and re-hash: detects {!corrupt}ed nodes, the way a Merkle-proof
+    verification would. *)

@@ -1,0 +1,49 @@
+open Siri_core
+module Rlp = Siri_codec.Rlp
+module Hex = Siri_crypto.Hex
+module Hash = Siri_crypto.Hash
+
+type tx = { hash_hex : string; rlp : string }
+type block = { number : int; txs : tx list }
+
+(* Payload sizes: heavy-tailed.  Most transactions are plain transfers with
+   small payloads; contract calls stretch into tens of KB.  Calibrated to a
+   ≈ 532-byte mean with a 100-byte floor and ≈ 57 KB ceiling. *)
+let payload_length rng =
+  let u = Rng.float rng in
+  if u < 0.75 then Rng.int_in rng 0 100
+  else if u < 0.95 then Rng.int_in rng 100 1500
+  else if u < 0.995 then Rng.int_in rng 1500 8000
+  else Rng.int_in rng 8000 57000
+
+let transaction ~seed i =
+  let rng = Rng.create (Hashtbl.hash (seed, i)) in
+  let item =
+    Rlp.List
+      [ Rlp.of_int (Rng.int rng 1_000_000);          (* nonce *)
+        Rlp.of_int (Rng.int_in rng 1 200) ;           (* gas price (gwei) *)
+        Rlp.of_int (Rng.int_in rng 21_000 8_000_000); (* gas limit *)
+        Rlp.String (Rng.bytes_random rng 20);         (* recipient *)
+        Rlp.of_int (Rng.int rng 1_000_000_000);       (* value (wei, trunc) *)
+        Rlp.String (Rng.bytes_random rng (payload_length rng)) ]
+  in
+  let rlp = Rlp.encode item in
+  { hash_hex = Hash.to_hex (Hash.of_string rlp); rlp }
+
+let block ?(seed = 21) ~txs_per_block number =
+  { number;
+    txs =
+      List.init txs_per_block (fun j ->
+          transaction ~seed ((number * 1_000_003) + j)) }
+
+let blocks ?(seed = 21) ~txs_per_block ~count () =
+  List.init count (fun number -> block ~seed ~txs_per_block number)
+
+let entries_of_block b = List.map (fun tx -> (tx.hash_hex, tx.rlp)) b.txs
+
+let mean_tx_size ?(seed = 21) ~samples () =
+  let total = ref 0 in
+  for i = 0 to samples - 1 do
+    total := !total + String.length (transaction ~seed i).rlp
+  done;
+  Float.of_int !total /. Float.of_int samples

@@ -1,0 +1,30 @@
+(** Ethereum-shaped synthetic transactions (Section 5.1.3 substitution).
+
+    The paper indexes real transactions of blocks 8.9M–9.2M: the key is the
+    64-byte hex transaction hash and the value the RLP-encoded raw
+    transaction (100–57 738 bytes, average ≈ 532).  This generator emits
+    RLP-encoded synthetic transactions with the same field structure
+    (nonce, gas price, gas, recipient, value, payload) and a long-tailed
+    payload-size distribution matching those statistics; versions are
+    created per block, as in the chain. *)
+
+open Siri_core
+
+type tx = {
+  hash_hex : string;  (** 64-char hex of the transaction digest — the key *)
+  rlp : string;  (** RLP-encoded transaction — the value *)
+}
+
+type block = { number : int; txs : tx list }
+
+val transaction : seed:int -> int -> tx
+(** Deterministic transaction [i]. *)
+
+val block : ?seed:int -> txs_per_block:int -> int -> block
+(** Block [number] with [txs_per_block] transactions. *)
+
+val blocks : ?seed:int -> txs_per_block:int -> count:int -> unit -> block list
+
+val entries_of_block : block -> (Kv.key * Kv.value) list
+
+val mean_tx_size : ?seed:int -> samples:int -> unit -> float

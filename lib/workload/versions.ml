@@ -1,0 +1,39 @@
+open Siri_core
+
+(* The Section 4.2.2 analysis assumes each version rewrites a *contiguous
+   key range*; record ids are generated in no particular key order, so the
+   universe is sorted by key once and slices are taken from that order. *)
+let sorted_ids ycsb =
+  let n = Ycsb.n ycsb in
+  let pairs = Array.init n (fun id -> (Ycsb.key ycsb id, id)) in
+  Array.sort (fun (a, _) (b, _) -> String.compare a b) pairs;
+  pairs
+
+let continuous_updates ~ycsb ~rng ~alpha ~versions =
+  if alpha < 0.0 || alpha > 1.0 then
+    invalid_arg "Versions.continuous_updates: alpha out of range";
+  let pairs = sorted_ids ycsb in
+  let n = Array.length pairs in
+  let span = max 1 (Float.to_int (alpha *. Float.of_int n)) in
+  List.init versions (fun v ->
+      let start = Rng.int rng (max 1 (n - span + 1)) in
+      List.init span (fun i ->
+          let key, id = pairs.(start + i) in
+          Kv.Put (key, Ycsb.value ycsb ~version:(v + 1) id)))
+
+let continuous_inserts ~ycsb ~alpha ~versions ~base =
+  if alpha < 0.0 || alpha > 1.0 then
+    invalid_arg "Versions.continuous_inserts: alpha out of range";
+  let next = ref base in
+  List.init versions (fun v ->
+      let count = max 1 (Float.to_int (alpha *. Float.of_int !next)) in
+      let start = !next in
+      next := !next + count;
+      List.init count (fun i ->
+          let id = start + i in
+          if id >= Ycsb.n ycsb then
+            (* Beyond the universe: synthesise an extension record. *)
+            Kv.Put
+              ( Printf.sprintf "zz-ext-%012d" id,
+                Ycsb.value ycsb ~version:(v + 1) (id mod Ycsb.n ycsb) )
+          else Kv.Put (Ycsb.key ycsb id, Ycsb.value ycsb ~version:0 id)))

@@ -1,0 +1,19 @@
+(** Sequentially evolved version streams for the deduplication analysis
+    (Section 4.2.2).
+
+    Each version differs from its predecessor by a ratio α of records in a
+    contiguous key range — the exact setting under which the paper derives
+    η ≈ 1/2 − α/2 — with both variants considered there: in-place updates
+    (|Rᵢ| = |Rᵢ₋₁|) and insertions (|Rᵢ| = (1+α)·|Rᵢ₋₁|). *)
+
+open Siri_core
+
+val continuous_updates :
+  ycsb:Ycsb.t -> rng:Rng.t -> alpha:float -> versions:int -> Kv.op list list
+(** Version i rewrites an α-fraction contiguous run of record ids with
+    version-i values. *)
+
+val continuous_inserts :
+  ycsb:Ycsb.t -> alpha:float -> versions:int -> base:int -> Kv.op list list
+(** Version i appends α·|Rᵢ₋₁| brand-new records in a fresh contiguous id
+    range; [base] is |R₀|. *)

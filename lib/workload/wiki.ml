@@ -1,0 +1,61 @@
+open Siri_core
+
+type t = { seed : int; pages : int }
+
+let create ?(seed = 11) ~pages () =
+  if pages <= 0 then invalid_arg "Wiki.create: pages must be positive";
+  { seed; pages }
+
+let pages t = t.pages
+let prefix = "https://en.wikipedia.org/wiki/"
+
+let page_rng t ~purpose ~revision id =
+  Rng.create (Hashtbl.hash (t.seed, purpose, revision, id))
+
+(* Title lengths: mostly short, a long tail up to 268 chars, mean ≈ 20 so
+   the full key averages ≈ 50 bytes as in the dump. *)
+let title_length rng =
+  let u = Rng.float rng in
+  if u < 0.9 then Rng.int_in rng 1 30
+  else if u < 0.99 then Rng.int_in rng 30 80
+  else Rng.int_in rng 80 268
+
+let title rng len =
+  String.init len (fun i ->
+      if i > 0 && i mod 8 = 7 then '_' else Rng.char_alnum rng)
+
+let key t id =
+  let rng = page_rng t ~purpose:0 ~revision:0 id in
+  Printf.sprintf "%s%s_%d" prefix (title rng (title_length rng)) id
+
+(* Abstract lengths: 1–1036 bytes, mean ≈ 96. *)
+let abstract_length rng =
+  let u = Rng.float rng in
+  if u < 0.7 then Rng.int_in rng 1 100
+  else if u < 0.95 then Rng.int_in rng 100 300
+  else Rng.int_in rng 300 1036
+
+let words rng len =
+  String.init len (fun i ->
+      if i mod 6 = 5 then ' ' else Rng.char_alnum rng)
+
+let value t ?(revision = 0) id =
+  let rng = page_rng t ~purpose:1 ~revision id in
+  words rng (abstract_length rng)
+
+let dataset t = List.init t.pages (fun id -> (key t id, value t id))
+
+let version_stream t ~rng ~versions ~edits_per_version =
+  List.init versions (fun v ->
+      List.init edits_per_version (fun _ ->
+          let id = Rng.int rng t.pages in
+          Kv.Put (key t id, value t ~revision:(v + 1) id)))
+
+let mean_length f t =
+  let total =
+    List.fold_left ( + ) 0 (List.init t.pages (fun id -> String.length (f t id)))
+  in
+  Float.of_int total /. Float.of_int t.pages
+
+let mean_key_length t = mean_length key t
+let mean_value_length t = mean_length (fun t id -> value t id) t

@@ -1,0 +1,30 @@
+(** Wikipedia-shaped synthetic dataset (Section 5.1.2 substitution).
+
+    The paper uses Wikipedia abstract dumps: keys are page URLs (31–298
+    bytes, average ≈ 50) and values are abstract texts (1–1036 bytes,
+    average ≈ 96), split into 300 versions.  Index behaviour depends only on
+    these length distributions and the versioned update pattern, both of
+    which this generator matches with synthetic URL/text content. *)
+
+open Siri_core
+
+type t
+
+val create : ?seed:int -> pages:int -> unit -> t
+val pages : t -> int
+
+val key : t -> int -> Kv.key
+(** A URL-shaped key, e.g. ["https://en.wikipedia.org/wiki/T3gk_9..."]. *)
+
+val value : t -> ?revision:int -> int -> Kv.value
+(** Abstract-shaped text for page [id] at a revision. *)
+
+val dataset : t -> (Kv.key * Kv.value) list
+
+val version_stream :
+  t -> rng:Rng.t -> versions:int -> edits_per_version:int -> Kv.op list list
+(** Successive dump deltas: each version re-writes [edits_per_version]
+    random pages with their next revision. *)
+
+val mean_key_length : t -> float
+val mean_value_length : t -> float

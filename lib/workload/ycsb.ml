@@ -1,0 +1,82 @@
+open Siri_core
+module Hex = Siri_crypto.Hex
+module Sha256 = Siri_crypto.Sha256
+
+type t = { seed : int; n : int }
+
+let create ?(seed = 1) ~n () =
+  if n <= 0 then invalid_arg "Ycsb.create: n must be positive";
+  { seed; n }
+
+let n t = t.n
+
+(* A per-record deterministic stream: every derived byte comes from hashing
+   (seed, id, version, purpose), so datasets regenerate identically. *)
+let record_rng t ~purpose ~version id =
+  Rng.create
+    (Hashtbl.hash (t.seed, purpose, version, id) lxor ((id * 2654435761) land max_int))
+
+let key t id =
+  if id < 0 || id >= t.n then invalid_arg "Ycsb.key: id out of range";
+  let rng = record_rng t ~purpose:0 ~version:0 id in
+  (* 5..15 bytes total, unique: a base36 rendering of the id padded into a
+     random-length alphanumeric tail. *)
+  let base36 =
+    let rec go v acc =
+      let digit = "0123456789abcdefghijklmnopqrstuvwxyz".[v mod 36] in
+      let acc = String.make 1 digit ^ acc in
+      if v < 36 then acc else go (v / 36) acc
+    in
+    go id ""
+  in
+  let len = max (Rng.int_in rng 5 15) (String.length base36 + 1) in
+  let pad = Rng.string_alnum rng (len - String.length base36 - 1) in
+  pad ^ "~" ^ base36
+
+let value t ?(version = 0) id =
+  let rng = record_rng t ~purpose:1 ~version id in
+  (* 200..312 bytes, mean 256 — matches the paper's average record size. *)
+  let len = Rng.int_in rng 200 312 in
+  Rng.string_alnum rng len
+
+let entry t ?(version = 0) id = (key t id, value t ~version id)
+let dataset t = List.init t.n (fun id -> entry t id)
+
+type op_mix = { write_ratio : float }
+type operation = Read of Kv.key | Write of Kv.key * Kv.value
+
+let operations t ~rng ~theta ~mix ~count =
+  let zipf = Zipf.create ~n:t.n ~theta in
+  List.init count (fun _ ->
+      let id = Zipf.sample zipf rng in
+      if Rng.float rng < mix.write_ratio then
+        Write (key t id, value t ~version:(Rng.int rng 1_000_000) id)
+      else Read (key t id))
+
+let update_batches t ~rng ~batch ~versions =
+  List.init versions (fun v ->
+      List.init batch (fun _ ->
+          let id = Rng.int rng t.n in
+          Kv.Put (key t id, value t ~version:(v + 1) id)))
+
+let overlap_workload t ~offset ~group ~groups ~overlap_ratio ~count =
+  if overlap_ratio < 0.0 || overlap_ratio > 1.0 then
+    invalid_arg "Ycsb.overlap_workload: ratio out of range";
+  if group < 0 || group >= groups then
+    invalid_arg "Ycsb.overlap_workload: bad group";
+  let shared = Float.to_int (Float.of_int count *. overlap_ratio) in
+  List.init count (fun i ->
+      if i < shared then
+        (* Identical across groups: a record of the common universe. *)
+        let id = (offset + i) mod t.n in
+        (key t id, value t ~version:1 id)
+      else begin
+        (* Private to this group: a random leading component makes private
+           keys interleave uniformly with the shared records in key order
+           (a group suffix keeps them collision-free across groups). *)
+        let rng = Rng.create (Hashtbl.hash (t.seed, 2, group, i)) in
+        let k =
+          Printf.sprintf "%s~g%d-%d" (Rng.string_alnum rng 5) group i
+        in
+        (k, Rng.string_alnum rng (Rng.int_in rng 200 312))
+      end)

@@ -1,0 +1,54 @@
+(** YCSB-style synthetic dataset and workloads (Section 5.1.1, Table 2).
+
+    Keys are 5–15 byte strings; values average 256 bytes.  Records are
+    deterministic functions of [(seed, id, version)], so independently
+    generated datasets agree record-for-record — which is what the
+    overlapping multi-group workloads rely on. *)
+
+open Siri_core
+
+type t
+
+val create : ?seed:int -> n:int -> unit -> t
+(** A dataset universe of [n] records. *)
+
+val n : t -> int
+val key : t -> int -> Kv.key
+(** Key of record [id]; deterministic, 5–15 bytes, unique per id. *)
+
+val value : t -> ?version:int -> int -> Kv.value
+(** Value of record [id] at a version; ≈256 bytes; distinct across
+    versions. *)
+
+val entry : t -> ?version:int -> int -> Kv.key * Kv.value
+val dataset : t -> (Kv.key * Kv.value) list
+(** All [n] records at version 0. *)
+
+type op_mix = { write_ratio : float;  (** 0 = read-only, 1 = write-only *) }
+
+type operation = Read of Kv.key | Write of Kv.key * Kv.value
+
+val operations :
+  t -> rng:Rng.t -> theta:float -> mix:op_mix -> count:int -> operation list
+(** [count] operations with Zipfian key choice of skew [theta]; writes
+    rewrite the chosen record with a fresh value. *)
+
+val update_batches :
+  t -> rng:Rng.t -> batch:int -> versions:int -> Kv.op list list
+(** [versions] batches of [batch] random-record updates each — the
+    versioned-update stream used by the storage experiments (Figures 1,
+    14). *)
+
+val overlap_workload :
+  t ->
+  offset:int ->
+  group:int ->
+  groups:int ->
+  overlap_ratio:float ->
+  count:int ->
+  (Kv.key * Kv.value) list
+(** The diverse-group collaboration workload (Section 5.4.2): [count]
+    records of which the first [overlap_ratio] fraction are byte-identical
+    across all [groups] (drawn from the universe starting at record id
+    [offset] — pass 0 to reuse the initial records — wrapping modulo [n]) and the rest are private to [group],
+    interleaved uniformly in key order. *)

@@ -1,0 +1,48 @@
+type t = {
+  n : int;
+  theta : float;
+  zetan : float;
+  alpha : float;
+  eta : float;
+}
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0.0 || theta >= 1.0 then
+    invalid_arg "Zipf.create: theta must be in [0, 1)";
+  if theta = 0.0 then { n; theta; zetan = 0.0; alpha = 0.0; eta = 0.0 }
+  else begin
+    let zeta m =
+      let acc = ref 0.0 in
+      for i = 1 to m do
+        acc := !acc +. (1.0 /. Float.pow (Float.of_int i) theta)
+      done;
+      !acc
+    in
+    let zetan = zeta n in
+    let zeta2 = zeta (min n 2) in
+    let alpha = 1.0 /. (1.0 -. theta) in
+    let eta =
+      (1.0 -. Float.pow (2.0 /. Float.of_int n) (1.0 -. theta))
+      /. (1.0 -. (zeta2 /. zetan))
+    in
+    { n; theta; zetan; alpha; eta }
+  end
+
+let n t = t.n
+let theta t = t.theta
+
+let sample t rng =
+  if t.theta = 0.0 then Siri_core.Rng.int rng t.n
+  else begin
+    let u = Siri_core.Rng.float rng in
+    let uz = u *. t.zetan in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. Float.pow 0.5 t.theta then 1
+    else
+      let rank =
+        Float.to_int
+          (Float.of_int t.n *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha)
+      in
+      min rank (t.n - 1)
+  end

@@ -1,0 +1,17 @@
+(** Zipfian item sampler over [0, n), the YCSB generator's algorithm
+    (Gray et al.), parameterised by the skew θ.
+
+    θ = 0 degenerates to the uniform distribution; θ = 0.9 is the "highly
+    skewed" setting of the paper (Table 2 uses θ ∈ {0, 0.5, 0.9}; θ < 1
+    is required). *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** Precomputes the harmonic normaliser in O(n). *)
+
+val n : t -> int
+val theta : t -> float
+
+val sample : t -> Siri_core.Rng.t -> int
+(** An item rank in [0, n); rank 0 is the most popular. *)

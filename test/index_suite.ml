@@ -1,0 +1,302 @@
+(* A conformance battery run against every index through the Generic
+   interface: model-based correctness, diff/merge against the reference
+   implementation, proof soundness, and version immutability.  Each index's
+   test file instantiates this and adds structure-specific cases. *)
+
+open Siri_core
+module Hash = Siri_crypto.Hash
+
+type maker = unit -> Generic.t
+(* Fresh empty instance in a fresh store. *)
+
+let rng_entries rng n =
+  (* Unique keys, random-ish values. *)
+  List.init n (fun i ->
+      (Printf.sprintf "%s%06d" (Rng.string_alnum rng 3) i, Rng.string_alnum rng 24))
+
+let sorted entries = List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+
+let test_empty (mk : maker) () =
+  let t = mk () in
+  Alcotest.(check (option string)) "lookup empty" None (t.Generic.lookup "k");
+  Alcotest.(check int) "cardinal 0" 0 (t.Generic.cardinal ());
+  Alcotest.(check (list (pair string string))) "to_list []" [] (t.Generic.to_list ())
+
+let test_insert_lookup (mk : maker) () =
+  let rng = Rng.create 101 in
+  let entries = rng_entries rng 500 in
+  let t = Generic.of_entries (mk ()) entries in
+  List.iter
+    (fun (k, v) -> Alcotest.(check (option string)) k (Some v) (t.Generic.lookup k))
+    entries;
+  Alcotest.(check (option string)) "absent" None (t.Generic.lookup "zz-absent");
+  Alcotest.(check int) "cardinal" 500 (t.Generic.cardinal ());
+  Alcotest.(check (list (pair string string)))
+    "to_list sorted" (sorted entries) (t.Generic.to_list ())
+
+let test_overwrite (mk : maker) () =
+  let t = Generic.insert (Generic.insert (mk ()) "k" "v1") "k" "v2" in
+  Alcotest.(check (option string)) "overwritten" (Some "v2") (t.Generic.lookup "k");
+  Alcotest.(check int) "still one record" 1 (t.Generic.cardinal ())
+
+let test_delete (mk : maker) () =
+  let rng = Rng.create 102 in
+  let entries = rng_entries rng 300 in
+  let t = Generic.of_entries (mk ()) entries in
+  let doomed = List.filteri (fun i _ -> i mod 3 = 0) entries in
+  let t' = t.Generic.batch (List.map (fun (k, _) -> Kv.Del k) doomed) in
+  List.iteri
+    (fun i (k, v) ->
+      if i mod 3 = 0 then
+        Alcotest.(check (option string)) ("gone " ^ k) None (t'.Generic.lookup k)
+      else Alcotest.(check (option string)) k (Some v) (t'.Generic.lookup k))
+    entries;
+  Alcotest.(check int) "cardinal" (300 - 100) (t'.Generic.cardinal ());
+  (* Deleting an absent key is a no-op, not an error. *)
+  let t'' = Generic.remove t' "totally-absent-key" in
+  Alcotest.(check int) "no-op delete" (t'.Generic.cardinal ()) (t''.Generic.cardinal ())
+
+let test_delete_all (mk : maker) () =
+  let rng = Rng.create 103 in
+  let entries = rng_entries rng 120 in
+  let t = Generic.of_entries (mk ()) entries in
+  let t' = t.Generic.batch (List.map (fun (k, _) -> Kv.Del k) entries) in
+  Alcotest.(check int) "empty again" 0 (t'.Generic.cardinal ());
+  Alcotest.(check (option string)) "nothing left" None
+    (t'.Generic.lookup (fst (List.hd entries)))
+
+let test_versions_immutable (mk : maker) () =
+  let rng = Rng.create 104 in
+  let entries = rng_entries rng 200 in
+  let v1 = Generic.of_entries (mk ()) entries in
+  let root1 = v1.Generic.root in
+  let v2 = Generic.insert v1 "new-key" "new-value" in
+  (* The old version still answers from its own root. *)
+  Alcotest.(check bool) "root unchanged" true (Hash.equal root1 v1.Generic.root);
+  Alcotest.(check (option string)) "old version blind to new key" None
+    (v1.Generic.lookup "new-key");
+  Alcotest.(check (option string)) "new version sees it" (Some "new-value")
+    (v2.Generic.lookup "new-key");
+  (* reopen by root recovers the old version. *)
+  let v1' = v1.Generic.reopen root1 in
+  Alcotest.(check int) "reopened cardinal" 200 (v1'.Generic.cardinal ())
+
+let test_diff_against_reference (mk : maker) () =
+  let rng = Rng.create 105 in
+  let entries = rng_entries rng 400 in
+  let t1 = Generic.of_entries (mk ()) entries in
+  let ops =
+    List.filteri (fun i _ -> i mod 10 = 0) entries
+    |> List.map (fun (k, _) -> Kv.Put (k, "changed"))
+  in
+  let dels =
+    List.filteri (fun i _ -> i mod 17 = 3) entries
+    |> List.map (fun (k, _) -> Kv.Del k)
+  in
+  let adds = [ Kv.Put ("zz-added-1", "a"); Kv.Put ("zz-added-2", "b") ] in
+  let t2 = t1.Generic.batch (ops @ dels @ adds) in
+  let expected = Kv.diff_sorted (t1.Generic.to_list ()) (t2.Generic.to_list ()) in
+  let actual =
+    List.sort
+      (fun (a : Kv.diff_entry) (b : Kv.diff_entry) -> String.compare a.key b.key)
+      (t1.Generic.diff t2.Generic.root)
+  in
+  Alcotest.(check int) "diff count" (List.length expected) (List.length actual);
+  List.iter2
+    (fun (e : Kv.diff_entry) (a : Kv.diff_entry) ->
+      Alcotest.(check string) "key" e.key a.key;
+      Alcotest.(check (option string)) "left" e.left a.left;
+      Alcotest.(check (option string)) "right" e.right a.right)
+    expected actual
+
+let test_diff_self_empty (mk : maker) () =
+  let rng = Rng.create 106 in
+  let t = Generic.of_entries (mk ()) (rng_entries rng 100) in
+  Alcotest.(check int) "self diff empty" 0 (List.length (t.Generic.diff t.Generic.root))
+
+let test_merge_disjoint (mk : maker) () =
+  let rng = Rng.create 107 in
+  let base = rng_entries rng 100 in
+  let t0 = Generic.of_entries (mk ()) base in
+  let ta = Generic.insert t0 "only-in-a" "va" in
+  let tb = Generic.insert t0 "only-in-b" "vb" in
+  match ta.Generic.merge Kv.Fail_on_conflict tb.Generic.root with
+  | Error _ -> Alcotest.fail "disjoint merge should not conflict"
+  | Ok merged ->
+      Alcotest.(check (option string)) "a kept" (Some "va")
+        (merged.Generic.lookup "only-in-a");
+      Alcotest.(check (option string)) "b gained" (Some "vb")
+        (merged.Generic.lookup "only-in-b");
+      Alcotest.(check int) "all records" 102 (merged.Generic.cardinal ())
+
+let test_merge_conflict (mk : maker) () =
+  let t0 = Generic.of_entries (mk ()) [ ("shared", "base"); ("x", "1") ] in
+  let ta = Generic.insert t0 "shared" "a-version" in
+  let tb = Generic.insert t0 "shared" "b-version" in
+  (match ta.Generic.merge Kv.Fail_on_conflict tb.Generic.root with
+  | Ok _ -> Alcotest.fail "expected conflict"
+  | Error [ c ] ->
+      Alcotest.(check string) "conflict key" "shared" c.Kv.key;
+      Alcotest.(check string) "left value" "a-version" c.Kv.left_value
+  | Error cs -> Alcotest.failf "expected one conflict, got %d" (List.length cs));
+  match ta.Generic.merge Kv.Prefer_right tb.Generic.root with
+  | Error _ -> Alcotest.fail "prefer-right cannot conflict"
+  | Ok merged ->
+      Alcotest.(check (option string)) "right wins" (Some "b-version")
+        (merged.Generic.lookup "shared")
+
+let test_proofs (mk : maker) () =
+  let rng = Rng.create 108 in
+  let entries = rng_entries rng 300 in
+  let t = Generic.of_entries (mk ()) entries in
+  let root = t.Generic.root in
+  List.iteri
+    (fun i (k, v) ->
+      if i mod 29 = 0 then begin
+        let p = t.Generic.prove k in
+        Alcotest.(check (option string)) ("claims " ^ k) (Some v) p.Proof.value;
+        Alcotest.(check bool) ("verifies " ^ k) true (t.Generic.verify ~root p);
+        Alcotest.(check bool)
+          ("tampered rejected " ^ k)
+          false
+          (t.Generic.verify ~root (Proof.tamper p))
+      end)
+    entries;
+  (* Absence proof. *)
+  let pa = t.Generic.prove "zz-definitely-absent" in
+  Alcotest.(check (option string)) "absence claim" None pa.Proof.value;
+  Alcotest.(check bool) "absence verifies" true (t.Generic.verify ~root pa);
+  (* A proof for one version must not verify against another root. *)
+  let t2 = Generic.insert t (fst (List.hd entries)) "mutated" in
+  let p = t.Generic.prove (fst (List.hd entries)) in
+  Alcotest.(check bool) "stale proof rejected" false
+    (t2.Generic.verify ~root:t2.Generic.root p)
+
+let test_proof_detects_value_swap (mk : maker) () =
+  let t = Generic.of_entries (mk ()) [ ("a", "1"); ("b", "2") ] in
+  let p = t.Generic.prove "a" in
+  let lying = { p with Proof.value = Some "42" } in
+  Alcotest.(check bool) "forged value rejected" false
+    (t.Generic.verify ~root:t.Generic.root lying)
+
+let test_proof_key_substitution (mk : maker) () =
+  (* Presenting key A's (valid) proof as a statement about key B must fail:
+     the replay follows B's search path, which the A-path nodes cannot
+     satisfy, or ends at a value that contradicts the claim. *)
+  let t = Generic.of_entries (mk ())
+      [ ("alpha", "1"); ("beta", "2"); ("gamma", "3") ] in
+  let p = t.Generic.prove "alpha" in
+  let forged = { p with Proof.key = "beta" } in
+  Alcotest.(check bool) "key substitution rejected" false
+    (t.Generic.verify ~root:t.Generic.root forged);
+  (* Claiming absence of a present key with its own proof also fails. *)
+  let absent_claim = { p with Proof.value = None } in
+  Alcotest.(check bool) "false absence rejected" false
+    (t.Generic.verify ~root:t.Generic.root absent_claim)
+
+let test_path_length (mk : maker) () =
+  let rng = Rng.create 109 in
+  let entries = rng_entries rng 400 in
+  let t = Generic.of_entries (mk ()) entries in
+  List.iteri
+    (fun i (k, _) ->
+      if i mod 37 = 0 then begin
+        let len = t.Generic.path_length k in
+        Alcotest.(check bool)
+          (Printf.sprintf "path length %d sane" len)
+          true
+          (len >= 1 && len <= 64)
+      end)
+    entries
+
+let test_batch_equals_sequential (mk : maker) () =
+  let rng = Rng.create 110 in
+  let entries = rng_entries rng 150 in
+  let b = Generic.of_entries (mk ()) entries in
+  let s =
+    List.fold_left (fun t (k, v) -> Generic.insert t k v) (mk ()) entries
+  in
+  Alcotest.(check (list (pair string string)))
+    "same records" (b.Generic.to_list ()) (s.Generic.to_list ())
+
+(* Model-based random operations against a Map. *)
+let qcheck_model (mk : maker) name =
+  let op_gen =
+    QCheck.Gen.(
+      pair (int_bound 2) (pair (string_size ~gen:(char_range 'a' 'f') (1 -- 4)) (string_size (0 -- 8))))
+  in
+  QCheck.Test.make ~name:(name ^ ": random ops match Map model") ~count:60
+    (QCheck.make QCheck.Gen.(list_size (0 -- 120) op_gen))
+    (fun script ->
+      let module M = Map.Make (String) in
+      let model = ref M.empty in
+      let t = ref (mk ()) in
+      List.iter
+        (fun (kind, (k, v)) ->
+          match kind with
+          | 0 | 1 ->
+              model := M.add k v !model;
+              t := Generic.insert !t k v
+          | _ ->
+              model := M.remove k !model;
+              t := Generic.remove !t k)
+        script;
+      let expected = M.bindings !model in
+      let got = (!t).Generic.to_list () in
+      expected = got
+      && M.for_all (fun k v -> (!t).Generic.lookup k = Some v) !model)
+
+let test_binary_safety (mk : maker) () =
+  (* Keys and values are arbitrary byte strings: null bytes, 0xff, empty
+     values, and large values must all round-trip. *)
+  let entries =
+    [ ("\x00", "null-key");
+      ("\x00\x00b", "nested-null");
+      ("\xff\xfe", "high-bytes");
+      ("mixed\x00\xffkey", "");
+      ("big-value", String.init 100_000 (fun i -> Char.chr (i land 0xFF)));
+      ("utf8-\xc3\xa9\xc2\xa0", "caf\xc3\xa9") ]
+  in
+  let t = Generic.of_entries (mk ()) entries in
+  List.iter
+    (fun (k, v) ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "binary key %S" k)
+        (Some v) (t.Generic.lookup k))
+    entries;
+  Alcotest.(check int) "cardinal" (List.length entries) (t.Generic.cardinal ());
+  (* Proofs still work over binary content. *)
+  let p = t.Generic.prove "\x00" in
+  Alcotest.(check bool) "binary proof verifies" true
+    (t.Generic.verify ~root:t.Generic.root p);
+  (* And deletes. *)
+  let t' = Generic.remove t "\xff\xfe" in
+  Alcotest.(check (option string)) "binary delete" None (t'.Generic.lookup "\xff\xfe")
+
+let test_long_keys (mk : maker) () =
+  let long k = String.concat "/" (List.init 40 (fun i -> k ^ string_of_int i)) in
+  let entries = List.init 20 (fun i -> (long (string_of_int i), "v" ^ string_of_int i)) in
+  let t = Generic.of_entries (mk ()) entries in
+  List.iter
+    (fun (k, v) -> Alcotest.(check (option string)) "long key" (Some v) (t.Generic.lookup k))
+    entries
+
+let cases name (mk : maker) =
+  [ Alcotest.test_case "empty instance" `Quick (test_empty mk);
+    Alcotest.test_case "insert/lookup/to_list" `Quick (test_insert_lookup mk);
+    Alcotest.test_case "overwrite" `Quick (test_overwrite mk);
+    Alcotest.test_case "delete" `Quick (test_delete mk);
+    Alcotest.test_case "delete all" `Quick (test_delete_all mk);
+    Alcotest.test_case "versions immutable" `Quick (test_versions_immutable mk);
+    Alcotest.test_case "diff vs reference" `Quick (test_diff_against_reference mk);
+    Alcotest.test_case "diff self" `Quick (test_diff_self_empty mk);
+    Alcotest.test_case "merge disjoint" `Quick (test_merge_disjoint mk);
+    Alcotest.test_case "merge conflict" `Quick (test_merge_conflict mk);
+    Alcotest.test_case "proofs" `Quick (test_proofs mk);
+    Alcotest.test_case "forged proof value" `Quick (test_proof_detects_value_swap mk);
+    Alcotest.test_case "proof key substitution" `Quick (test_proof_key_substitution mk);
+    Alcotest.test_case "path length sane" `Quick (test_path_length mk);
+    Alcotest.test_case "batch = sequential" `Quick (test_batch_equals_sequential mk);
+    Alcotest.test_case "binary-safe keys/values" `Quick (test_binary_safety mk);
+    Alcotest.test_case "long keys" `Quick (test_long_keys mk);
+    QCheck_alcotest.to_alcotest (qcheck_model mk name) ]

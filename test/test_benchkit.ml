@@ -1,0 +1,116 @@
+(* The measurement kit used by the benchmark harness: timers, sample
+   histograms and table rendering. *)
+
+module Clock = Siri_benchkit.Clock
+module Hist = Siri_benchkit.Hist
+module Table = Siri_benchkit.Table
+
+let test_clock_time () =
+  let x, seconds = Clock.time (fun () -> 42) in
+  Alcotest.(check int) "result" 42 x;
+  Alcotest.(check bool) "non-negative" true (seconds >= 0.0);
+  let busy = Clock.time_unit (fun () -> ignore (Sys.opaque_identity (Array.make 100_000 0))) in
+  Alcotest.(check bool) "measurable work" true (busy >= 0.0)
+
+let test_throughput () =
+  Alcotest.(check (float 1e-9)) "1000 ops in 2s" 500.0
+    (Clock.throughput ~ops:1000 ~seconds:2.0);
+  Alcotest.(check (float 1e-9)) "zero time" 0.0 (Clock.throughput ~ops:10 ~seconds:0.0)
+
+let test_hist_stats () =
+  let h = Hist.create () in
+  List.iter (Hist.add h) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  Alcotest.(check int) "count" 5 (Hist.count h);
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Hist.mean h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Hist.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Hist.max_value h);
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Hist.percentile h 0.5);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Hist.percentile h 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Hist.percentile h 1.0)
+
+let test_hist_empty () =
+  let h = Hist.create () in
+  Alcotest.(check int) "count" 0 (Hist.count h);
+  Alcotest.(check (float 1e-9)) "mean" 0.0 (Hist.mean h);
+  Alcotest.(check (float 1e-9)) "percentile" 0.0 (Hist.percentile h 0.9);
+  Alcotest.(check int) "no buckets" 0 (List.length (Hist.buckets h ~n:4))
+
+let test_hist_buckets () =
+  let h = Hist.create () in
+  List.iter (fun i -> Hist.add h (Float.of_int i)) [ 0; 1; 2; 3; 4; 5; 6; 7 ];
+  let buckets = Hist.buckets h ~n:4 in
+  Alcotest.(check int) "4 buckets" 4 (List.length buckets);
+  Alcotest.(check int) "all samples binned" 8
+    (List.fold_left (fun acc (_, _, c) -> acc + c) 0 buckets);
+  (* Buckets tile the range contiguously. *)
+  let rec contiguous = function
+    | (_, hi1, _) :: ((lo2, _, _) :: _ as rest) ->
+        Alcotest.(check (float 1e-9)) "contiguous" hi1 lo2;
+        contiguous rest
+    | _ -> ()
+  in
+  contiguous buckets
+
+let test_hist_add_invalidates_cache () =
+  let h = Hist.create () in
+  Hist.add h 10.0;
+  Alcotest.(check (float 1e-9)) "first max" 10.0 (Hist.max_value h);
+  Hist.add h 20.0;
+  Alcotest.(check (float 1e-9)) "updated max" 20.0 (Hist.max_value h)
+
+let test_fmt_bytes () =
+  Alcotest.(check string) "bytes" "512 B" (Table.fmt_bytes 512);
+  Alcotest.(check string) "kb" "2.00 KB" (Table.fmt_bytes 2048);
+  Alcotest.(check string) "mb" "1.50 MB" (Table.fmt_bytes (3 * 1024 * 1024 / 2));
+  Alcotest.(check string) "gb" "1.00 GB" (Table.fmt_bytes (1024 * 1024 * 1024))
+
+let test_fmt_float () =
+  Alcotest.(check string) "integer" "42" (Table.fmt_float 42.0);
+  Alcotest.(check string) "small" "0.1230" (Table.fmt_float 0.123);
+  Alcotest.(check string) "medium" "3.14" (Table.fmt_float 3.14159);
+  Alcotest.(check string) "large" "12346" (Table.fmt_float 12345.678)
+
+let capture f =
+  let path = Filename.temp_file "siri-table" ".txt" in
+  let oc = open_out path in
+  f oc;
+  close_out oc;
+  let s = In_channel.with_open_bin path In_channel.input_all in
+  Sys.remove path;
+  s
+
+let test_table_renders () =
+  let out =
+    capture (fun oc ->
+        Table.print ~out:oc ~title:"demo" ~headers:[ "name"; "value" ]
+          [ [ "alpha"; "1" ]; [ "much-longer-name"; "22" ] ])
+  in
+  Alcotest.(check bool) "title present" true
+    (String.length out > 0 && Astring.String.is_infix ~affix:"demo" out);
+  Alcotest.(check bool) "rows present" true
+    (Astring.String.is_infix ~affix:"much-longer-name" out)
+
+let test_series_renders () =
+  let out =
+    capture (fun oc ->
+        Table.series ~out:oc ~title:"s" ~x_label:"x" ~columns:[ "a"; "b" ]
+          [ ("1", [ 1.0; 2.0 ]); ("2", [ 3.0; 4.5 ]) ])
+  in
+  Alcotest.(check bool) "values rendered" true
+    (Astring.String.is_infix ~affix:"4.50" out)
+
+let () =
+  Alcotest.run "benchkit"
+    [ ( "clock",
+        [ Alcotest.test_case "time" `Quick test_clock_time;
+          Alcotest.test_case "throughput" `Quick test_throughput ] );
+      ( "hist",
+        [ Alcotest.test_case "stats" `Quick test_hist_stats;
+          Alcotest.test_case "empty" `Quick test_hist_empty;
+          Alcotest.test_case "buckets" `Quick test_hist_buckets;
+          Alcotest.test_case "cache invalidation" `Quick test_hist_add_invalidates_cache ] );
+      ( "table",
+        [ Alcotest.test_case "fmt_bytes" `Quick test_fmt_bytes;
+          Alcotest.test_case "fmt_float" `Quick test_fmt_float;
+          Alcotest.test_case "table rendering" `Quick test_table_renders;
+          Alcotest.test_case "series rendering" `Quick test_series_renders ] ) ]

@@ -1,0 +1,216 @@
+(* Wire writer/reader, RLP (Ethereum test vectors), and nibble paths. *)
+
+module Wire = Siri_codec.Wire
+module Rlp = Siri_codec.Rlp
+module Nibbles = Siri_codec.Nibbles
+module Hash = Siri_crypto.Hash
+module Hex = Siri_crypto.Hex
+
+(* --- wire ----------------------------------------------------------------- *)
+
+let test_wire_roundtrip () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.u8 w 0x7F;
+  Wire.Writer.u16 w 0xBEEF;
+  Wire.Writer.u32 w 0xDEADBEEF;
+  Wire.Writer.varint w 0;
+  Wire.Writer.varint w 127;
+  Wire.Writer.varint w 128;
+  Wire.Writer.varint w 300;
+  Wire.Writer.varint w 1_000_000_007;
+  Wire.Writer.str w "hello";
+  Wire.Writer.str w "";
+  let h = Hash.of_string "x" in
+  Wire.Writer.hash w h;
+  Wire.Writer.raw w "tail";
+  let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+  Alcotest.(check int) "u8" 0x7F (Wire.Reader.u8 r);
+  Alcotest.(check int) "u16" 0xBEEF (Wire.Reader.u16 r);
+  Alcotest.(check int) "u32" 0xDEADBEEF (Wire.Reader.u32 r);
+  Alcotest.(check int) "varint 0" 0 (Wire.Reader.varint r);
+  Alcotest.(check int) "varint 127" 127 (Wire.Reader.varint r);
+  Alcotest.(check int) "varint 128" 128 (Wire.Reader.varint r);
+  Alcotest.(check int) "varint 300" 300 (Wire.Reader.varint r);
+  Alcotest.(check int) "varint big" 1_000_000_007 (Wire.Reader.varint r);
+  Alcotest.(check string) "str" "hello" (Wire.Reader.str r);
+  Alcotest.(check string) "empty str" "" (Wire.Reader.str r);
+  Alcotest.(check bool) "hash" true (Hash.equal h (Wire.Reader.hash r));
+  Alcotest.(check string) "raw" "tail" (Wire.Reader.raw r 4);
+  Alcotest.(check bool) "at end" true (Wire.Reader.at_end r)
+
+let test_wire_truncated () =
+  let r = Wire.Reader.of_string "\x01" in
+  ignore (Wire.Reader.u8 r);
+  Alcotest.check_raises "u8 past end" Wire.Reader.Truncated (fun () ->
+      ignore (Wire.Reader.u8 r))
+
+let test_wire_bounds () =
+  let w = Wire.Writer.create () in
+  Alcotest.check_raises "u8 range" (Invalid_argument "Wire.Writer.u8")
+    (fun () -> Wire.Writer.u8 w 256);
+  Alcotest.check_raises "u16 range" (Invalid_argument "Wire.Writer.u16")
+    (fun () -> Wire.Writer.u16 w (-1));
+  Alcotest.check_raises "varint negative"
+    (Invalid_argument "Wire.Writer.varint: negative") (fun () ->
+      Wire.Writer.varint w (-5))
+
+let test_varint_malicious_continuation () =
+  (* An endless run of continuation bytes must fail cleanly, not shift past
+     the word size. *)
+  let evil = String.make 64 '\x80' in
+  Alcotest.check_raises "unbounded varint" Wire.Reader.Truncated (fun () ->
+      ignore (Wire.Reader.varint (Wire.Reader.of_string evil)))
+
+let qcheck_reader_fuzz =
+  (* Decoding arbitrary bytes must terminate with a value or a clean
+     exception — never hang or corrupt memory. *)
+  QCheck.Test.make ~name:"reader survives arbitrary bytes" ~count:300
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s ->
+      let r = Wire.Reader.of_string s in
+      let attempt f = match f r with _ -> true | exception Wire.Reader.Truncated -> true in
+      attempt Wire.Reader.varint
+      && attempt Wire.Reader.str
+      && attempt (fun r -> Wire.Reader.raw r 10)
+      &&
+      match Wire.Reader.hash (Wire.Reader.of_string s) with
+      | _ -> true
+      | exception Wire.Reader.Truncated -> true)
+
+let qcheck_varint =
+  QCheck.Test.make ~name:"varint roundtrip" ~count:500
+    QCheck.(int_bound max_int)
+    (fun n ->
+      let w = Wire.Writer.create () in
+      Wire.Writer.varint w n;
+      Wire.Reader.varint (Wire.Reader.of_string (Wire.Writer.contents w)) = n)
+
+(* --- rlp ------------------------------------------------------------------- *)
+
+(* Vectors from the Ethereum wiki / go-ethereum test suite. *)
+let rlp_vectors =
+  [ (Rlp.String "dog", "83646f67");
+    (Rlp.List [ Rlp.String "cat"; Rlp.String "dog" ], "c88363617483646f67");
+    (Rlp.String "", "80");
+    (Rlp.List [], "c0");
+    (Rlp.of_int 0, "80");
+    (Rlp.of_int 15, "0f");
+    (Rlp.of_int 1024, "820400");
+    ( Rlp.List [ Rlp.List []; Rlp.List [ Rlp.List [] ]; Rlp.List [ Rlp.List []; Rlp.List [ Rlp.List [] ] ] ],
+      "c7c0c1c0c3c0c1c0" );
+    ( Rlp.String "Lorem ipsum dolor sit amet, consectetur adipisicing elit",
+      "b8384c6f72656d20697073756d20646f6c6f722073697420616d65742c20636f6e7365637465747572206164697069736963696e6720656c6974" ) ]
+
+let test_rlp_encode () =
+  List.iter
+    (fun (item, hex) ->
+      Alcotest.(check string) hex hex (Hex.encode (Rlp.encode item)))
+    rlp_vectors
+
+let test_rlp_decode () =
+  List.iter
+    (fun (item, hex) ->
+      Alcotest.(check bool) ("decode " ^ hex) true
+        (Rlp.decode (Hex.decode hex) = item))
+    rlp_vectors
+
+let test_rlp_single_bytes () =
+  (* Bytes < 0x80 encode as themselves. *)
+  Alcotest.(check string) "byte 0x42" "42" (Hex.encode (Rlp.encode (Rlp.String "\x42")));
+  (* 0x80..0xFF need a length prefix. *)
+  Alcotest.(check string) "byte 0x80" "8180" (Hex.encode (Rlp.encode (Rlp.String "\x80")))
+
+let test_rlp_rejects_noncanonical () =
+  let raises hex =
+    match Rlp.decode (Hex.decode hex) with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "0x8100 (single byte long form)" true (raises "8100");
+  Alcotest.(check bool) "trailing bytes" true (raises "83646f6700");
+  Alcotest.(check bool) "truncated" true (raises "83646f")
+
+let test_rlp_int () =
+  List.iter
+    (fun n -> Alcotest.(check int) (string_of_int n) n (Rlp.to_int (Rlp.of_int n)))
+    [ 0; 1; 127; 128; 255; 256; 65535; 65536; 1_000_000_000 ]
+
+let rlp_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 1 then map (fun s -> Rlp.String s) (string_size (0 -- 40))
+          else
+            frequency
+              [ (2, map (fun s -> Rlp.String s) (string_size (0 -- 40)));
+                (1, map (fun l -> Rlp.List l) (list_size (0 -- 4) (self (n / 2)))) ])
+        n)
+
+let qcheck_rlp_roundtrip =
+  QCheck.Test.make ~name:"rlp roundtrip" ~count:300
+    (QCheck.make ~print:(Format.asprintf "%a" Rlp.pp) rlp_gen)
+    (fun item -> Rlp.decode (Rlp.encode item) = item)
+
+(* --- nibbles ----------------------------------------------------------------- *)
+
+let test_nibbles_of_key () =
+  let n = Nibbles.of_key "\x3a\xf0" in
+  Alcotest.(check int) "length" 4 (Nibbles.length n);
+  Alcotest.(check (list int)) "values" [ 3; 10; 15; 0 ]
+    (List.init 4 (Nibbles.get n));
+  Alcotest.(check string) "roundtrip" "\x3a\xf0" (Nibbles.to_key n)
+
+let test_nibbles_ops () =
+  let a = Nibbles.of_key "abc" and b = Nibbles.of_key "abd" in
+  Alcotest.(check int) "common prefix" 5 (Nibbles.common_prefix a b);
+  Alcotest.(check bool) "drop+sub" true
+    (Nibbles.equal (Nibbles.drop a 2) (Nibbles.sub a 2 4));
+  Alcotest.(check bool) "concat" true
+    (Nibbles.equal a (Nibbles.concat (Nibbles.sub a 0 3) (Nibbles.drop a 3)));
+  Alcotest.(check int) "cons" 7 (Nibbles.get (Nibbles.cons 7 a) 0)
+
+let test_compact_encoding () =
+  List.iter
+    (fun (leaf, key, drop) ->
+      let path = Nibbles.drop (Nibbles.of_key key) drop in
+      let leaf', path' = Nibbles.compact_decode (Nibbles.compact_encode ~leaf path) in
+      Alcotest.(check bool) "leaf flag" leaf leaf';
+      Alcotest.(check bool) "path" true (Nibbles.equal path path'))
+    [ (true, "dog", 0); (false, "dog", 0); (true, "dog", 1); (false, "dog", 1);
+      (true, "", 0); (false, "x", 1); (true, "longer-key-here", 3) ]
+
+let qcheck_compact =
+  QCheck.Test.make ~name:"compact encode/decode" ~count:300
+    QCheck.(pair bool (pair small_string (int_bound 5)))
+    (fun (leaf, (key, d)) ->
+      let full = Nibbles.of_key key in
+      let d = min d (Nibbles.length full) in
+      let path = Nibbles.drop full d in
+      let leaf', path' =
+        Nibbles.compact_decode (Nibbles.compact_encode ~leaf path)
+      in
+      leaf = leaf' && Nibbles.equal path path')
+
+let () =
+  Alcotest.run "codec"
+    [ ( "wire",
+        [ Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "truncated" `Quick test_wire_truncated;
+          Alcotest.test_case "bounds" `Quick test_wire_bounds;
+          Alcotest.test_case "malicious varint" `Quick test_varint_malicious_continuation;
+          QCheck_alcotest.to_alcotest qcheck_reader_fuzz;
+          QCheck_alcotest.to_alcotest qcheck_varint ] );
+      ( "rlp",
+        [ Alcotest.test_case "encode vectors" `Quick test_rlp_encode;
+          Alcotest.test_case "decode vectors" `Quick test_rlp_decode;
+          Alcotest.test_case "single bytes" `Quick test_rlp_single_bytes;
+          Alcotest.test_case "non-canonical rejected" `Quick
+            test_rlp_rejects_noncanonical;
+          Alcotest.test_case "int scalars" `Quick test_rlp_int;
+          QCheck_alcotest.to_alcotest qcheck_rlp_roundtrip ] );
+      ( "nibbles",
+        [ Alcotest.test_case "of_key/get" `Quick test_nibbles_of_key;
+          Alcotest.test_case "slicing ops" `Quick test_nibbles_ops;
+          Alcotest.test_case "compact encoding" `Quick test_compact_encoding;
+          QCheck_alcotest.to_alcotest qcheck_compact ] ) ]

@@ -1,0 +1,222 @@
+(* Forkbase-like engine: branches, commits, history, checkout, merge; the
+   LRU cache; and the remote-deployment simulation. *)
+
+open Siri_core
+module Store = Siri_store.Store
+module Engine = Siri_forkbase.Engine
+module Lru = Siri_forkbase.Lru
+module Remote = Siri_forkbase.Remote
+module Pos = Siri_pos.Pos_tree
+module Hash = Siri_crypto.Hash
+
+let fresh_engine () =
+  let store = Store.create () in
+  let cfg = Pos.config ~leaf_target:256 () in
+  Engine.create ~empty_index:(Pos.generic (Pos.empty store cfg))
+
+(* --- lru ---------------------------------------------------------------------- *)
+
+let h i = Hash.of_string (string_of_int i)
+
+let test_lru_hits_and_misses () =
+  let c = Lru.create ~capacity:2 in
+  Alcotest.(check bool) "first touch misses" false (Lru.touch c (h 1));
+  Alcotest.(check bool) "second touch hits" true (Lru.touch c (h 1));
+  ignore (Lru.touch c (h 2));
+  (* Recency is now [2; 1]: inserting a third entry evicts 1. *)
+  ignore (Lru.touch c (h 3));
+  Alcotest.(check bool) "h1 evicted" false (Lru.mem c (h 1));
+  Alcotest.(check bool) "h2 kept" true (Lru.mem c (h 2));
+  Alcotest.(check bool) "h3 kept" true (Lru.mem c (h 3));
+  Alcotest.(check int) "size" 2 (Lru.size c)
+
+let test_lru_eviction_order () =
+  let c = Lru.create ~capacity:3 in
+  List.iter (fun i -> ignore (Lru.touch c (h i))) [ 1; 2; 3 ];
+  ignore (Lru.touch c (h 1));
+  (* refresh 1: order now 1,3,2 *)
+  ignore (Lru.touch c (h 4));
+  (* evicts 2 *)
+  Alcotest.(check bool) "2 evicted" false (Lru.mem c (h 2));
+  List.iter (fun i -> Alcotest.(check bool) "kept" true (Lru.mem c (h i))) [ 1; 3; 4 ]
+
+let test_lru_clear () =
+  let c = Lru.create ~capacity:4 in
+  List.iter (fun i -> ignore (Lru.touch c (h i))) [ 1; 2; 3 ];
+  Lru.clear c;
+  Alcotest.(check int) "empty" 0 (Lru.size c);
+  Alcotest.(check bool) "gone" false (Lru.mem c (h 1));
+  (* Reusable after clear. *)
+  ignore (Lru.touch c (h 9));
+  Alcotest.(check bool) "works after clear" true (Lru.mem c (h 9))
+
+let test_lru_churn () =
+  let c = Lru.create ~capacity:10 in
+  for i = 1 to 1000 do
+    ignore (Lru.touch c (h (i mod 25)))
+  done;
+  Alcotest.(check int) "bounded" 10 (Lru.size c)
+
+(* --- engine -------------------------------------------------------------------- *)
+
+let test_commit_and_get () =
+  let e = fresh_engine () in
+  let c1 = Engine.commit e ~branch:"master" ~message:"first" [ Kv.Put ("a", "1") ] in
+  Alcotest.(check int) "version 1" 1 c1.Engine.version;
+  Alcotest.(check (option string)) "get" (Some "1") (Engine.get e ~branch:"master" "a");
+  let _ = Engine.put e ~branch:"master" "b" "2" in
+  Alcotest.(check (option string)) "get b" (Some "2") (Engine.get e ~branch:"master" "b")
+
+let test_history_and_checkout () =
+  let e = fresh_engine () in
+  let c1 = Engine.commit e ~branch:"master" ~message:"v1" [ Kv.Put ("k", "v1") ] in
+  let _c2 = Engine.commit e ~branch:"master" ~message:"v2" [ Kv.Put ("k", "v2") ] in
+  let hist = Engine.history e "master" in
+  Alcotest.(check int) "3 commits (incl. initial)" 3 (List.length hist);
+  Alcotest.(check string) "head message" "v2" (List.hd hist).Engine.message;
+  (* Checkout the old commit: it still answers v1. *)
+  let old = Engine.checkout e c1.Engine.id in
+  Alcotest.(check (option string)) "old version" (Some "v1") (old.Generic.lookup "k");
+  Alcotest.(check (option string)) "head version" (Some "v2")
+    (Engine.get e ~branch:"master" "k")
+
+let test_fork_and_isolation () =
+  let e = fresh_engine () in
+  let _ = Engine.commit e ~branch:"master" ~message:"base" [ Kv.Put ("shared", "s") ] in
+  Engine.fork e ~from:"master" "feature";
+  let _ = Engine.commit e ~branch:"feature" ~message:"f" [ Kv.Put ("f-only", "1") ] in
+  Alcotest.(check (option string)) "feature sees base" (Some "s")
+    (Engine.get e ~branch:"feature" "shared");
+  Alcotest.(check (option string)) "master blind to feature" None
+    (Engine.get e ~branch:"master" "f-only");
+  Alcotest.(check (list string)) "branch list" [ "feature"; "master" ] (Engine.branches e)
+
+let test_fork_validation () =
+  let e = fresh_engine () in
+  Alcotest.check_raises "duplicate branch"
+    (Invalid_argument "Engine.fork: branch \"master\" exists") (fun () ->
+      Engine.fork e ~from:"master" "master");
+  Alcotest.check_raises "unknown source"
+    (Invalid_argument "Engine: no branch \"nope\"") (fun () ->
+      Engine.fork e ~from:"nope" "x")
+
+let test_diff_and_merge_branches () =
+  let e = fresh_engine () in
+  let _ = Engine.commit e ~branch:"master" ~message:"base"
+      [ Kv.Put ("a", "1"); Kv.Put ("b", "2") ] in
+  Engine.fork e ~from:"master" "side";
+  let _ = Engine.commit e ~branch:"side" ~message:"side" [ Kv.Put ("c", "3") ] in
+  let _ = Engine.commit e ~branch:"master" ~message:"m" [ Kv.Put ("a", "11") ] in
+  let d = Engine.diff_branches e "master" "side" in
+  Alcotest.(check int) "two differences" 2 (List.length d);
+  (match Engine.merge_branches e ~into:"master" ~from:"side" ~policy:Kv.Prefer_left with
+  | Error _ -> Alcotest.fail "merge should succeed"
+  | Ok c ->
+      Alcotest.(check bool) "merge commit message" true
+        (String.length c.Engine.message > 0));
+  Alcotest.(check (option string)) "kept master a" (Some "11")
+    (Engine.get e ~branch:"master" "a");
+  Alcotest.(check (option string)) "gained side c" (Some "3")
+    (Engine.get e ~branch:"master" "c")
+
+let test_merge_conflict_policy () =
+  let e = fresh_engine () in
+  let _ = Engine.commit e ~branch:"master" ~message:"b" [ Kv.Put ("k", "base") ] in
+  Engine.fork e ~from:"master" "other";
+  let _ = Engine.commit e ~branch:"other" ~message:"o" [ Kv.Put ("k", "theirs") ] in
+  let _ = Engine.commit e ~branch:"master" ~message:"m" [ Kv.Put ("k", "ours") ] in
+  (match Engine.merge_branches e ~into:"master" ~from:"other" ~policy:Kv.Fail_on_conflict with
+  | Ok _ -> Alcotest.fail "expected conflict"
+  | Error [ c ] -> Alcotest.(check string) "key" "k" c.Kv.key
+  | Error _ -> Alcotest.fail "one conflict expected");
+  match Engine.merge_branches e ~into:"master" ~from:"other" ~policy:Kv.Prefer_right with
+  | Error _ -> Alcotest.fail "policy resolves"
+  | Ok _ ->
+      Alcotest.(check (option string)) "theirs wins" (Some "theirs")
+        (Engine.get e ~branch:"master" "k")
+
+let test_dedup_across_branches () =
+  let e = fresh_engine () in
+  let entries = List.init 500 (fun i -> Kv.Put (Printf.sprintf "k%05d" i, "v")) in
+  let _ = Engine.commit e ~branch:"master" ~message:"bulk" entries in
+  Engine.fork e ~from:"master" "twin";
+  let _ = Engine.commit e ~branch:"twin" ~message:"tiny" [ Kv.Put ("k00000", "x") ] in
+  let eta = Engine.dedup_ratio e in
+  Alcotest.(check bool) (Printf.sprintf "eta %.2f high" eta) true (eta > 0.4)
+
+let test_gc_preserves_history () =
+  let e = fresh_engine () in
+  let store = Engine.store e in
+  let _ = Engine.commit e ~branch:"master" ~message:"v1" [ Kv.Put ("a", "1") ] in
+  let c2 = Engine.commit e ~branch:"master" ~message:"v2" [ Kv.Put ("b", "2") ] in
+  ignore (Store.put store "unreachable garbage");
+  let reclaimed = Store.gc store ~roots:[ c2.Engine.id ] in
+  Alcotest.(check bool) "collected something" true (reclaimed >= 1);
+  (* Full history still reachable through commit parents. *)
+  let hist = Engine.history e "master" in
+  Alcotest.(check int) "history intact" 3 (List.length hist);
+  Alcotest.(check (option string)) "data intact" (Some "1")
+    (Engine.get e ~branch:"master" "a")
+
+(* --- remote simulation ------------------------------------------------------------ *)
+
+let test_remote_accounting () =
+  let store = Store.create () in
+  let cfg = Pos.config ~leaf_target:256 () in
+  let t = Pos.of_entries store cfg
+      (List.init 300 (fun i -> (Printf.sprintf "k%05d" i, String.make 50 'v'))) in
+  let remote = Remote.attach store ~cache_nodes:10_000 Remote.gigabit_lan in
+  (* First read: misses, pays network. *)
+  ignore (Pos.lookup t "k00042");
+  let misses1 = Remote.misses remote in
+  let sim1 = Remote.simulated_seconds remote in
+  Alcotest.(check bool) "paid misses" true (misses1 > 0 && sim1 > 0.0);
+  (* Same read again: all nodes cached. *)
+  ignore (Pos.lookup t "k00042");
+  Alcotest.(check int) "no new misses" misses1 (Remote.misses remote);
+  Alcotest.(check bool) "hits recorded" true (Remote.hits remote > 0);
+  Remote.detach store remote
+
+let test_remote_no_cache () =
+  let store = Store.create () in
+  let cfg = Pos.config ~leaf_target:256 () in
+  let t = Pos.of_entries store cfg
+      (List.init 300 (fun i -> (Printf.sprintf "k%05d" i, String.make 50 'v'))) in
+  let remote = Remote.attach store Remote.http_overhead in
+  ignore (Pos.lookup t "k00042");
+  let m1 = Remote.misses remote in
+  ignore (Pos.lookup t "k00042");
+  Alcotest.(check int) "every read misses" (2 * m1) (Remote.misses remote);
+  Alcotest.(check int) "no hits" 0 (Remote.hits remote);
+  Remote.detach store remote
+
+let test_remote_reset () =
+  let store = Store.create () in
+  let remote = Remote.attach store ~cache_nodes:10 Remote.gigabit_lan in
+  let hsh = Store.put store "x" in
+  ignore (Store.get store hsh);
+  Remote.reset remote;
+  Alcotest.(check int) "misses reset" 0 (Remote.misses remote);
+  Alcotest.(check (float 1e-12)) "time reset" 0.0 (Remote.simulated_seconds remote);
+  Remote.detach store remote
+
+let () =
+  Alcotest.run "forkbase"
+    [ ( "lru",
+        [ Alcotest.test_case "hits/misses" `Quick test_lru_hits_and_misses;
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "clear" `Quick test_lru_clear;
+          Alcotest.test_case "churn stays bounded" `Quick test_lru_churn ] );
+      ( "engine",
+        [ Alcotest.test_case "commit/get" `Quick test_commit_and_get;
+          Alcotest.test_case "history & checkout" `Quick test_history_and_checkout;
+          Alcotest.test_case "fork isolation" `Quick test_fork_and_isolation;
+          Alcotest.test_case "fork validation" `Quick test_fork_validation;
+          Alcotest.test_case "diff & merge branches" `Quick test_diff_and_merge_branches;
+          Alcotest.test_case "merge conflict policy" `Quick test_merge_conflict_policy;
+          Alcotest.test_case "dedup across branches" `Quick test_dedup_across_branches;
+          Alcotest.test_case "gc preserves history" `Quick test_gc_preserves_history ] );
+      ( "remote",
+        [ Alcotest.test_case "cache accounting" `Quick test_remote_accounting;
+          Alcotest.test_case "no-cache mode" `Quick test_remote_no_cache;
+          Alcotest.test_case "reset" `Quick test_remote_reset ] ) ]

@@ -1,0 +1,155 @@
+(* Three-way merge in the engine: merge-base discovery in the commit DAG and
+   base-aware conflict semantics (a record conflicts only if BOTH branches
+   changed it since they diverged). *)
+
+open Siri_core
+module Store = Siri_store.Store
+module Engine = Siri_forkbase.Engine
+module Pos = Siri_pos.Pos_tree
+module Hash = Siri_crypto.Hash
+
+let fresh_engine () =
+  let store = Store.create () in
+  Engine.create
+    ~empty_index:(Pos.generic (Pos.empty store (Pos.config ~leaf_target:256 ())))
+
+let seeded () =
+  let e = fresh_engine () in
+  let _ =
+    Engine.commit e ~branch:"master" ~message:"base"
+      [ Kv.Put ("a", "base-a"); Kv.Put ("b", "base-b"); Kv.Put ("c", "base-c") ]
+  in
+  Engine.fork e ~from:"master" "side";
+  e
+
+let test_merge_base_is_fork_point () =
+  let e = seeded () in
+  let fork_head = Engine.head e "master" in
+  let _ = Engine.commit e ~branch:"master" ~message:"m1" [ Kv.Put ("a", "m") ] in
+  let _ = Engine.commit e ~branch:"side" ~message:"s1" [ Kv.Put ("b", "s") ] in
+  let base = Engine.merge_base e "master" "side" in
+  Alcotest.(check bool) "base = fork point" true
+    (Hash.equal base.Engine.id fork_head.Engine.id)
+
+let test_merge_base_of_nested_forks () =
+  let e = seeded () in
+  let _ = Engine.commit e ~branch:"side" ~message:"s1" [ Kv.Put ("x", "1") ] in
+  Engine.fork e ~from:"side" "side2";
+  let side_head = Engine.head e "side" in
+  let _ = Engine.commit e ~branch:"side2" ~message:"s2" [ Kv.Put ("y", "2") ] in
+  let base = Engine.merge_base e "side" "side2" in
+  Alcotest.(check bool) "nested base" true
+    (Hash.equal base.Engine.id side_head.Engine.id)
+
+let test_no_false_conflict_when_one_side_changes () =
+  (* Master rewrites "a"; side never touched it: a two-way merge would call
+     that a difference, the three-way merge must not. *)
+  let e = seeded () in
+  let _ = Engine.commit e ~branch:"master" ~message:"m" [ Kv.Put ("a", "master-a") ] in
+  let _ = Engine.commit e ~branch:"side" ~message:"s" [ Kv.Put ("b", "side-b") ] in
+  (match Engine.merge_branches e ~into:"master" ~from:"side" ~policy:Kv.Fail_on_conflict with
+  | Error cs -> Alcotest.failf "unexpected %d conflicts" (List.length cs)
+  | Ok _ -> ());
+  Alcotest.(check (option string)) "master keeps its change" (Some "master-a")
+    (Engine.get e ~branch:"master" "a");
+  Alcotest.(check (option string)) "side change merged" (Some "side-b")
+    (Engine.get e ~branch:"master" "b");
+  Alcotest.(check (option string)) "untouched record" (Some "base-c")
+    (Engine.get e ~branch:"master" "c")
+
+let test_conflict_requires_both_sides () =
+  let e = seeded () in
+  let _ = Engine.commit e ~branch:"master" ~message:"m" [ Kv.Put ("a", "ours") ] in
+  let _ = Engine.commit e ~branch:"side" ~message:"s" [ Kv.Put ("a", "theirs") ] in
+  (match Engine.merge_branches e ~into:"master" ~from:"side" ~policy:Kv.Fail_on_conflict with
+  | Ok _ -> Alcotest.fail "expected conflict"
+  | Error [ c ] ->
+      Alcotest.(check string) "key" "a" c.Kv.key;
+      Alcotest.(check string) "ours" "ours" c.Kv.left_value;
+      Alcotest.(check string) "theirs" "theirs" c.Kv.right_value
+  | Error cs -> Alcotest.failf "expected 1 conflict, got %d" (List.length cs));
+  (* The failed merge must not have committed anything. *)
+  Alcotest.(check (option string)) "master unchanged" (Some "ours")
+    (Engine.get e ~branch:"master" "a")
+
+let test_same_change_both_sides_no_conflict () =
+  let e = seeded () in
+  let _ = Engine.commit e ~branch:"master" ~message:"m" [ Kv.Put ("a", "agreed") ] in
+  let _ = Engine.commit e ~branch:"side" ~message:"s" [ Kv.Put ("a", "agreed") ] in
+  match Engine.merge_branches e ~into:"master" ~from:"side" ~policy:Kv.Fail_on_conflict with
+  | Error _ -> Alcotest.fail "identical changes must not conflict"
+  | Ok _ ->
+      Alcotest.(check (option string)) "value" (Some "agreed")
+        (Engine.get e ~branch:"master" "a")
+
+let test_delete_vs_untouched () =
+  let e = seeded () in
+  let _ = Engine.commit e ~branch:"side" ~message:"s" [ Kv.Del "b" ] in
+  (match Engine.merge_branches e ~into:"master" ~from:"side" ~policy:Kv.Fail_on_conflict with
+  | Error _ -> Alcotest.fail "clean delete must merge"
+  | Ok _ -> ());
+  Alcotest.(check (option string)) "deletion propagates" None
+    (Engine.get e ~branch:"master" "b")
+
+let test_delete_vs_modify_conflict () =
+  let e = seeded () in
+  let _ = Engine.commit e ~branch:"master" ~message:"m" [ Kv.Put ("b", "modified") ] in
+  let _ = Engine.commit e ~branch:"side" ~message:"s" [ Kv.Del "b" ] in
+  (match Engine.merge_branches e ~into:"master" ~from:"side" ~policy:Kv.Fail_on_conflict with
+  | Ok _ -> Alcotest.fail "delete-vs-modify must conflict"
+  | Error [ c ] ->
+      Alcotest.(check string) "left is the modification" "modified" c.Kv.left_value;
+      Alcotest.(check string) "right marks deletion" "" c.Kv.right_value
+  | Error _ -> Alcotest.fail "one conflict expected");
+  (* Prefer_right applies the deletion. *)
+  match Engine.merge_branches e ~into:"master" ~from:"side" ~policy:Kv.Prefer_right with
+  | Error _ -> Alcotest.fail "policy resolves"
+  | Ok _ ->
+      Alcotest.(check (option string)) "deleted" None (Engine.get e ~branch:"master" "b")
+
+let test_resolve_policy () =
+  let e = seeded () in
+  let _ = Engine.commit e ~branch:"master" ~message:"m" [ Kv.Put ("a", "1") ] in
+  let _ = Engine.commit e ~branch:"side" ~message:"s" [ Kv.Put ("a", "2") ] in
+  match
+    Engine.merge_branches e ~into:"master" ~from:"side"
+      ~policy:(Kv.Resolve (fun _ l r -> l ^ "+" ^ r))
+  with
+  | Error _ -> Alcotest.fail "resolver cannot conflict"
+  | Ok _ ->
+      Alcotest.(check (option string)) "resolved" (Some "1+2")
+        (Engine.get e ~branch:"master" "a")
+
+let test_merge_after_merge () =
+  (* After merging side into master, a second merge finds the new base and
+     brings only fresh changes. *)
+  let e = seeded () in
+  let _ = Engine.commit e ~branch:"side" ~message:"s1" [ Kv.Put ("x", "1") ] in
+  let _ =
+    match Engine.merge_branches e ~into:"master" ~from:"side" ~policy:Kv.Fail_on_conflict with
+    | Ok c -> c
+    | Error _ -> Alcotest.fail "first merge clean"
+  in
+  let _ = Engine.commit e ~branch:"side" ~message:"s2" [ Kv.Put ("y", "2") ] in
+  (match Engine.merge_branches e ~into:"master" ~from:"side" ~policy:Kv.Fail_on_conflict with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "second merge clean");
+  Alcotest.(check (option string)) "x" (Some "1") (Engine.get e ~branch:"master" "x");
+  Alcotest.(check (option string)) "y" (Some "2") (Engine.get e ~branch:"master" "y")
+
+let () =
+  Alcotest.run "merge3"
+    [ ( "merge-base",
+        [ Alcotest.test_case "fork point" `Quick test_merge_base_is_fork_point;
+          Alcotest.test_case "nested forks" `Quick test_merge_base_of_nested_forks ] );
+      ( "three-way",
+        [ Alcotest.test_case "one-sided change is clean" `Quick
+            test_no_false_conflict_when_one_side_changes;
+          Alcotest.test_case "both-sided change conflicts" `Quick
+            test_conflict_requires_both_sides;
+          Alcotest.test_case "identical changes agree" `Quick
+            test_same_change_both_sides_no_conflict;
+          Alcotest.test_case "clean delete" `Quick test_delete_vs_untouched;
+          Alcotest.test_case "delete vs modify" `Quick test_delete_vs_modify_conflict;
+          Alcotest.test_case "resolver policy" `Quick test_resolve_policy;
+          Alcotest.test_case "merge after merge" `Quick test_merge_after_merge ] ) ]

@@ -1,0 +1,146 @@
+(* Content-addressed store: dedup on put, reachability, GC, tamper
+   detection, observers, stats. *)
+
+module Store = Siri_store.Store
+module Hash = Siri_crypto.Hash
+
+let test_put_get () =
+  let s = Store.create () in
+  let h = Store.put s "hello" in
+  Alcotest.(check string) "get" "hello" (Store.get s h);
+  Alcotest.(check bool) "mem" true (Store.mem s h);
+  Alcotest.(check bool) "content hash" true (Hash.equal h (Hash.of_string "hello"));
+  Alcotest.(check bool) "missing" false (Store.mem s (Hash.of_string "nope"));
+  Alcotest.(check (option string)) "find none" None (Store.find s (Hash.of_string "nope"))
+
+let test_dedup_on_put () =
+  let s = Store.create () in
+  let h1 = Store.put s "same" in
+  let h2 = Store.put s "same" in
+  Alcotest.(check bool) "same hash" true (Hash.equal h1 h2);
+  let st = Store.stats s in
+  Alcotest.(check int) "2 puts" 2 st.puts;
+  Alcotest.(check int) "1 unique" 1 st.unique_nodes;
+  Alcotest.(check int) "stored once" 4 st.stored_bytes;
+  Alcotest.(check int) "put bytes counted twice" 8 st.put_bytes
+
+let test_children_and_size () =
+  let s = Store.create () in
+  let a = Store.put s "leaf-a" in
+  let b = Store.put s "leaf-b" in
+  let p = Store.put s ~children:[ a; b ] "parent" in
+  Alcotest.(check int) "children" 2 (List.length (Store.children s p));
+  Alcotest.(check int) "size" 6 (Store.size_of s a)
+
+(* Build a little diamond: root -> {l, r}, l -> shared, r -> shared. *)
+let diamond s =
+  let shared = Store.put s "shared" in
+  let l = Store.put s ~children:[ shared ] "left" in
+  let r = Store.put s ~children:[ shared ] "right" in
+  let root = Store.put s ~children:[ l; r ] "root" in
+  (root, l, r, shared)
+
+let test_reachability () =
+  let s = Store.create () in
+  let root, l, _, shared = diamond s in
+  let set = Store.reachable s root in
+  Alcotest.(check int) "4 nodes" 4 (Hash.Set.cardinal set);
+  Alcotest.(check bool) "includes shared" true (Hash.Set.mem shared set);
+  let sub = Store.reachable s l in
+  Alcotest.(check int) "subtree" 2 (Hash.Set.cardinal sub);
+  Alcotest.(check int) "bytes" (String.length "root" + 4 + 5 + 6)
+    (Store.bytes_of_set s set)
+
+let test_reachable_many_shares_walk () =
+  let s = Store.create () in
+  let root, l, r, _ = diamond s in
+  let set = Store.reachable_many s [ l; r ] in
+  Alcotest.(check int) "union of two subtrees" 3 (Hash.Set.cardinal set);
+  let all = Store.reachable_many s [ root; l; r ] in
+  Alcotest.(check int) "superset" 4 (Hash.Set.cardinal all)
+
+let test_null_and_missing_children () =
+  let s = Store.create () in
+  (* Children that are null or absent are skipped, not errors. *)
+  let p = Store.put s ~children:[ Hash.null; Hash.of_string "absent" ] "p" in
+  Alcotest.(check int) "only self" 1 (Hash.Set.cardinal (Store.reachable s p))
+
+let test_gc () =
+  let s = Store.create () in
+  let root, _, _, _ = diamond s in
+  let dead = Store.put s "garbage" in
+  let reclaimed = Store.gc s ~roots:[ root ] in
+  Alcotest.(check int) "1 reclaimed" 1 reclaimed;
+  Alcotest.(check bool) "dead gone" false (Store.mem s dead);
+  Alcotest.(check bool) "root kept" true (Store.mem s root);
+  Alcotest.(check int) "stats updated" 4 (Store.stats s).unique_nodes
+
+let test_gc_keeps_all_roots () =
+  let s = Store.create () in
+  let a = Store.put s "a" in
+  let b = Store.put s "b" in
+  let reclaimed = Store.gc s ~roots:[ a; b ] in
+  Alcotest.(check int) "nothing reclaimed" 0 reclaimed
+
+let test_corrupt_detection () =
+  let s = Store.create () in
+  let h = Store.put s "precious data" in
+  (match Store.get_verified s h with
+  | Ok v -> Alcotest.(check string) "verified ok" "precious data" v
+  | Error _ -> Alcotest.fail "should verify");
+  Store.corrupt s h;
+  (match Store.get_verified s h with
+  | Ok _ -> Alcotest.fail "tampering not detected"
+  | Error (`Tampered t) -> Alcotest.(check bool) "names hash" true (Hash.equal t h))
+
+let test_observers () =
+  let s = Store.create () in
+  let gets = ref 0 and puts = ref 0 in
+  Store.set_get_observer s (Some (fun _ size -> gets := !gets + size));
+  Store.set_put_observer s (Some (fun _ size -> puts := !puts + size));
+  let h = Store.put s "12345" in
+  ignore (Store.get s h);
+  ignore (Store.get s h);
+  Alcotest.(check int) "puts observed" 5 !puts;
+  Alcotest.(check int) "gets observed" 10 !gets;
+  Store.set_get_observer s None;
+  ignore (Store.get s h);
+  Alcotest.(check int) "observer removed" 10 !gets
+
+let test_reset_counters () =
+  let s = Store.create () in
+  let h = Store.put s "x" in
+  ignore (Store.get s h);
+  Store.reset_counters s;
+  let st = Store.stats s in
+  Alcotest.(check int) "puts zero" 0 st.puts;
+  Alcotest.(check int) "gets zero" 0 st.gets;
+  Alcotest.(check int) "unique kept" 1 st.unique_nodes
+
+let qcheck_content_addressing =
+  QCheck.Test.make ~name:"hash equality = content equality" ~count:300
+    QCheck.(pair string string)
+    (fun (a, b) ->
+      let s = Store.create () in
+      let ha = Store.put s a and hb = Store.put s b in
+      Hash.equal ha hb = (a = b))
+
+let () =
+  Alcotest.run "store"
+    [ ( "basics",
+        [ Alcotest.test_case "put/get" `Quick test_put_get;
+          Alcotest.test_case "dedup on put" `Quick test_dedup_on_put;
+          Alcotest.test_case "children/size" `Quick test_children_and_size;
+          QCheck_alcotest.to_alcotest qcheck_content_addressing ] );
+      ( "reachability",
+        [ Alcotest.test_case "page sets" `Quick test_reachability;
+          Alcotest.test_case "union walk" `Quick test_reachable_many_shares_walk;
+          Alcotest.test_case "null/missing children" `Quick
+            test_null_and_missing_children ] );
+      ( "gc",
+        [ Alcotest.test_case "collects garbage" `Quick test_gc;
+          Alcotest.test_case "keeps roots" `Quick test_gc_keeps_all_roots ] );
+      ( "integrity",
+        [ Alcotest.test_case "tamper detection" `Quick test_corrupt_detection;
+          Alcotest.test_case "observers" `Quick test_observers;
+          Alcotest.test_case "reset counters" `Quick test_reset_counters ] ) ]

@@ -1,0 +1,197 @@
+(* Engine extensions: optimistic transactions (first-committer-wins OCC),
+   commit-chain verification and history pruning. *)
+
+open Siri_core
+module Store = Siri_store.Store
+module Engine = Siri_forkbase.Engine
+module Pos = Siri_pos.Pos_tree
+module Hash = Siri_crypto.Hash
+
+let fresh_engine () =
+  let store = Store.create () in
+  Engine.create
+    ~empty_index:(Pos.generic (Pos.empty store (Pos.config ~leaf_target:256 ())))
+
+let seeded () =
+  let e = fresh_engine () in
+  let _ =
+    Engine.commit e ~branch:"master" ~message:"seed"
+      [ Kv.Put ("balance:alice", "100"); Kv.Put ("balance:bob", "50") ]
+  in
+  e
+
+(* --- transactions ------------------------------------------------------------- *)
+
+let test_txn_commit () =
+  let e = seeded () in
+  let txn = Engine.begin_txn e ~branch:"master" in
+  Alcotest.(check (option string)) "reads snapshot" (Some "100")
+    (Engine.txn_get txn "balance:alice");
+  Engine.txn_put txn "balance:alice" "90";
+  Engine.txn_put txn "balance:bob" "60";
+  Alcotest.(check (option string)) "read your writes" (Some "90")
+    (Engine.txn_get txn "balance:alice");
+  (match Engine.commit_txn txn ~message:"transfer" with
+  | Ok c -> Alcotest.(check string) "message" "transfer" c.Engine.message
+  | Error _ -> Alcotest.fail "clean txn must commit");
+  Alcotest.(check (option string)) "applied" (Some "90")
+    (Engine.get e ~branch:"master" "balance:alice")
+
+let test_txn_write_skew_detected () =
+  let e = seeded () in
+  let t1 = Engine.begin_txn e ~branch:"master" in
+  let t2 = Engine.begin_txn e ~branch:"master" in
+  (* Both read alice, both try to debit. *)
+  ignore (Engine.txn_get t1 "balance:alice");
+  ignore (Engine.txn_get t2 "balance:alice");
+  Engine.txn_put t1 "balance:alice" "80";
+  Engine.txn_put t2 "balance:alice" "70";
+  (match Engine.commit_txn t1 ~message:"t1" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "first committer wins");
+  (match Engine.commit_txn t2 ~message:"t2" with
+  | Ok _ -> Alcotest.fail "second committer must conflict"
+  | Error (`Conflict ks) ->
+      Alcotest.(check (list string)) "conflicting key" [ "balance:alice" ] ks);
+  Alcotest.(check (option string)) "t1's value stands" (Some "80")
+    (Engine.get e ~branch:"master" "balance:alice")
+
+let test_txn_disjoint_keys_both_commit () =
+  let e = seeded () in
+  let t1 = Engine.begin_txn e ~branch:"master" in
+  let t2 = Engine.begin_txn e ~branch:"master" in
+  Engine.txn_put t1 "balance:alice" "0";
+  Engine.txn_put t2 "balance:bob" "999";
+  (match Engine.commit_txn t1 ~message:"t1" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "t1 clean");
+  (match Engine.commit_txn t2 ~message:"t2" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "disjoint writes must not conflict");
+  Alcotest.(check (option string)) "alice" (Some "0")
+    (Engine.get e ~branch:"master" "balance:alice");
+  Alcotest.(check (option string)) "bob" (Some "999")
+    (Engine.get e ~branch:"master" "balance:bob")
+
+let test_txn_read_only_never_conflicts () =
+  let e = seeded () in
+  let t1 = Engine.begin_txn e ~branch:"master" in
+  ignore (Engine.txn_get t1 "balance:bob");
+  let _ = Engine.commit e ~branch:"master" ~message:"other" [ Kv.Put ("x", "1") ] in
+  match Engine.commit_txn t1 ~message:"ro" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "unrelated write must not invalidate a read-only txn"
+
+let test_txn_stale_read_conflicts () =
+  let e = seeded () in
+  let t1 = Engine.begin_txn e ~branch:"master" in
+  ignore (Engine.txn_get t1 "balance:bob");
+  Engine.txn_put t1 "derived" "bob-is-50";
+  (* Someone changes bob before t1 commits: the derivation is stale. *)
+  let _ =
+    Engine.commit e ~branch:"master" ~message:"race" [ Kv.Put ("balance:bob", "51") ]
+  in
+  match Engine.commit_txn t1 ~message:"t1" with
+  | Ok _ -> Alcotest.fail "stale read must conflict"
+  | Error (`Conflict ks) ->
+      Alcotest.(check bool) "names bob" true (List.mem "balance:bob" ks)
+
+let test_txn_delete () =
+  let e = seeded () in
+  let txn = Engine.begin_txn e ~branch:"master" in
+  Engine.txn_del txn "balance:bob";
+  Alcotest.(check (option string)) "tombstone visible in txn" None
+    (Engine.txn_get txn "balance:bob");
+  (match Engine.commit_txn txn ~message:"close account" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "clean delete");
+  Alcotest.(check (option string)) "deleted" None
+    (Engine.get e ~branch:"master" "balance:bob")
+
+(* --- verify_history --------------------------------------------------------------- *)
+
+let test_verify_history_clean () =
+  let e = seeded () in
+  let _ = Engine.commit e ~branch:"master" ~message:"more" [ Kv.Put ("c", "3") ] in
+  match Engine.verify_history e "master" with
+  | Ok n -> Alcotest.(check int) "3 commits checked" 3 n
+  | Error _ -> Alcotest.fail "clean history must verify"
+
+let test_verify_history_detects_tampering () =
+  let e = seeded () in
+  let store = Engine.store e in
+  (* Corrupt one index node of the head version. *)
+  let head = Engine.head e "master" in
+  let victim =
+    Hash.Set.choose (Store.reachable store head.Engine.index_root)
+  in
+  Store.corrupt store victim;
+  match Engine.verify_history e "master" with
+  | Ok _ -> Alcotest.fail "tampering must be detected"
+  | Error (`Tampered h) -> Alcotest.(check bool) "names a node" true (Hash.equal h victim)
+
+(* --- prune ---------------------------------------------------------------------------- *)
+
+let test_prune_keeps_recent () =
+  let e = seeded () in
+  for i = 1 to 10 do
+    ignore
+      (Engine.commit e ~branch:"master" ~message:(Printf.sprintf "v%d" i)
+         [ Kv.Put (Printf.sprintf "k%d" i, "v") ])
+  done;
+  Alcotest.(check int) "12 commits before" 12 (List.length (Engine.history e "master"));
+  let reclaimed = Engine.prune e ~keep:3 in
+  Alcotest.(check bool) "reclaimed nodes" true (reclaimed > 0);
+  let hist = Engine.history e "master" in
+  Alcotest.(check int) "3 commits after" 3 (List.length hist);
+  (* Data of the retained head is fully intact. *)
+  Alcotest.(check (option string)) "latest data" (Some "v")
+    (Engine.get e ~branch:"master" "k10");
+  Alcotest.(check (option string)) "old data still in head version" (Some "100")
+    (Engine.get e ~branch:"master" "balance:alice");
+  (* Retained history still verifies. *)
+  match Engine.verify_history e "master" with
+  | Ok n -> Alcotest.(check int) "verified" 3 n
+  | Error _ -> Alcotest.fail "pruned history must verify"
+
+let test_prune_multiple_branches () =
+  let e = seeded () in
+  Engine.fork e ~from:"master" "dev";
+  for i = 1 to 5 do
+    ignore (Engine.commit e ~branch:"dev" ~message:"d" [ Kv.Put (Printf.sprintf "d%d" i, "1") ]);
+    ignore (Engine.commit e ~branch:"master" ~message:"m" [ Kv.Put (Printf.sprintf "m%d" i, "1") ])
+  done;
+  let _ = Engine.prune e ~keep:2 in
+  List.iter
+    (fun b ->
+      Alcotest.(check int) (b ^ " truncated") 2 (List.length (Engine.history e b)))
+    [ "master"; "dev" ];
+  Alcotest.(check (option string)) "dev data intact" (Some "1")
+    (Engine.get e ~branch:"dev" "d5");
+  Alcotest.(check (option string)) "master data intact" (Some "1")
+    (Engine.get e ~branch:"master" "m5")
+
+let test_prune_validation () =
+  let e = seeded () in
+  Alcotest.check_raises "keep >= 1"
+    (Invalid_argument "Engine.prune: keep must be >= 1") (fun () ->
+      ignore (Engine.prune e ~keep:0))
+
+let () =
+  Alcotest.run "txn"
+    [ ( "transactions",
+        [ Alcotest.test_case "commit" `Quick test_txn_commit;
+          Alcotest.test_case "write skew detected" `Quick test_txn_write_skew_detected;
+          Alcotest.test_case "disjoint keys commit" `Quick test_txn_disjoint_keys_both_commit;
+          Alcotest.test_case "read-only never conflicts" `Quick
+            test_txn_read_only_never_conflicts;
+          Alcotest.test_case "stale read conflicts" `Quick test_txn_stale_read_conflicts;
+          Alcotest.test_case "delete in txn" `Quick test_txn_delete ] );
+      ( "verify-history",
+        [ Alcotest.test_case "clean chain" `Quick test_verify_history_clean;
+          Alcotest.test_case "tampering detected" `Quick
+            test_verify_history_detects_tampering ] );
+      ( "prune",
+        [ Alcotest.test_case "keeps recent commits" `Quick test_prune_keeps_recent;
+          Alcotest.test_case "multiple branches" `Quick test_prune_multiple_branches;
+          Alcotest.test_case "validation" `Quick test_prune_validation ] ) ]

@@ -1,0 +1,261 @@
+(* Workload generators: determinism, the paper's size distributions
+   (Sections 5.1.1–5.1.3), Zipfian skew, overlap semantics. *)
+
+open Siri_core
+module Zipf = Siri_workload.Zipf
+module Ycsb = Siri_workload.Ycsb
+module Wiki = Siri_workload.Wiki
+module Ethereum = Siri_workload.Ethereum
+module Versions = Siri_workload.Versions
+module Rlp = Siri_codec.Rlp
+
+(* --- zipf ------------------------------------------------------------------- *)
+
+let test_zipf_uniform () =
+  let z = Zipf.create ~n:100 ~theta:0.0 in
+  let rng = Rng.create 1 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 50_000 do
+    let i = Zipf.sample z rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "uniform bucket %d: %d" i c)
+        true
+        (c > 250 && c < 850))
+    counts
+
+let test_zipf_skewed () =
+  let z = Zipf.create ~n:10_000 ~theta:0.9 in
+  let rng = Rng.create 2 in
+  let top100 = ref 0 and total = 20_000 in
+  for _ = 1 to total do
+    if Zipf.sample z rng < 100 then incr top100
+  done;
+  (* With theta=0.9, the top 1% of items should absorb a large share. *)
+  let share = Float.of_int !top100 /. Float.of_int total in
+  Alcotest.(check bool)
+    (Printf.sprintf "top-100 share %.2f" share)
+    true (share > 0.35)
+
+let test_zipf_more_skew_more_concentration () =
+  let rng = Rng.create 3 in
+  let share theta =
+    let z = Zipf.create ~n:1000 ~theta in
+    let hits = ref 0 in
+    for _ = 1 to 10_000 do
+      if Zipf.sample z rng < 10 then incr hits
+    done;
+    !hits
+  in
+  let s0 = share 0.0 and s5 = share 0.5 and s9 = share 0.9 in
+  Alcotest.(check bool) (Printf.sprintf "%d < %d < %d" s0 s5 s9) true
+    (s0 < s5 && s5 < s9)
+
+let test_zipf_bounds () =
+  let z = Zipf.create ~n:7 ~theta:0.5 in
+  let rng = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let i = Zipf.sample z rng in
+    Alcotest.(check bool) "in range" true (i >= 0 && i < 7)
+  done;
+  Alcotest.check_raises "theta >= 1 rejected"
+    (Invalid_argument "Zipf.create: theta must be in [0, 1)") (fun () ->
+      ignore (Zipf.create ~n:10 ~theta:1.0))
+
+(* --- ycsb ------------------------------------------------------------------- *)
+
+let test_ycsb_key_properties () =
+  let y = Ycsb.create ~n:5000 () in
+  let keys = List.init 5000 (Ycsb.key y) in
+  List.iter
+    (fun k ->
+      let len = String.length k in
+      Alcotest.(check bool) (Printf.sprintf "len %d in 5..16" len) true
+        (len >= 5 && len <= 16))
+    keys;
+  Alcotest.(check int) "keys unique" 5000
+    (List.length (List.sort_uniq String.compare keys))
+
+let test_ycsb_value_sizes () =
+  let y = Ycsb.create ~n:1000 () in
+  let total =
+    List.fold_left ( + ) 0
+      (List.init 1000 (fun i -> String.length (Ycsb.value y i)))
+  in
+  let mean = Float.of_int total /. 1000.0 in
+  Alcotest.(check bool) (Printf.sprintf "mean %.0f ~ 256" mean) true
+    (mean > 230.0 && mean < 280.0)
+
+let test_ycsb_deterministic () =
+  let y1 = Ycsb.create ~seed:5 ~n:100 () in
+  let y2 = Ycsb.create ~seed:5 ~n:100 () in
+  Alcotest.(check (list (pair string string))) "same dataset"
+    (Ycsb.dataset y1) (Ycsb.dataset y2);
+  let y3 = Ycsb.create ~seed:6 ~n:100 () in
+  Alcotest.(check bool) "different seed differs" false
+    (Ycsb.dataset y1 = Ycsb.dataset y3)
+
+let test_ycsb_versioned_values () =
+  let y = Ycsb.create ~n:10 () in
+  Alcotest.(check bool) "versions differ" false
+    (Ycsb.value y ~version:0 3 = Ycsb.value y ~version:1 3)
+
+let test_ycsb_operations_mix () =
+  let y = Ycsb.create ~n:1000 () in
+  let rng = Rng.create 6 in
+  let ops =
+    Ycsb.operations y ~rng ~theta:0.0 ~mix:{ Ycsb.write_ratio = 0.5 } ~count:2000
+  in
+  let writes =
+    List.length (List.filter (function Ycsb.Write _ -> true | _ -> false) ops)
+  in
+  Alcotest.(check int) "count" 2000 (List.length ops);
+  Alcotest.(check bool) (Printf.sprintf "%d writes ~ 1000" writes) true
+    (writes > 800 && writes < 1200)
+
+let test_ycsb_overlap () =
+  let y = Ycsb.create ~n:1000 () in
+  let w g = Ycsb.overlap_workload y ~offset:0 ~group:g ~groups:4 ~overlap_ratio:0.5 ~count:400 in
+  let w0 = w 0 and w1 = w 1 in
+  let common =
+    List.filter (fun e -> List.mem e w1) w0 |> List.length
+  in
+  Alcotest.(check int) "exactly the shared half" 200 common;
+  (* Private keys carry the group tag (as a suffix, so they interleave with
+     shared keys in key order). *)
+  let has_tag k tag =
+    let rec search i =
+      i + String.length tag <= String.length k
+      && (String.sub k i (String.length tag) = tag || search (i + 1))
+    in
+    search 0
+  in
+  List.iteri
+    (fun i (k, _) ->
+      if i >= 200 then
+        Alcotest.(check bool) "private key tagged" true (has_tag k "~g0-"))
+    w0
+
+let test_update_batches () =
+  let y = Ycsb.create ~n:1000 () in
+  let rng = Rng.create 7 in
+  let batches = Ycsb.update_batches y ~rng ~batch:50 ~versions:4 in
+  Alcotest.(check int) "4 versions" 4 (List.length batches);
+  List.iter (fun b -> Alcotest.(check int) "batch size" 50 (List.length b)) batches
+
+(* --- wiki -------------------------------------------------------------------- *)
+
+let test_wiki_distributions () =
+  let w = Wiki.create ~pages:2000 () in
+  let mk = Wiki.mean_key_length w and mv = Wiki.mean_value_length w in
+  Alcotest.(check bool) (Printf.sprintf "key mean %.0f ~ 50" mk) true
+    (mk > 38.0 && mk < 75.0);
+  Alcotest.(check bool) (Printf.sprintf "value mean %.0f ~ 96" mv) true
+    (mv > 60.0 && mv < 160.0);
+  List.iter
+    (fun id ->
+      let k = Wiki.key w id in
+      Alcotest.(check bool) "url prefix" true
+        (String.length k >= 31
+        && String.sub k 0 30 = "https://en.wikipedia.org/wiki/"))
+    [ 0; 1; 500; 1999 ]
+
+let test_wiki_versions () =
+  let w = Wiki.create ~pages:100 () in
+  let rng = Rng.create 8 in
+  let stream = Wiki.version_stream w ~rng ~versions:5 ~edits_per_version:10 in
+  Alcotest.(check int) "5 versions" 5 (List.length stream);
+  List.iter
+    (fun ops -> Alcotest.(check int) "10 edits" 10 (List.length ops))
+    stream;
+  (* Edits are Put ops rewriting existing pages. *)
+  List.iter
+    (List.iter (function
+      | Siri_core.Kv.Put (k, _) ->
+          Alcotest.(check bool) "existing page" true
+            (String.sub k 0 30 = "https://en.wikipedia.org/wiki/")
+      | Siri_core.Kv.Del _ -> Alcotest.fail "no deletes in wiki stream"))
+    stream
+
+(* --- ethereum ----------------------------------------------------------------- *)
+
+let test_eth_tx_shape () =
+  let tx = Ethereum.transaction ~seed:1 42 in
+  Alcotest.(check int) "hash key is 64 hex chars" 64 (String.length tx.Ethereum.hash_hex);
+  Alcotest.(check bool) "rlp decodes" true
+    (match Rlp.decode tx.Ethereum.rlp with
+    | Rlp.List [ _; _; _; Rlp.String addr; _; _ ] -> String.length addr = 20
+    | _ -> false)
+
+let test_eth_sizes () =
+  let mean = Ethereum.mean_tx_size ~samples:3000 () in
+  Alcotest.(check bool) (Printf.sprintf "mean tx %.0f ~ 532" mean) true
+    (mean > 300.0 && mean < 900.0)
+
+let test_eth_blocks () =
+  let bs = Ethereum.blocks ~txs_per_block:50 ~count:3 () in
+  Alcotest.(check int) "3 blocks" 3 (List.length bs);
+  List.iteri
+    (fun i b ->
+      Alcotest.(check int) "block number" i b.Ethereum.number;
+      Alcotest.(check int) "tx count" 50 (List.length b.Ethereum.txs);
+      let entries = Ethereum.entries_of_block b in
+      Alcotest.(check int) "unique tx hashes" 50
+        (List.length (List.sort_uniq compare (List.map fst entries))))
+    bs
+
+(* --- versions ------------------------------------------------------------------ *)
+
+let test_continuous_updates_alpha () =
+  let y = Ycsb.create ~n:1000 () in
+  let rng = Rng.create 9 in
+  let stream = Versions.continuous_updates ~ycsb:y ~rng ~alpha:0.1 ~versions:3 in
+  List.iter
+    (fun ops ->
+      Alcotest.(check int) "alpha fraction" 100 (List.length ops);
+      (* Contiguous id range: keys must all exist in the universe. *)
+      List.iter
+        (function
+          | Siri_core.Kv.Put (_, v) ->
+              Alcotest.(check bool) "value nonempty" true (String.length v > 0)
+          | Siri_core.Kv.Del _ -> Alcotest.fail "updates only")
+        ops)
+    stream
+
+let test_continuous_inserts_growth () =
+  let y = Ycsb.create ~n:100_000 () in
+  let stream = Versions.continuous_inserts ~ycsb:y ~alpha:0.5 ~versions:3 ~base:100 in
+  match List.map List.length stream with
+  | [ 50; 75; 112 ] | [ 50; 75; 113 ] -> ()
+  | sizes ->
+      Alcotest.failf "geometric growth expected, got %s"
+        (String.concat "," (List.map string_of_int sizes))
+
+let () =
+  Alcotest.run "workload"
+    [ ( "zipf",
+        [ Alcotest.test_case "uniform" `Quick test_zipf_uniform;
+          Alcotest.test_case "skewed" `Quick test_zipf_skewed;
+          Alcotest.test_case "skew ordering" `Quick test_zipf_more_skew_more_concentration;
+          Alcotest.test_case "bounds & validation" `Quick test_zipf_bounds ] );
+      ( "ycsb",
+        [ Alcotest.test_case "key properties" `Quick test_ycsb_key_properties;
+          Alcotest.test_case "value sizes" `Quick test_ycsb_value_sizes;
+          Alcotest.test_case "deterministic" `Quick test_ycsb_deterministic;
+          Alcotest.test_case "versioned values" `Quick test_ycsb_versioned_values;
+          Alcotest.test_case "operation mix" `Quick test_ycsb_operations_mix;
+          Alcotest.test_case "overlap workload" `Quick test_ycsb_overlap;
+          Alcotest.test_case "update batches" `Quick test_update_batches ] );
+      ( "wiki",
+        [ Alcotest.test_case "length distributions" `Quick test_wiki_distributions;
+          Alcotest.test_case "version stream" `Quick test_wiki_versions ] );
+      ( "ethereum",
+        [ Alcotest.test_case "transaction shape" `Quick test_eth_tx_shape;
+          Alcotest.test_case "size distribution" `Quick test_eth_sizes;
+          Alcotest.test_case "blocks" `Quick test_eth_blocks ] );
+      ( "versions",
+        [ Alcotest.test_case "continuous updates" `Quick test_continuous_updates_alpha;
+          Alcotest.test_case "continuous inserts" `Quick test_continuous_inserts_growth ] ) ]
