@@ -252,6 +252,57 @@ let range_cmd =
        ~doc:"List records with LO <= key <= HI (either bound may be omitted).")
     Term.(const run $ index_arg $ file_arg 0 "FILE" $ lo $ hi)
 
+let snapshot_cmd =
+  let out_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"SNAPSHOT")
+  in
+  let run kind path out =
+    let store, inst = load kind path in
+    Store.save store out;
+    Printf.printf "root  : %s\n" (Hash.to_hex inst.Generic.root);
+    Printf.printf "nodes : %d\n" (Store.stats store).Store.unique_nodes;
+    Printf.printf "saved : %s\n" out;
+    0
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:"Build an index from a TSV file and save the node store to SNAPSHOT.")
+    Term.(const run $ index_arg $ file_arg 0 "FILE" $ out_arg)
+
+let scrub_cmd =
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+        ~doc:
+          "Verify digests while loading and reject the file outright on any \
+           damage, instead of best-effort loading followed by a scrub report.")
+  in
+  let run strict path =
+    match Store.load_checked ~verify:strict path with
+    | Error (`Malformed msg) ->
+        Printf.eprintf "scrub: %s\n" msg;
+        2
+    | Ok store ->
+        let report = Store.scrub store in
+        Format.printf "%a" Store.pp_scrub_report report;
+        if Store.scrub_clean report then begin
+          print_endline "=> store is intact";
+          0
+        end
+        else begin
+          print_endline "=> integrity violations found";
+          1
+        end
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Audit a saved node store: re-hash every payload against its digest \
+          and check that every declared child resolves.  Exits 1 on \
+          integrity violations, 2 if the file is unreadable.")
+    Term.(const run $ strict $ file_arg 0 "SNAPSHOT")
+
 let gen_cmd =
   let count =
     Arg.(value & opt int 1000 & info [ "count"; "n" ] ~docv:"N" ~doc:"Records to generate.")
@@ -274,4 +325,4 @@ let () =
   exit
     (Cmd.eval' (Cmd.group info
        [ stats_cmd; get_cmd; prove_cmd; range_cmd; diff_cmd; merge_cmd;
-         properties_cmd; gen_cmd ]))
+         properties_cmd; snapshot_cmd; scrub_cmd; gen_cmd ]))

@@ -50,7 +50,7 @@ module Reader = struct
   let remaining t = String.length t.src - t.pos
   let at_end t = remaining t = 0
 
-  let need t n = if remaining t < n then raise Truncated
+  let need t n = if n < 0 || remaining t < n then raise Truncated
 
   let u8 t =
     need t 1;
@@ -70,11 +70,16 @@ module Reader = struct
 
   let varint t =
     (* Cap the shift: a malicious run of continuation bytes must fail
-       cleanly instead of shifting past the word size. *)
+       cleanly instead of shifting past the word size.  The last usable
+       chunk sits at shift 56 and may only carry 6 bits (bits 56..61);
+       anything larger would spill into the sign bit of a 63-bit OCaml
+       int and produce a negative "length". *)
     let rec loop shift acc =
-      if shift > 56 then raise Truncated;
       let b = u8 t in
-      let acc = acc lor ((b land 0x7F) lsl shift) in
+      let chunk = b land 0x7F in
+      if shift = 56 && (chunk lsr 6 <> 0 || b land 0x80 <> 0) then
+        raise Truncated;
+      let acc = acc lor (chunk lsl shift) in
       if b land 0x80 = 0 then acc else loop (shift + 7) acc
     in
     loop 0 0

@@ -45,11 +45,18 @@ module Reader : sig
   val u8 : t -> int
   val u16 : t -> int
   val u32 : t -> int
+
   val varint : t -> int
+  (** Never returns a negative value: a continuation run that would shift
+      past the 62 usable bits of an OCaml int raises {!Truncated}. *)
+
   val raw : t -> int -> string
   val str : t -> string
   val hash : t -> Siri_crypto.Hash.t
 
   exception Truncated
-  (** Raised by any read that runs past the end of input. *)
+  (** Raised by any read that runs past the end of input or decodes a
+      malformed length (negative or overflowing varint).  This is the
+      {e only} exception any reader entry point may raise on arbitrary
+      bytes — fuzzed in [test/test_codec.ml]. *)
 end

@@ -2,6 +2,7 @@ open Siri_crypto
 open Siri_core
 module Store = Siri_store.Store
 module Wire = Siri_codec.Wire
+module Fault = Siri_fault.Fault
 
 type commit = {
   id : Hash.t;
@@ -372,6 +373,24 @@ let prune t ~keep =
     (Hashtbl.copy t.heads);
   let roots = Hashtbl.fold (fun _ c acc -> c.id :: acc) t.heads [] in
   Store.gc t.store ~roots
+
+(* --- graceful degradation ----------------------------------------------------- *)
+
+(* Reads against a faulty store: bounded retries absorb transient failures,
+   and whatever remains surfaces as a typed error instead of an untyped
+   exception aborting the caller. *)
+
+let get_checked ?attempts t ~branch key =
+  Fault.retrying ?attempts (fun () -> get t ~branch key)
+
+let checkout_checked ?attempts t id =
+  Fault.retrying ?attempts (fun () -> checkout t id)
+
+let history_checked ?attempts t name =
+  Fault.retrying ?attempts (fun () -> history t name)
+
+let commit_checked ?attempts t ~branch ~message ops =
+  Fault.retrying ?attempts (fun () -> commit t ~branch ~message ops)
 
 let dedup_ratio t =
   let roots =

@@ -100,6 +100,31 @@ val load : empty_index:Generic.t -> string -> t
     was built with; its store is ignored in favour of the loaded one.
     Raises [Failure] on malformed files. *)
 
+(** {2 Graceful degradation}
+
+    Read operations against a store with injected (or real) faults: a
+    transient fetch failure is retried up to [attempts] times (default 3),
+    and any remaining fault surfaces as a typed
+    {!Siri_fault.Fault.type-error} instead of an untyped exception aborting
+    the caller.  The plain (exception-raising) API above stays available
+    for the benchmark hot paths. *)
+
+val get_checked :
+  ?attempts:int -> t -> branch:string -> Kv.key ->
+  (Kv.value option, Siri_fault.Fault.error) result
+
+val checkout_checked :
+  ?attempts:int -> t -> Hash.t ->
+  (Generic.t, Siri_fault.Fault.error) result
+
+val history_checked :
+  ?attempts:int -> t -> string ->
+  (commit list, Siri_fault.Fault.error) result
+
+val commit_checked :
+  ?attempts:int -> t -> branch:string -> message:string -> Kv.op list ->
+  (commit, Siri_fault.Fault.error) result
+
 (** {2 History management} *)
 
 val verify_history : t -> string -> (int, [ `Tampered of Hash.t ]) result

@@ -1,4 +1,5 @@
 module Store = Siri_store.Store
+module Rng = Siri_core.Rng
 
 type network = { rtt_s : float; bandwidth_bps : float }
 
@@ -8,12 +9,36 @@ let http_overhead = { rtt_s = 0.001; bandwidth_bps = 125_000_000.0 }
 type t = {
   net : network;
   cache : Lru.t option;
+  failure_rate : float;
+  backoff_s : float;
+  rng : Rng.t;
   mutable sim : float;
   mutable hits : int;
   mutable misses : int;
+  mutable retries : int;
 }
 
 let transfer t size = t.net.rtt_s +. (Float.of_int size /. t.net.bandwidth_bps)
+
+(* A request attempt may fail (flaky link); the client retries with
+   exponential backoff.  Every failed attempt still burned a round trip,
+   and the backoff itself is dead air — both are charged to simulated
+   time.  After [max_attempts] failures the client proceeds anyway: the
+   payload does exist server-side, and an unbounded loop at failure rate
+   1.0 would never terminate. *)
+let max_attempts = 10
+
+let fetch t size =
+  let rec attempt i =
+    if i < max_attempts && t.failure_rate > 0. && Rng.float t.rng < t.failure_rate
+    then begin
+      t.retries <- t.retries + 1;
+      t.sim <- t.sim +. t.net.rtt_s +. (t.backoff_s *. Float.of_int (1 lsl i));
+      attempt (i + 1)
+    end
+  in
+  attempt 0;
+  t.sim <- t.sim +. transfer t size
 
 let on_get t h size =
   match t.cache with
@@ -21,11 +46,11 @@ let on_get t h size =
       if Lru.touch cache h then t.hits <- t.hits + 1
       else begin
         t.misses <- t.misses + 1;
-        t.sim <- t.sim +. transfer t size
+        fetch t size
       end
   | None ->
       t.misses <- t.misses + 1;
-      t.sim <- t.sim +. transfer t size
+      fetch t size
 
 let on_put t h size =
   (* Writes stream to the server; batching amortises the round trip, so we
@@ -33,13 +58,23 @@ let on_put t h size =
   t.sim <- t.sim +. (Float.of_int size /. t.net.bandwidth_bps);
   match t.cache with Some cache -> ignore (Lru.touch cache h) | None -> ()
 
-let attach store ?(cache_nodes = 0) net =
+let attach store ?(cache_nodes = 0) ?(failure_rate = 0.) ?(backoff_s = 0.001)
+    ?(seed = 1) net =
+  let failure_rate =
+    if failure_rate < 0. then 0.
+    else if failure_rate > 1. then 1.
+    else failure_rate
+  in
   let t =
     { net;
       cache = (if cache_nodes > 0 then Some (Lru.create ~capacity:cache_nodes) else None);
+      failure_rate;
+      backoff_s = (if backoff_s < 0. then 0. else backoff_s);
+      rng = Rng.create seed;
       sim = 0.0;
       hits = 0;
-      misses = 0 }
+      misses = 0;
+      retries = 0 }
   in
   Store.set_get_observer store (Some (on_get t));
   Store.set_put_observer store (Some (on_put t));
@@ -52,10 +87,12 @@ let detach store _t =
 let simulated_seconds t = t.sim
 let hits t = t.hits
 let misses t = t.misses
+let retries t = t.retries
 
 let reset t =
   t.sim <- 0.0;
   t.hits <- 0;
-  t.misses <- 0
+  t.misses <- 0;
+  t.retries <- 0
 
 let clear_cache t = match t.cache with Some c -> Lru.clear c | None -> ()

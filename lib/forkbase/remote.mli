@@ -27,18 +27,38 @@ val http_overhead : network
 
 type t
 
-val attach : Store.t -> ?cache_nodes:int -> network -> t
+val attach :
+  Store.t ->
+  ?cache_nodes:int ->
+  ?failure_rate:float ->
+  ?backoff_s:float ->
+  ?seed:int ->
+  network ->
+  t
 (** Install observers on the store.  [cache_nodes = 0] (or omitted cache)
     disables the client cache.  Only one simulation may be attached to a
-    store at a time. *)
+    store at a time.
+
+    [failure_rate] (default 0, clamped to [0, 1]) makes each remote request
+    attempt fail with that probability; the client retries with exponential
+    backoff (base [backoff_s], default 1 ms, doubling per attempt, at most
+    10 attempts per request).  Every failed attempt is charged a full round
+    trip plus the backoff pause in simulated seconds — flaky links slow the
+    simulation down exactly the way they slow a real deployment down.
+    Draws are seeded ([seed], default 1) so runs are reproducible. *)
 
 val detach : Store.t -> t -> unit
 
 val simulated_seconds : t -> float
-(** Accumulated network time since attach (or the last {!reset}). *)
+(** Accumulated network time since attach (or the last {!reset}),
+    including time burned by failed attempts and backoff. *)
 
 val hits : t -> int
 val misses : t -> int
+
+val retries : t -> int
+(** Failed request attempts that were retried. *)
+
 val reset : t -> unit
 (** Zero the counters and simulated time (the cache keeps its contents). *)
 

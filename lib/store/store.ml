@@ -1,5 +1,9 @@
 open Siri_crypto
 
+exception Missing of Hash.t
+exception Transient of Hash.t
+exception Tampered of Hash.t
+
 type node = { mutable bytes : string; children : Hash.t list }
 
 type stats = {
@@ -18,6 +22,7 @@ type t = {
   mutable gets : int;
   mutable get_observer : (Hash.t -> int -> unit) option;
   mutable put_observer : (Hash.t -> int -> unit) option;
+  mutable read_gate : (Hash.t -> string -> unit) option;
 }
 
 let create () =
@@ -27,10 +32,12 @@ let create () =
     stored_bytes = 0;
     gets = 0;
     get_observer = None;
-    put_observer = None }
+    put_observer = None;
+    read_gate = None }
 
 let set_get_observer t obs = t.get_observer <- obs
 let set_put_observer t obs = t.put_observer <- obs
+let set_read_gate t gate = t.read_gate <- gate
 
 let put t ?(children = []) bytes =
   let h = Hash.of_string bytes in
@@ -48,6 +55,7 @@ let put t ?(children = []) bytes =
 let get t h =
   t.gets <- t.gets + 1;
   let bytes = (Hash.Table.find t.tbl h).bytes in
+  (match t.read_gate with Some gate -> gate h bytes | None -> ());
   (match t.get_observer with
   | Some f -> f h (String.length bytes)
   | None -> ());
@@ -115,7 +123,16 @@ let gc t ~roots =
 
 (* --- persistence ---------------------------------------------------------- *)
 
-let magic = "SIRISTORE1"
+let magic = "SIRISTORE2"
+
+(* Insert a node under an explicit key without re-hashing — the load path
+   needs this so that a node whose recorded digest no longer matches its
+   bytes keeps its original identity (and can then be found by [scrub]). *)
+let add_raw t h bytes children =
+  if not (Hash.Table.mem t.tbl h) then begin
+    Hash.Table.add t.tbl h { bytes; children };
+    t.stored_bytes <- t.stored_bytes + String.length bytes
+  end
 
 let save t path =
   let tmp = path ^ ".tmp" in
@@ -134,11 +151,15 @@ let save t path =
      in
      write_varint (Hash.Table.length t.tbl);
      Hash.Table.iter
-       (fun _ node ->
+       (fun h node ->
+         (* The key digest is recorded alongside the payload so that load
+            can detect on-disk damage: any flipped or missing byte makes
+            the re-hash disagree with the recorded digest. *)
+         output_string oc (Hash.to_raw h);
          write_varint (String.length node.bytes);
          output_string oc node.bytes;
          write_varint (List.length node.children);
-         List.iter (fun h -> output_string oc (Hash.to_raw h)) node.children)
+         List.iter (fun c -> output_string oc (Hash.to_raw c)) node.children)
        t.tbl;
      close_out oc
    with e ->
@@ -147,41 +168,60 @@ let save t path =
      raise e);
   Sys.rename tmp path
 
-let load path =
+let load ?(verify = true) path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
       let really n =
-        let b = really_input_string ic n in
-        b
+        try really_input_string ic n
+        with End_of_file -> failwith "Store.load: truncated"
       in
-      if (try really (String.length magic) with End_of_file -> "") <> magic
+      if (try really_input_string ic (String.length magic)
+          with End_of_file -> "")
+         <> magic
       then failwith "Store.load: bad magic";
       let read_varint () =
         let rec go shift acc =
+          if shift > 56 then failwith "Store.load: malformed length";
           let b = input_byte ic in
           let acc = acc lor ((b land 0x7F) lsl shift) in
+          if acc < 0 then failwith "Store.load: malformed length";
           if b land 0x80 = 0 then acc else go (shift + 7) acc
         in
         try go 0 0 with End_of_file -> failwith "Store.load: truncated"
       in
       let t = create () in
       let count = read_varint () in
-      (try
-         for _ = 1 to count do
-           let len = read_varint () in
-           let bytes = really len in
-           let nchildren = read_varint () in
-           let children =
-             List.init nchildren (fun _ -> Hash.of_raw (really Hash.size))
-           in
-           let h = put t ~children bytes in
-           ignore h
-         done
-       with End_of_file -> failwith "Store.load: truncated");
-      reset_counters t;
+      for _ = 1 to count do
+        let h = Hash.of_raw (really Hash.size) in
+        let len = read_varint () in
+        let bytes = really len in
+        let nchildren = read_varint () in
+        let children =
+          List.init nchildren (fun _ -> Hash.of_raw (really Hash.size))
+        in
+        if verify && not (Hash.equal (Hash.of_string bytes) h) then
+          failwith
+            (Printf.sprintf "Store.load: corrupt node %s (hash mismatch)"
+               (Hash.short h));
+        add_raw t h bytes children
+      done;
+      (* A damaged node count would leave bytes unread (or hit EOF above):
+         anything after the declared nodes means the count lies. *)
+      (match input_char ic with
+      | _ -> failwith "Store.load: trailing bytes"
+      | exception End_of_file -> ());
       t)
+
+let load_checked ?verify path =
+  match load ?verify path with
+  | t -> Ok t
+  | exception Failure msg -> Error (`Malformed msg)
+  | exception Sys_error msg -> Error (`Malformed msg)
+  | exception Invalid_argument msg -> Error (`Malformed msg)
+
+(* --- tamper simulation ----------------------------------------------------- *)
 
 let corrupt t h =
   let n = Hash.Table.find t.tbl h in
@@ -192,9 +232,107 @@ let corrupt t h =
     n.bytes <- Bytes.unsafe_to_string b
   end
 
+let corrupt_at t h ~pos =
+  let n = Hash.Table.find t.tbl h in
+  if String.length n.bytes = 0 then n.bytes <- "\001"
+  else begin
+    let b = Bytes.of_string n.bytes in
+    let i = pos mod Bytes.length b in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+    n.bytes <- Bytes.unsafe_to_string b
+  end
+
+let truncate_node t h ~keep =
+  let n = Hash.Table.find t.tbl h in
+  let keep = max 0 (min keep (String.length n.bytes)) in
+  t.stored_bytes <- t.stored_bytes - (String.length n.bytes - keep);
+  n.bytes <- String.sub n.bytes 0 keep
+
+let remove_node t h =
+  match Hash.Table.find_opt t.tbl h with
+  | None -> false
+  | Some n ->
+      t.stored_bytes <- t.stored_bytes - String.length n.bytes;
+      Hash.Table.remove t.tbl h;
+      true
+
 let get_verified t h =
   match find t h with
   | None -> raise Not_found
   | Some bytes ->
       if Hash.equal (Hash.of_string bytes) h then Ok bytes
       else Error (`Tampered h)
+
+(* --- integrity scrub & repair ---------------------------------------------- *)
+
+type scrub_report = {
+  scanned : int;
+  corrupt : Hash.t list;
+  dangling : (Hash.t * Hash.t) list;
+  orphaned : Hash.t list;
+}
+
+let scrub_clean r = r.corrupt = [] && r.dangling = [] && r.orphaned = []
+
+let scrub ?roots t =
+  (* Reads [tbl] directly: integrity checking must see the raw stored
+     payloads, bypassing any installed read gate or observer. *)
+  let scanned = ref 0 in
+  let corrupt = ref [] in
+  let dangling = ref [] in
+  Hash.Table.iter
+    (fun h node ->
+      incr scanned;
+      if not (Hash.equal (Hash.of_string node.bytes) h) then
+        corrupt := h :: !corrupt;
+      List.iter
+        (fun c ->
+          if (not (Hash.is_null c)) && not (Hash.Table.mem t.tbl c) then
+            dangling := (h, c) :: !dangling)
+        node.children)
+    t.tbl;
+  let orphaned =
+    match roots with
+    | None -> []
+    | Some roots ->
+        let live = reachable_many t roots in
+        Hash.Table.fold
+          (fun h _ acc -> if Hash.Set.mem h live then acc else h :: acc)
+          t.tbl []
+        |> List.sort Hash.compare
+  in
+  { scanned = !scanned;
+    corrupt = List.sort Hash.compare !corrupt;
+    dangling =
+      List.sort
+        (fun (a, b) (c, d) ->
+          match Hash.compare a c with 0 -> Hash.compare b d | n -> n)
+        !dangling;
+    orphaned }
+
+let pp_scrub_report ppf r =
+  Format.fprintf ppf "scanned    : %d node%s@." r.scanned
+    (if r.scanned = 1 then "" else "s");
+  Format.fprintf ppf "corrupt    : %d@." (List.length r.corrupt);
+  List.iter (fun h -> Format.fprintf ppf "  tampered %s@." (Hash.to_hex h)) r.corrupt;
+  Format.fprintf ppf "dangling   : %d@." (List.length r.dangling);
+  List.iter
+    (fun (p, c) ->
+      Format.fprintf ppf "  %s -> missing %s@." (Hash.short p) (Hash.to_hex c))
+    r.dangling;
+  Format.fprintf ppf "orphaned   : %d@." (List.length r.orphaned)
+
+let repair t ~replica =
+  let report = scrub t in
+  (* Quarantine: a corrupt node is worse than a missing one — its bytes
+     would fail verification anyway, and dropping it lets the re-graft
+     below restore the authentic payload under the same key. *)
+  List.iter (fun h -> ignore (remove_node t h)) report.corrupt;
+  let grafted = ref 0 in
+  iter_nodes replica (fun bytes children ->
+      let h = Hash.of_string bytes in
+      if not (Hash.Table.mem t.tbl h) then begin
+        add_raw t h bytes children;
+        incr grafted
+      end);
+  !grafted

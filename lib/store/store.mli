@@ -12,6 +12,24 @@
 
 open Siri_crypto
 
+(** {2 Typed fault exceptions}
+
+    The store's hot read path stays exception-based for the benchmarks, but
+    the exceptions carry the failing hash so fault-aware callers
+    ({!Siri_fault.Fault.protect}, [Engine.get_checked], …) can map them into
+    the typed error domain
+    [[ `Tampered | `Missing | `Transient | `Malformed ]] instead of leaking
+    bare [Not_found] / [Failure] / [Invalid_argument]. *)
+
+exception Missing of Hash.t
+(** A node that should exist has vanished (injected drop or lost page). *)
+
+exception Transient of Hash.t
+(** A read failed transiently (simulated flaky link); retrying may succeed. *)
+
+exception Tampered of Hash.t
+(** A stored payload no longer hashes to its key. *)
+
 type t
 
 type stats = {
@@ -57,6 +75,14 @@ val set_get_observer : t -> (Hash.t -> int -> unit) option -> unit
 val set_put_observer : t -> (Hash.t -> int -> unit) option -> unit
 (** Same for {!put} (called on every logical write, duplicate or not). *)
 
+val set_read_gate : t -> (Hash.t -> string -> unit) option -> unit
+(** Install a gate consulted on every {!get} {e before} the bytes are
+    returned (and before the get observer fires).  The gate may raise one
+    of the typed fault exceptions ({!Missing}, {!Transient}, {!Tampered})
+    to simulate storage and network faults, or verify the payload against
+    its key — this is the injection point used by [Siri_fault.Fault].
+    Integrity scrubbing ({!scrub}) bypasses the gate. *)
+
 (** {2 Page sets and reachability} *)
 
 val reachable : t -> Hash.t -> Hash.Set.t
@@ -78,18 +104,25 @@ val gc : t -> roots:Hash.t list -> int
 
 (** {2 Persistence}
 
-    A store can be serialized to a file and reloaded — the on-disk format is
-    a length-prefixed node dump with per-node children lists; every node is
-    re-hashed on load, so a corrupted or truncated file is rejected. *)
+    A store can be serialized to a file and reloaded — the on-disk format
+    ([SIRISTORE2]) records each node's digest next to its payload and
+    children list; every node is re-hashed against the recorded digest on
+    load, so a flipped or truncated byte anywhere in the file is detected
+    and the file rejected with a typed error. *)
 
 val save : t -> string -> unit
 (** Write all nodes to [path] (atomic via a temp file + rename). *)
 
-val load : string -> t
-(** Read a store back.  Raises [Failure] on a malformed or truncated file.
-    Nodes are re-hashed on load (the store is content-addressed), so bytes
-    altered on disk simply hash to a different key and every reference to
-    the original digest fails to resolve — tampering cannot be masked. *)
+val load : ?verify:bool -> string -> t
+(** Read a store back.  Raises [Failure] on a malformed, truncated or
+    damaged file (any payload whose re-hash disagrees with its recorded
+    digest).  With [~verify:false] damaged payloads are kept under their
+    recorded key instead of rejected — best-effort loading for forensics:
+    a subsequent {!scrub} reports exactly the damaged nodes. *)
+
+val load_checked : ?verify:bool -> string -> (t, [ `Malformed of string ]) result
+(** {!load} with the untyped exceptions ([Failure], [Sys_error],
+    [Invalid_argument]) folded into a typed error. *)
 
 (** {2 Tamper simulation (for tests, examples and the tamper-evidence
     experiments)} *)
@@ -98,6 +131,50 @@ val corrupt : t -> Hash.t -> unit
 (** Flip one byte of the stored payload while keeping its key — simulating
     an attacker who rewrites a page in place.  Raises [Not_found]. *)
 
+val corrupt_at : t -> Hash.t -> pos:int -> unit
+(** Single bit-flip at byte offset [pos mod length] — the fault injector's
+    persistent page corruption.  Raises [Not_found]. *)
+
+val truncate_node : t -> Hash.t -> keep:int -> unit
+(** Chop a stored payload down to its first [keep] bytes (clamped), keeping
+    its key — a torn write.  Raises [Not_found]. *)
+
+val remove_node : t -> Hash.t -> bool
+(** Physically delete one node (quarantine / injected page loss); returns
+    whether it was present. *)
+
 val get_verified : t -> Hash.t -> (string, [ `Tampered of Hash.t ]) result
 (** Fetch and re-hash: detects {!corrupt}ed nodes, the way a Merkle-proof
     verification would. *)
+
+(** {2 Integrity scrub & repair}
+
+    The paper's tamper-evidence claim (§2, §5.7) made operational: because
+    every node is addressed by the SHA-256 of its bytes, a full integrity
+    audit is a re-hash of every payload plus a child-closure check — no
+    external checksums needed. *)
+
+type scrub_report = {
+  scanned : int;  (** nodes examined *)
+  corrupt : Hash.t list;
+      (** payloads whose re-hash disagrees with their key (sorted) *)
+  dangling : (Hash.t * Hash.t) list;
+      (** (parent, declared child) pairs where the child is absent *)
+  orphaned : Hash.t list;
+      (** nodes unreachable from [roots]; empty unless [roots] was given *)
+}
+
+val scrub : ?roots:Hash.t list -> t -> scrub_report
+(** Walk every stored node, re-hash its payload and check that each
+    declared child resolves.  Bypasses any installed read gate — scrub sees
+    raw storage.  With [roots] it additionally reports unreachable nodes. *)
+
+val scrub_clean : scrub_report -> bool
+
+val pp_scrub_report : Format.formatter -> scrub_report -> unit
+
+val repair : t -> replica:t -> int
+(** Quarantine (delete) every corrupt node, then re-graft from [replica]
+    any node this store lacks, via {!iter_nodes}.  Grafted payloads are
+    keyed by re-hash, so a corrupt replica cannot smuggle bad bytes under a
+    good key.  Returns the number of nodes grafted. *)

@@ -61,6 +61,51 @@ let test_varint_malicious_continuation () =
   Alcotest.check_raises "unbounded varint" Wire.Reader.Truncated (fun () ->
       ignore (Wire.Reader.varint (Wire.Reader.of_string evil)))
 
+let test_varint_overflow_regression () =
+  (* Shrunk QCheck counterexample: eight continuation bytes put the ninth
+     chunk at shift 56, where 'a' (0x61) spills into the sign bit and used
+     to come back as a negative length that crashed [raw] with
+     Invalid_argument("String.sub").  Must be Truncated, nothing else. *)
+  let input = "a\128\128\128\128\128\128\128\128aa" in
+  let r = Wire.Reader.of_string input in
+  Alcotest.(check int) "leading byte" 0x61 (Wire.Reader.u8 r);
+  Alcotest.check_raises "overflowing varint" Wire.Reader.Truncated (fun () ->
+      ignore (Wire.Reader.str r));
+  (* The largest encodable int still round-trips. *)
+  let w = Wire.Writer.create () in
+  Wire.Writer.varint w max_int;
+  Alcotest.(check int) "max_int roundtrip" max_int
+    (Wire.Reader.varint (Wire.Reader.of_string (Wire.Writer.contents w)));
+  (* Ten continuation chunks (shift 63) must also fail cleanly. *)
+  Alcotest.check_raises "ten-byte varint" Wire.Reader.Truncated (fun () ->
+      ignore (Wire.Reader.varint (Wire.Reader.of_string "\x80\x80\x80\x80\x80\x80\x80\x80\x80\x01")))
+
+let qcheck_reader_total =
+  (* Totality: every reader entry point, applied to arbitrary bytes, either
+     returns a value or raises Truncated — no other exception may escape,
+     and varint never fabricates a negative length. *)
+  let entry_points : (string * (Wire.Reader.t -> unit)) list =
+    [ ("u8", fun r -> ignore (Wire.Reader.u8 r));
+      ("u16", fun r -> ignore (Wire.Reader.u16 r));
+      ("u32", fun r -> ignore (Wire.Reader.u32 r));
+      ("varint", fun r -> assert (Wire.Reader.varint r >= 0));
+      ("str", fun r -> ignore (Wire.Reader.str r));
+      ("hash", fun r -> ignore (Wire.Reader.hash r));
+      ("raw", fun r -> ignore (Wire.Reader.raw r 10)) ]
+  in
+  QCheck.Test.make ~name:"every reader entry point is total" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s ->
+      List.for_all
+        (fun (name, f) ->
+          match f (Wire.Reader.of_string s) with
+          | () -> true
+          | exception Wire.Reader.Truncated -> true
+          | exception e ->
+              QCheck.Test.fail_reportf "%s raised %s on %S" name
+                (Printexc.to_string e) s)
+        entry_points)
+
 let qcheck_reader_fuzz =
   (* Decoding arbitrary bytes must terminate with a value or a clean
      exception — never hang or corrupt memory. *)
@@ -199,7 +244,10 @@ let () =
           Alcotest.test_case "truncated" `Quick test_wire_truncated;
           Alcotest.test_case "bounds" `Quick test_wire_bounds;
           Alcotest.test_case "malicious varint" `Quick test_varint_malicious_continuation;
+          Alcotest.test_case "varint overflow regression" `Quick
+            test_varint_overflow_regression;
           QCheck_alcotest.to_alcotest qcheck_reader_fuzz;
+          QCheck_alcotest.to_alcotest qcheck_reader_total;
           QCheck_alcotest.to_alcotest qcheck_varint ] );
       ( "rlp",
         [ Alcotest.test_case "encode vectors" `Quick test_rlp_encode;

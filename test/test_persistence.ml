@@ -83,6 +83,87 @@ let test_truncated () =
       | _ -> Alcotest.fail "expected failure"
       | exception Failure _ -> ())
 
+(* --- persistence under damage ----------------------------------------------- *)
+
+let rewrite path f =
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let out = f full in
+  let oc = open_out_bin path in
+  output_string oc out;
+  close_out oc
+
+let flip_byte s pos =
+  let b = Bytes.of_string s in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x01));
+  Bytes.to_string b
+
+let test_flipped_payload_rejected () =
+  with_file "flip" (fun path ->
+      let store = Store.create () in
+      ignore (Store.put store (String.make 5000 'x'));
+      Store.save store path;
+      (* Offset 100 lands inside the 5000-byte payload, far past the
+         magic (10) + count + digest (32) + length header. *)
+      rewrite path (fun s -> flip_byte s 100);
+      (match Store.load path with
+      | _ -> Alcotest.fail "expected rejection"
+      | exception Failure msg ->
+          Alcotest.(check bool) "names the corrupt node" true
+            (Astring.String.is_infix ~affix:"corrupt node" msg));
+      (* The typed variant folds the failure into a result. *)
+      (match Store.load_checked path with
+      | Error (`Malformed msg) ->
+          Alcotest.(check bool) "typed error" true (String.length msg > 0)
+      | Ok _ -> Alcotest.fail "expected typed rejection");
+      (* Best-effort load keeps the damaged node for forensics: scrub
+         reports exactly one corrupt node. *)
+      match Store.load_checked ~verify:false path with
+      | Error _ -> Alcotest.fail "lenient load should succeed"
+      | Ok lenient ->
+          let r = Store.scrub lenient in
+          Alcotest.(check int) "scrub finds the damage" 1
+            (List.length r.Store.corrupt))
+
+let test_every_flip_detected () =
+  (* A single-node store has no slack bytes: whatever offset is flipped —
+     magic, counts, digest or payload — load must reject the file with
+     Failure, never crash with anything untyped. *)
+  with_file "everyflip" (fun path ->
+      let store = Store.create () in
+      ignore (Store.put store "the quick brown fox jumps over the lazy dog");
+      Store.save store path;
+      let pristine = In_channel.with_open_bin path In_channel.input_all in
+      let len = String.length pristine in
+      for pos = 0 to len - 1 do
+        rewrite path (fun _ -> flip_byte pristine pos);
+        match Store.load path with
+        | _ -> Alcotest.failf "flip at %d accepted" pos
+        | exception Failure _ -> ()
+        | exception e ->
+            Alcotest.failf "flip at %d leaked %s" pos (Printexc.to_string e)
+      done)
+
+let test_truncation_all_lengths_rejected () =
+  with_file "alltrunc" (fun path ->
+      let store = Store.create () in
+      let a = Store.put store "some-payload-bytes" in
+      ignore (Store.put store ~children:[ a ] "a-parent-node");
+      Store.save store path;
+      let pristine = In_channel.with_open_bin path In_channel.input_all in
+      let len = String.length pristine in
+      (* Every proper prefix must be rejected cleanly. *)
+      let step = 7 in
+      let pos = ref 0 in
+      while !pos < len do
+        rewrite path (fun _ -> String.sub pristine 0 !pos);
+        (match Store.load path with
+        | _ -> Alcotest.failf "prefix of %d bytes accepted" !pos
+        | exception Failure _ -> ()
+        | exception e ->
+            Alcotest.failf "prefix of %d leaked %s" !pos (Printexc.to_string e));
+        pos := !pos + step
+      done)
+
 let test_save_load_save_stable () =
   with_file "stable" (fun path ->
       with_file "stable2" (fun path2 ->
@@ -171,6 +252,12 @@ let () =
           Alcotest.test_case "empty store" `Quick test_empty_store;
           Alcotest.test_case "bad magic" `Quick test_bad_magic;
           Alcotest.test_case "truncated file" `Quick test_truncated;
+          Alcotest.test_case "flipped payload rejected" `Quick
+            test_flipped_payload_rejected;
+          Alcotest.test_case "every single-bit flip detected" `Quick
+            test_every_flip_detected;
+          Alcotest.test_case "every truncation rejected" `Quick
+            test_truncation_all_lengths_rejected;
           Alcotest.test_case "save/load/save stable" `Quick test_save_load_save_stable;
           Alcotest.test_case "counters reset on load" `Quick test_load_resets_counters ] );
       ( "engine",

@@ -117,6 +117,90 @@ let test_reset_counters () =
   Alcotest.(check int) "gets zero" 0 st.gets;
   Alcotest.(check int) "unique kept" 1 st.unique_nodes
 
+let test_read_gate () =
+  let s = Store.create () in
+  let h = Store.put s "gated" in
+  let calls = ref 0 in
+  Store.set_read_gate s
+    (Some
+       (fun gh _bytes ->
+         incr calls;
+         if !calls = 1 then raise (Store.Transient gh)));
+  (match Store.get s h with
+  | _ -> Alcotest.fail "expected transient fault"
+  | exception Store.Transient th ->
+      Alcotest.(check bool) "names hash" true (Hash.equal th h));
+  (* The fault was transient: the very next read succeeds. *)
+  Alcotest.(check string) "retry succeeds" "gated" (Store.get s h);
+  Store.set_read_gate s None;
+  Alcotest.(check string) "gate removed" "gated" (Store.get s h);
+  Alcotest.(check int) "gate saw two reads" 2 !calls
+
+let test_scrub_finds_damage () =
+  let s = Store.create () in
+  let root, l, _r, shared = diamond s in
+  let stray = Store.put s "stray-unreachable" in
+  (match Store.scrub s with
+  | r ->
+      Alcotest.(check int) "clean scan" 5 r.Store.scanned;
+      Alcotest.(check bool) "clean" true (Store.scrub_clean r));
+  Store.corrupt_at s l ~pos:2;
+  Alcotest.(check bool) "remove shared" true (Store.remove_node s shared);
+  let r = Store.scrub ~roots:[ root ] s in
+  Alcotest.(check (list string)) "corrupt = [l]" [ Hash.to_hex l ]
+    (List.map Hash.to_hex r.Store.corrupt);
+  (* Both parents of the removed child report a dangling reference. *)
+  Alcotest.(check int) "two dangling edges" 2 (List.length r.Store.dangling);
+  List.iter
+    (fun (_, c) ->
+      Alcotest.(check bool) "dangling names shared" true (Hash.equal c shared))
+    r.Store.dangling;
+  Alcotest.(check (list string)) "orphan = [stray]" [ Hash.to_hex stray ]
+    (List.map Hash.to_hex r.Store.orphaned);
+  Alcotest.(check bool) "not clean" false (Store.scrub_clean r)
+
+let test_truncate_node () =
+  let s = Store.create () in
+  let h = Store.put s "0123456789" in
+  Store.truncate_node s h ~keep:4;
+  Alcotest.(check string) "torn write" "0123" (Store.get s h);
+  Alcotest.(check int) "stored bytes adjusted" 4 (Store.stats s).stored_bytes;
+  let r = Store.scrub s in
+  Alcotest.(check int) "truncation detected" 1 (List.length r.Store.corrupt)
+
+let test_repair_from_replica () =
+  let s = Store.create () in
+  let root, l, r, shared = diamond s in
+  (* Pristine replica taken before the damage. *)
+  let replica = Store.create () in
+  Store.iter_nodes s (fun bytes children ->
+      ignore (Store.put replica ~children bytes));
+  Store.corrupt s l;
+  Store.truncate_node s r ~keep:1;
+  ignore (Store.remove_node s shared);
+  Alcotest.(check bool) "damage visible" false (Store.scrub_clean (Store.scrub s));
+  let grafted = Store.repair s ~replica in
+  Alcotest.(check int) "l, r and shared restored" 3 grafted;
+  Alcotest.(check bool) "clean after repair" true (Store.scrub_clean (Store.scrub s));
+  Alcotest.(check string) "payload healed" "left" (Store.get s l);
+  Alcotest.(check int) "reachable closure restored" 4
+    (Hash.Set.cardinal (Store.reachable s root))
+
+let test_repair_rejects_corrupt_replica () =
+  let s = Store.create () in
+  let h = Store.put s "precious" in
+  let replica = Store.create () in
+  Store.iter_nodes s (fun bytes children ->
+      ignore (Store.put replica ~children bytes));
+  (* Damage BOTH stores: the replica cannot supply authentic bytes for [h],
+     so repair must quarantine without resurrecting bad data under [h]. *)
+  Store.corrupt s h;
+  Store.corrupt replica h;
+  ignore (Store.repair s ~replica);
+  Alcotest.(check bool) "corrupt node quarantined" false (Store.mem s h);
+  let r = Store.scrub s in
+  Alcotest.(check int) "no corrupt node survives" 0 (List.length r.Store.corrupt)
+
 let qcheck_content_addressing =
   QCheck.Test.make ~name:"hash equality = content equality" ~count:300
     QCheck.(pair string string)
@@ -143,4 +227,11 @@ let () =
       ( "integrity",
         [ Alcotest.test_case "tamper detection" `Quick test_corrupt_detection;
           Alcotest.test_case "observers" `Quick test_observers;
-          Alcotest.test_case "reset counters" `Quick test_reset_counters ] ) ]
+          Alcotest.test_case "reset counters" `Quick test_reset_counters;
+          Alcotest.test_case "read gate" `Quick test_read_gate;
+          Alcotest.test_case "truncate node" `Quick test_truncate_node ] );
+      ( "scrub & repair",
+        [ Alcotest.test_case "scrub finds damage" `Quick test_scrub_finds_damage;
+          Alcotest.test_case "repair from replica" `Quick test_repair_from_replica;
+          Alcotest.test_case "repair rejects corrupt replica" `Quick
+            test_repair_rejects_corrupt_replica ] ) ]
