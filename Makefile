@@ -1,0 +1,32 @@
+# Tier-1 gate: everything a change must pass before it lands.
+#
+#   make check   — build, run the full test battery (under the pinned
+#                  QCHECK_SEED from test/dune, so failures reproduce
+#                  identically everywhere), then smoke-run the telemetry
+#                  pipeline end to end: `siri-cli stats` must print
+#                  per-structure counters and latency quantiles for all
+#                  four indexes on a sample workload.
+
+DUNE ?= dune
+
+.PHONY: all build test smoke check bench clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test:
+	$(DUNE) runtest
+
+smoke: build
+	$(DUNE) exec bin/siri_cli.exe -- stats --records 1000 --ops 500
+
+check: build test smoke
+	@echo "check: OK"
+
+bench:
+	$(DUNE) exec bench/main.exe
+
+clean:
+	$(DUNE) clean

@@ -12,6 +12,7 @@ module Ycsb = Siri_workload.Ycsb
 module Clock = Siri_benchkit.Clock
 module Table = Siri_benchkit.Table
 module Hist = Siri_benchkit.Hist
+module Telemetry = Siri_telemetry.Telemetry
 
 type kind = Kpos | Kmbt | Kmpt | Kmvbt | Kprolly
 
@@ -99,6 +100,28 @@ let run_operations_hist inst ops =
   in
   (hist, final)
 
+(* Telemetry-instrumented replay: instead of timing each op by hand, attach
+   a wall-clock sink to the instance's store and let the per-index probes
+   record latencies ([<index>.lookup], [<index>.batch]) and node I/O
+   counters ([store.get], [store.put], …).  The sink is what the latency
+   figures print and what the BENCH_*.json sidecars serialize. *)
+let run_operations_sink inst ops =
+  let sink = Telemetry.create ~clock:Clock.now () in
+  let store = inst.Generic.store in
+  Store.set_sink store sink;
+  let final =
+    List.fold_left
+      (fun inst op ->
+        match op with
+        | Ycsb.Read k ->
+            ignore (inst.Generic.lookup k);
+            inst
+        | Ycsb.Write (k, v) -> inst.Generic.batch [ Kv.Put (k, v) ])
+      inst ops
+  in
+  Store.set_sink store Telemetry.null;
+  (sink, final)
+
 let kops ops seconds = Clock.throughput ~ops ~seconds /. 1000.0
 
 (* A per-(kind, N) cache of loaded YCSB instances so that the many panels of
@@ -131,3 +154,26 @@ let latency_buckets_table ~title hists =
            us (Hist.percentile h 0.99);
            us (Hist.max_value h) ])
        hists)
+
+(* Latency table from telemetry sinks: [entries] pairs each structure's
+   Generic name with the sink captured by {!run_operations_sink}; [op]
+   selects the probe histogram ("lookup" for read streams, "batch" for
+   write streams).  Also emits the BENCH_<id>.json sidecar. *)
+let telemetry_latency_table ~id ~title ~op entries =
+  Table.print ~title
+    ~headers:[ "index"; "n"; "mean us"; "p50 us"; "p95 us"; "p99 us"; "max us" ]
+    (List.map
+       (fun (name, sink) ->
+         let us x = Printf.sprintf "%.1f" (x *. 1e6) in
+         match Telemetry.histogram sink (name ^ "." ^ op) with
+         | None -> [ name; "0"; "-"; "-"; "-"; "-"; "-" ]
+         | Some h ->
+             [ name;
+               string_of_int (Telemetry.Histo.count h);
+               us (Telemetry.Histo.mean h);
+               us (Telemetry.Histo.p50 h);
+               us (Telemetry.Histo.p95 h);
+               us (Telemetry.Histo.p99 h);
+               us (Telemetry.Histo.max_value h) ])
+       entries);
+  Metrics.sinks ~id ~title entries

@@ -58,9 +58,13 @@ let fig8 () =
         (string_of_int n, cols))
       (Params.diff_sweep ())
   in
-  Table.series
-    ~title:"Figure 8: diff latency (s) between two independently loaded versions"
-    ~x_label:"#records" ~columns:(Common.names Common.all) rows
+  let title =
+    "Figure 8: diff latency (s) between two independently loaded versions"
+  in
+  Table.series ~title ~x_label:"#records" ~columns:(Common.names Common.all)
+    rows;
+  Metrics.series ~id:"fig8" ~title ~x_label:"#records"
+    ~columns:(Common.names Common.all) rows
 
 let fig9 () =
   let n = Params.latency_n () in
@@ -103,8 +107,8 @@ let fig10 () =
   List.iter
     (fun (label, theta) ->
       List.iter
-        (fun (wlabel, write_ratio) ->
-          let hists =
+        (fun (wlabel, write_ratio, op) ->
+          let sinks =
             List.map
               (fun kind ->
                 let inst = Common.ycsb_instance kind n in
@@ -112,21 +116,24 @@ let fig10 () =
                 let ops =
                   Ycsb.operations y ~rng ~theta ~mix:{ Ycsb.write_ratio } ~count
                 in
-                let hist, _ = Common.run_operations_hist inst ops in
-                (Common.name kind, hist))
+                let sink, _ = Common.run_operations_sink inst ops in
+                (inst.Generic.name, sink))
               Common.all
           in
-          Common.latency_buckets_table
+          Common.telemetry_latency_table
+            ~id:
+              (Printf.sprintf "fig10_%s_theta%02d" wlabel
+                 (int_of_float (theta *. 10.)))
             ~title:
               (Printf.sprintf "Figure 10: YCSB %s latency, %s (N=%d)" wlabel
                  label n)
-            hists)
-        [ ("read", 0.0); ("write", 1.0) ])
+            ~op sinks)
+        [ ("read", 0.0, "lookup"); ("write", 1.0, "batch") ])
     [ ("balanced (theta=0)", 0.0); ("skewed (theta=0.9)", 0.9) ]
 
-let generic_latency ~title ~record_bytes ~n ~key_of ~value_of =
+let generic_latency ~id ~title ~record_bytes ~n ~key_of ~value_of =
   let count = Params.latency_ops () in
-  let hists_read, hists_write =
+  let sinks_read, sinks_write =
     List.split
       (List.map
          (fun kind ->
@@ -145,18 +152,20 @@ let generic_latency ~title ~record_bytes ~n ~key_of ~value_of =
                  let id = Rng.int rng n in
                  Ycsb.Write (key_of id, value_of ~fresh:true id))
            in
-           let hr, _ = Common.run_operations_hist inst reads in
-           let hw, _ = Common.run_operations_hist inst writes in
-           ((Common.name kind, hr), (Common.name kind, hw)))
+           let sr, _ = Common.run_operations_sink inst reads in
+           let sw, _ = Common.run_operations_sink inst writes in
+           ((inst.Generic.name, sr), (inst.Generic.name, sw)))
          Common.all)
   in
-  Common.latency_buckets_table ~title:(title ^ " — read") hists_read;
-  Common.latency_buckets_table ~title:(title ^ " — write") hists_write
+  Common.telemetry_latency_table ~id:(id ^ "_read") ~op:"lookup"
+    ~title:(title ^ " — read") sinks_read;
+  Common.telemetry_latency_table ~id:(id ^ "_write") ~op:"batch"
+    ~title:(title ^ " — write") sinks_write
 
 let fig11 () =
   let pages = Params.wiki_pages () in
   let wiki = Wiki.create ~seed:Params.seed ~pages () in
-  generic_latency
+  generic_latency ~id:"fig11"
     ~title:(Printf.sprintf "Figure 11: Wiki latency (%d pages)" pages)
     ~record_bytes:150 ~n:pages
     ~key_of:(Wiki.key wiki)
@@ -166,7 +175,7 @@ let fig11 () =
 let fig12 () =
   let ntx = Params.eth_blocks () * Params.eth_txs_per_block in
   let tx i = Ethereum.transaction ~seed:Params.seed i in
-  generic_latency
+  generic_latency ~id:"fig12"
     ~title:(Printf.sprintf "Figure 12: Ethereum latency (%d txs)" ntx)
     ~record_bytes:570 ~n:ntx
     ~key_of:(fun i -> (tx i).Ethereum.hash_hex)

@@ -36,13 +36,20 @@ let fig6 () =
                 (string_of_int n, cols))
               (Params.n_sweep ())
           in
-          Table.series
-            ~title:
-              (Printf.sprintf
-                 "Figure 6: YCSB throughput (kops/s), theta=%.1f write \
-                  ratio=%.1f"
-                 theta write_ratio)
-            ~x_label:"#records" ~columns:(Common.names Common.all) rows)
+          let title =
+            Printf.sprintf
+              "Figure 6: YCSB throughput (kops/s), theta=%.1f write ratio=%.1f"
+              theta write_ratio
+          in
+          Table.series ~title ~x_label:"#records"
+            ~columns:(Common.names Common.all) rows;
+          Metrics.series
+            ~id:
+              (Printf.sprintf "fig6_theta%02d_w%02d"
+                 (int_of_float (theta *. 10.))
+                 (int_of_float (write_ratio *. 10.)))
+            ~title ~x_label:"#records"
+            ~columns:(Common.names Common.all) rows)
         Params.write_ratios)
     Params.thetas
 
@@ -172,11 +179,13 @@ let batch_throughput () =
         (string_of_int batch, cols))
       (Params.pick ~quick:[ 1; 10; 100; 1_000 ] ~full:[ 1; 10; 100; 1_000; 4_000; 16_000 ])
   in
-  Table.series
-    ~title:
-      (Printf.sprintf
-         "Ablation: write throughput (kops/s) vs commit batch size (N=%d)" n)
-    ~x_label:"batch" ~columns:(Common.names Common.all) rows
+  let title =
+    Printf.sprintf
+      "Ablation: write throughput (kops/s) vs commit batch size (N=%d)" n
+  in
+  Table.series ~title ~x_label:"batch" ~columns:(Common.names Common.all) rows;
+  Metrics.series ~id:"batch_throughput" ~title ~x_label:"batch"
+    ~columns:(Common.names Common.all) rows
 
 let run () =
   fig6 ();

@@ -3,6 +3,8 @@
    Data files are TSV: one "key<TAB>value" record per line.
 
      siri_cli gen --count 1000 > data.tsv
+     siri_cli stats                        # telemetry over a sample workload,
+                                           # all four structures
      siri_cli stats --index pos data.tsv
      siri_cli get --index mpt data.tsv some-key
      siri_cli prove --index pos data.tsv some-key
@@ -14,6 +16,9 @@ open Cmdliner
 open Siri_core
 module Store = Siri_store.Store
 module Hash = Siri_crypto.Hash
+module Telemetry = Siri_telemetry.Telemetry
+module Table = Siri_benchkit.Table
+module Ycsb = Siri_workload.Ycsb
 
 (* --- index selection ------------------------------------------------------- *)
 
@@ -77,6 +82,113 @@ let key_arg idx = Arg.(required & pos idx (some string) None & info [] ~docv:"KE
 
 (* --- commands ------------------------------------------------------------------ *)
 
+(* --- telemetry-instrumented sample workload (stats without a FILE) -------- *)
+
+(* Build a YCSB dataset and replay a 50/50 read/write stream against one
+   structure with a wall-clock telemetry sink attached; returns the final
+   instance and the sink holding counters, latency histograms and spans. *)
+let run_sample kind ~records ~ops =
+  let store = Store.create () in
+  let sink = Telemetry.create ~clock:Unix.gettimeofday () in
+  Store.set_sink store sink;
+  Telemetry.attach_hash_counter sink;
+  let y = Ycsb.create ~seed:1 ~n:records () in
+  let inst = Generic.of_entries (make kind store) (Ycsb.dataset y) in
+  let rng = Rng.create 1 in
+  let operations =
+    Ycsb.operations y ~rng ~theta:0.5 ~mix:{ Ycsb.write_ratio = 0.5 } ~count:ops
+  in
+  let flush inst pending =
+    if pending = [] then inst else inst.Generic.batch (List.rev pending)
+  in
+  let inst, pending =
+    List.fold_left
+      (fun (inst, pending) op ->
+        match op with
+        | Ycsb.Read k ->
+            ignore (inst.Generic.lookup k);
+            (inst, pending)
+        | Ycsb.Write (k, v) ->
+            let pending = Kv.Put (k, v) :: pending in
+            if List.length pending >= 100 then (flush inst pending, [])
+            else (inst, pending))
+      (inst, []) operations
+  in
+  let inst = flush inst pending in
+  Telemetry.detach_hash_counter ();
+  Store.set_sink store Telemetry.null;
+  (inst, sink)
+
+let sample_kinds = [ Mpt; Mbt; Pos; Mvbt ]
+
+let stats_workload ~records ~ops ~json =
+  let results =
+    List.map
+      (fun kind ->
+        let inst, sink = run_sample kind ~records ~ops in
+        (inst.Generic.name, inst, sink))
+      sample_kinds
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Telemetry counters — YCSB sample workload (%d records, %d ops)"
+         records ops)
+    ~headers:
+      [ "index"; "node reads"; "node writes"; "unique"; "bytes written";
+        "hashes"; "hashed bytes" ]
+    (List.map
+       (fun (name, _, sink) ->
+         let c = Telemetry.counter sink in
+         [ name;
+           string_of_int (c "store.get");
+           string_of_int (c "store.put");
+           string_of_int (c "store.put_unique");
+           Table.fmt_bytes (c "store.put_bytes");
+           string_of_int (c "hash.count");
+           Table.fmt_bytes (c "hash.bytes") ])
+       results);
+  let latency_rows =
+    List.concat_map
+      (fun (name, _, sink) ->
+        List.filter_map
+          (fun op ->
+            match Telemetry.histogram sink (name ^ "." ^ op) with
+            | None -> None
+            | Some h ->
+                let us x = Printf.sprintf "%.1f" (x *. 1e6) in
+                Some
+                  [ name; op;
+                    string_of_int (Telemetry.Histo.count h);
+                    us (Telemetry.Histo.p50 h);
+                    us (Telemetry.Histo.p95 h);
+                    us (Telemetry.Histo.p99 h);
+                    us (Telemetry.Histo.max_value h) ])
+          [ "lookup"; "batch" ])
+      results
+  in
+  Table.print ~title:"Telemetry latency (per-op histograms)"
+    ~headers:[ "index"; "op"; "n"; "p50 us"; "p95 us"; "p99 us"; "max us" ]
+    latency_rows;
+  (match json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      List.iter
+        (fun (name, _, sink) ->
+          output_string oc
+            (Telemetry.Json.to_string
+               (Telemetry.Json.obj
+                  [ ("structure", Telemetry.Json.str name);
+                    ("records", Telemetry.Json.int records);
+                    ("ops", Telemetry.Json.int ops);
+                    ("telemetry", Telemetry.to_json sink) ]));
+          output_char oc '\n')
+        results;
+      close_out oc;
+      Printf.eprintf "telemetry written to %s\n" path);
+  0
+
 let stats_cmd =
   let run kind path =
     let store, inst = load kind path in
@@ -110,8 +222,46 @@ let stats_cmd =
     | Mpt | Mbt -> ());
     0
   in
-  Cmd.v (Cmd.info "stats" ~doc:"Build an index from a TSV file and print statistics.")
-    Term.(const run $ index_arg $ file_arg 0 "FILE")
+  let file_opt =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "TSV dataset to load.  When omitted, a telemetry-instrumented \
+             YCSB sample workload is run over all four structures instead.")
+  in
+  let records =
+    Arg.(
+      value & opt int 2_000
+      & info [ "records" ] ~docv:"N" ~doc:"Sample-workload dataset size.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 1_000
+      & info [ "ops" ] ~docv:"N" ~doc:"Sample-workload operation count.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Write the per-structure telemetry as newline-delimited JSON to \
+             $(docv) (sample-workload mode only).")
+  in
+  let dispatch kind path records ops json =
+    match path with
+    | Some path -> run kind path
+    | None -> stats_workload ~records ~ops ~json
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Print index statistics for a TSV file, or (without FILE) run a \
+          telemetry-instrumented sample workload over all four structures \
+          and print per-structure counters and p50/p95/p99 latencies.")
+    Term.(const dispatch $ index_arg $ file_opt $ records $ ops $ json)
 
 let get_cmd =
   let run kind path key =

@@ -2,8 +2,22 @@ type t = string
 
 let size = 32
 
-let of_string s = Sha256.digest_string s
-let of_bytes b = Sha256.digest_bytes b
+(* Digest observer: the telemetry layer hooks every hash invocation here to
+   meter the "hash path" (state-root computation dominates real systems).
+   One ref dereference when detached — negligible on the hot path. *)
+let digest_observer : (int -> unit) option ref = ref None
+let set_digest_observer f = digest_observer := f
+
+let note_digest len =
+  match !digest_observer with Some f -> f len | None -> ()
+
+let of_string s =
+  note_digest (String.length s);
+  Sha256.digest_string s
+
+let of_bytes b =
+  note_digest (Bytes.length b);
+  Sha256.digest_bytes b
 
 let of_raw s =
   if String.length s <> size then

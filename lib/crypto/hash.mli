@@ -16,6 +16,13 @@ val of_string : string -> t
 val of_bytes : bytes -> t
 (** Same as {!of_string} for byte buffers. *)
 
+val set_digest_observer : (int -> unit) option -> unit
+(** Install a callback invoked with the input length in bytes on every
+    digest computation ({!of_string} / {!of_bytes}).  At most one observer
+    is active at a time; [None] detaches.  This is the metering point the
+    telemetry layer uses to count hash invocations and hashed bytes —
+    adopting a pre-computed digest ({!of_raw}) is not counted. *)
+
 val of_raw : string -> t
 (** Adopt a pre-computed 32-byte digest.  Raises [Invalid_argument] if the
     length is not {!size}. *)

@@ -3,6 +3,7 @@ open Siri_core
 module Store = Siri_store.Store
 module Wire = Siri_codec.Wire
 module Fault = Siri_fault.Fault
+module Telemetry = Siri_telemetry.Telemetry
 
 type commit = {
   id : Hash.t;
@@ -89,18 +90,24 @@ let history t name =
   walk (head t name) []
 
 let index t name = t.reopen (head t name).index_root
-let checkout t id = t.reopen (decode_commit id (Store.get t.store id)).index_root
+
+let checkout t id =
+  Telemetry.with_span (Store.sink t.store) "engine.checkout" (fun () ->
+      t.reopen (decode_commit id (Store.get t.store id)).index_root)
 
 let commit t ~branch ~message ops =
-  let h = head t branch in
-  let inst = t.reopen h.index_root in
-  let inst' = inst.Generic.batch ops in
-  let c =
-    store_commit t ~parent:(Some h.id) ~index_root:inst'.Generic.root ~message
-      ~version:(h.version + 1)
-  in
-  Hashtbl.replace t.heads branch c;
-  c
+  (* The span encloses the index batch, so per-index [<index>.batch] probes
+     nest inside [engine.commit] in the trace. *)
+  Telemetry.with_span (Store.sink t.store) "engine.commit" (fun () ->
+      let h = head t branch in
+      let inst = t.reopen h.index_root in
+      let inst' = inst.Generic.batch ops in
+      let c =
+        store_commit t ~parent:(Some h.id) ~index_root:inst'.Generic.root
+          ~message ~version:(h.version + 1)
+      in
+      Hashtbl.replace t.heads branch c;
+      c)
 
 let get t ~branch key = (index t branch).Generic.lookup key
 let put t ~branch key value = commit t ~branch ~message:"put" [ Kv.Put (key, value) ]
@@ -133,6 +140,7 @@ let merge_base t a b =
 module Smap = Map.Make (String)
 
 let merge_branches t ~into ~from ~policy =
+ Telemetry.with_span (Store.sink t.store) "engine.merge" @@ fun () ->
   let base = merge_base t into from in
   let base_index = t.reopen base.index_root in
   let to_map diffs =

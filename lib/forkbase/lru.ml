@@ -1,4 +1,5 @@
 open Siri_crypto
+module Telemetry = Siri_telemetry.Telemetry
 
 (* Hash table + intrusive doubly-linked recency list. *)
 
@@ -13,14 +14,24 @@ type t = {
   tbl : entry Hash.Table.t;
   mutable first : entry option;  (* most recent *)
   mutable last : entry option;  (* least recent *)
+  mutable evictions : int;
+  mutable sink : Telemetry.sink;
 }
 
 let create ~capacity =
-  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
-  { capacity; tbl = Hash.Table.create (2 * capacity); first = None; last = None }
+  if capacity < 0 then invalid_arg "Lru.create: capacity must be non-negative";
+  { capacity;
+    tbl = Hash.Table.create (max 1 (2 * capacity));
+    first = None;
+    last = None;
+    evictions = 0;
+    sink = Telemetry.null }
 
+let capacity t = t.capacity
 let mem t h = Hash.Table.mem t.tbl h
 let size t = Hash.Table.length t.tbl
+let evictions t = t.evictions
+let set_sink t sink = t.sink <- sink
 
 let unlink t e =
   (match e.prev with
@@ -43,7 +54,9 @@ let evict_last t =
   | None -> ()
   | Some e ->
       unlink t e;
-      Hash.Table.remove t.tbl e.key
+      Hash.Table.remove t.tbl e.key;
+      t.evictions <- t.evictions + 1;
+      Telemetry.incr t.sink "cache.evict"
 
 let touch t h =
   match Hash.Table.find_opt t.tbl h with
@@ -52,11 +65,14 @@ let touch t h =
       push_front t e;
       true
   | None ->
-      if Hash.Table.length t.tbl >= t.capacity then evict_last t;
-      let e = { key = h; prev = None; next = None } in
-      Hash.Table.add t.tbl h e;
-      push_front t e;
-      false
+      if t.capacity = 0 then false
+      else begin
+        if Hash.Table.length t.tbl >= t.capacity then evict_last t;
+        let e = { key = h; prev = None; next = None } in
+        Hash.Table.add t.tbl h e;
+        push_front t e;
+        false
+      end
 
 let clear t =
   Hash.Table.reset t.tbl;

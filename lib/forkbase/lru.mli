@@ -4,7 +4,11 @@
 type t
 
 val create : capacity:int -> t
-(** [capacity] in entries; must be positive. *)
+(** [capacity] in entries; must be non-negative.  A zero-capacity cache
+    never retains anything: every {!touch} reports a miss and stores
+    nothing. *)
+
+val capacity : t -> int
 
 val mem : t -> Siri_crypto.Hash.t -> bool
 (** Membership test; does NOT refresh recency. *)
@@ -12,6 +16,14 @@ val mem : t -> Siri_crypto.Hash.t -> bool
 val touch : t -> Siri_crypto.Hash.t -> bool
 (** Insert-or-refresh; returns [true] if the hash was already present (a
     cache hit).  Evicts the least recently used entry on overflow. *)
+
+val evictions : t -> int
+(** Entries evicted by {!touch} since creation.  {!clear} does not reset
+    this counter (a clear is not an eviction). *)
+
+val set_sink : t -> Siri_telemetry.Telemetry.sink -> unit
+(** Attach a telemetry sink: every subsequent eviction additionally
+    increments its [cache.evict] counter. *)
 
 val clear : t -> unit
 val size : t -> int

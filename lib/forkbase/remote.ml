@@ -1,5 +1,6 @@
 module Store = Siri_store.Store
 module Rng = Siri_core.Rng
+module Telemetry = Siri_telemetry.Telemetry
 
 type network = { rtt_s : float; bandwidth_bps : float }
 
@@ -16,6 +17,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable retries : int;
+  sink : Telemetry.sink;
 }
 
 let transfer t size = t.net.rtt_s +. (Float.of_int size /. t.net.bandwidth_bps)
@@ -33,6 +35,7 @@ let fetch t size =
     if i < max_attempts && t.failure_rate > 0. && Rng.float t.rng < t.failure_rate
     then begin
       t.retries <- t.retries + 1;
+      Telemetry.incr t.sink "remote.retry";
       t.sim <- t.sim +. t.net.rtt_s +. (t.backoff_s *. Float.of_int (1 lsl i));
       attempt (i + 1)
     end
@@ -41,16 +44,18 @@ let fetch t size =
   t.sim <- t.sim +. transfer t size
 
 let on_get t h size =
+  let hit () =
+    t.hits <- t.hits + 1;
+    Telemetry.incr t.sink "cache.hit"
+  in
+  let miss () =
+    t.misses <- t.misses + 1;
+    Telemetry.incr t.sink "cache.miss";
+    fetch t size
+  in
   match t.cache with
-  | Some cache ->
-      if Lru.touch cache h then t.hits <- t.hits + 1
-      else begin
-        t.misses <- t.misses + 1;
-        fetch t size
-      end
-  | None ->
-      t.misses <- t.misses + 1;
-      fetch t size
+  | Some cache -> if Lru.touch cache h then hit () else miss ()
+  | None -> miss ()
 
 let on_put t h size =
   (* Writes stream to the server; batching amortises the round trip, so we
@@ -59,7 +64,7 @@ let on_put t h size =
   match t.cache with Some cache -> ignore (Lru.touch cache h) | None -> ()
 
 let attach store ?(cache_nodes = 0) ?(failure_rate = 0.) ?(backoff_s = 0.001)
-    ?(seed = 1) net =
+    ?(seed = 1) ?(sink = Telemetry.null) net =
   let failure_rate =
     if failure_rate < 0. then 0.
     else if failure_rate > 1. then 1.
@@ -67,14 +72,21 @@ let attach store ?(cache_nodes = 0) ?(failure_rate = 0.) ?(backoff_s = 0.001)
   in
   let t =
     { net;
-      cache = (if cache_nodes > 0 then Some (Lru.create ~capacity:cache_nodes) else None);
+      cache =
+        (if cache_nodes > 0 then begin
+           let c = Lru.create ~capacity:cache_nodes in
+           Lru.set_sink c sink;
+           Some c
+         end
+         else None);
       failure_rate;
       backoff_s = (if backoff_s < 0. then 0. else backoff_s);
       rng = Rng.create seed;
       sim = 0.0;
       hits = 0;
       misses = 0;
-      retries = 0 }
+      retries = 0;
+      sink }
   in
   Store.set_get_observer store (Some (on_get t));
   Store.set_put_observer store (Some (on_put t));

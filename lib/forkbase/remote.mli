@@ -33,6 +33,7 @@ val attach :
   ?failure_rate:float ->
   ?backoff_s:float ->
   ?seed:int ->
+  ?sink:Siri_telemetry.Telemetry.sink ->
   network ->
   t
 (** Install observers on the store.  [cache_nodes = 0] (or omitted cache)
@@ -45,7 +46,13 @@ val attach :
     10 attempts per request).  Every failed attempt is charged a full round
     trip plus the backoff pause in simulated seconds — flaky links slow the
     simulation down exactly the way they slow a real deployment down.
-    Draws are seeded ([seed], default 1) so runs are reproducible. *)
+    Draws are seeded ([seed], default 1) so runs are reproducible.
+
+    With a [sink], every cache hit / miss / eviction and every retried
+    request increments [cache.hit] / [cache.miss] / [cache.evict] /
+    [remote.retry].  Pairing the same sink with
+    {!Siri_store.Store.set_sink} yields the conservation invariant
+    [cache.hit + cache.miss = store.get]. *)
 
 val detach : Store.t -> t -> unit
 

@@ -2,6 +2,7 @@ open Siri_crypto
 open Siri_core
 module Store = Siri_store.Store
 module Wire = Siri_codec.Wire
+module Telemetry = Siri_telemetry.Telemetry
 
 type config = { capacity : int; fanout : int }
 
@@ -334,22 +335,28 @@ let verify_proof cfg ~root (proof : Proof.t) =
 
 (* --- generic ----------------------------------------------------------------- *)
 
+(* Telemetry probes: see the note in Mpt.generic — observation only, no
+   effect on hashing. *)
+let probe t name f = Telemetry.probe (Store.sink t.store) name f
+
 let rec generic t =
   { Generic.name = "mbt";
     store = t.store;
     root = t.root;
-    lookup = lookup t;
+    lookup = (fun k -> probe t "mbt.lookup" (fun () -> lookup t k));
     path_length = path_length t;
-    batch = (fun ops -> generic (batch t ops));
+    batch = (fun ops -> generic (probe t "mbt.batch" (fun () -> batch t ops)));
     to_list = (fun () -> to_list t);
     cardinal = (fun () -> cardinal t);
-    diff = (fun other -> diff t (of_root t.store t.cfg other));
+    diff =
+      (fun other ->
+        probe t "mbt.diff" (fun () -> diff t (of_root t.store t.cfg other)));
     merge =
       (fun policy other ->
         match merge t (of_root t.store t.cfg other) ~policy with
         | Ok m -> Ok (generic m)
         | Error cs -> Error cs);
-    prove = prove t;
+    prove = (fun k -> probe t "mbt.prove" (fun () -> prove t k));
     verify = (fun ~root proof -> verify_proof t.cfg ~root proof);
     reopen = (fun r -> generic (of_root t.store t.cfg r));
     range =

@@ -3,6 +3,7 @@ open Siri_core
 module Store = Siri_store.Store
 module Nibbles = Siri_codec.Nibbles
 module Wire = Siri_codec.Wire
+module Telemetry = Siri_telemetry.Telemetry
 
 type t = { store : Store.t; root : Hash.t }
 
@@ -563,22 +564,30 @@ let verify_proof ~root (proof : Proof.t) =
 
 (* --- generic packaging --------------------------------------------------- *)
 
+(* Per-operation telemetry probes report to whatever sink is attached to
+   the backing store at call time ([Telemetry.null] = zero-cost no-op).
+   Probes time and trace; they never touch serialization, so root hashes
+   are identical with telemetry enabled or disabled. *)
+let probe t name f = Telemetry.probe (Store.sink t.store) name f
+
 let rec generic t =
   { Generic.name = "mpt";
     store = t.store;
     root = t.root;
-    lookup = lookup t;
+    lookup = (fun k -> probe t "mpt.lookup" (fun () -> lookup t k));
     path_length = path_length t;
-    batch = (fun ops -> generic (batch t ops));
+    batch = (fun ops -> generic (probe t "mpt.batch" (fun () -> batch t ops)));
     to_list = (fun () -> to_list t);
     cardinal = (fun () -> cardinal t);
-    diff = (fun other_root -> diff t (of_root t.store other_root));
+    diff =
+      (fun other_root ->
+        probe t "mpt.diff" (fun () -> diff t (of_root t.store other_root)));
     merge =
       (fun policy other_root ->
         match merge t (of_root t.store other_root) ~policy with
         | Ok m -> Ok (generic m)
         | Error cs -> Error cs);
-    prove = prove t;
+    prove = (fun k -> probe t "mpt.prove" (fun () -> prove t k));
     verify = (fun ~root proof -> verify_proof ~root proof);
     reopen = (fun r -> generic (of_root t.store r));
     range = (fun ~lo ~hi -> range t ~lo ~hi) }

@@ -2,6 +2,7 @@ open Siri_crypto
 open Siri_core
 module Store = Siri_store.Store
 module Wire = Siri_codec.Wire
+module Telemetry = Siri_telemetry.Telemetry
 
 type config = { leaf_capacity : int; internal_capacity : int }
 
@@ -421,22 +422,29 @@ let verify_proof ~root (proof : Proof.t) =
     | Ok v -> v = proof.value
     | Error () -> false
 
+(* Telemetry probes: see the note in Mpt.generic — observation only, no
+   effect on hashing. *)
+let probe t name f = Telemetry.probe (Store.sink t.store) name f
+
 let rec generic t =
   { Generic.name = "mvmb+-tree";
     store = t.store;
     root = t.root;
-    lookup = lookup t;
+    lookup = (fun k -> probe t "mvmb+-tree.lookup" (fun () -> lookup t k));
     path_length = path_length t;
-    batch = (fun ops -> generic (batch t ops));
+    batch =
+      (fun ops -> generic (probe t "mvmb+-tree.batch" (fun () -> batch t ops)));
     to_list = (fun () -> to_list t);
     cardinal = (fun () -> cardinal t);
-    diff = (fun other -> diff t { t with root = other });
+    diff =
+      (fun other ->
+        probe t "mvmb+-tree.diff" (fun () -> diff t { t with root = other }));
     merge =
       (fun policy other ->
         match merge t { t with root = other } ~policy with
         | Ok m -> Ok (generic m)
         | Error cs -> Error cs);
-    prove = prove t;
+    prove = (fun k -> probe t "mvmb+-tree.prove" (fun () -> prove t k));
     verify = (fun ~root proof -> verify_proof ~root proof);
     reopen = (fun r -> generic { t with root = r });
     range = (fun ~lo ~hi -> range t ~lo ~hi) }

@@ -2,6 +2,7 @@ open Siri_crypto
 open Siri_core
 module Store = Siri_store.Store
 module Wire = Siri_codec.Wire
+module Telemetry = Siri_telemetry.Telemetry
 module Chunker = Siri_chunk.Chunker
 
 type internal_rule =
@@ -557,22 +558,31 @@ let verify_range_proof ~root proof =
 
 (* --- generic ------------------------------------------------------------------------ *)
 
+(* Telemetry probes: see the note in Mpt.generic — observation only, no
+   effect on hashing.  The probe prefix follows the instance name, so a
+   Prolly-configured tree reports as [prolly.<op>]. *)
+let probe t name f = Telemetry.probe (Store.sink t.store) name f
+
 let rec generic_named name t =
+  let p_lookup = name ^ ".lookup"
+  and p_batch = name ^ ".batch"
+  and p_diff = name ^ ".diff"
+  and p_prove = name ^ ".prove" in
   { Generic.name;
     store = t.store;
     root = t.root;
-    lookup = lookup t;
+    lookup = (fun k -> probe t p_lookup (fun () -> lookup t k));
     path_length = path_length t;
-    batch = (fun ops -> generic_named name (batch t ops));
+    batch = (fun ops -> generic_named name (probe t p_batch (fun () -> batch t ops)));
     to_list = (fun () -> to_list t);
     cardinal = (fun () -> cardinal t);
-    diff = (fun other -> diff t { t with root = other });
+    diff = (fun other -> probe t p_diff (fun () -> diff t { t with root = other }));
     merge =
       (fun policy other ->
         match merge t { t with root = other } ~policy with
         | Ok m -> Ok (generic_named name m)
         | Error cs -> Error cs);
-    prove = prove t;
+    prove = (fun k -> probe t p_prove (fun () -> prove t k));
     verify = (fun ~root proof -> verify_proof ~root proof);
     reopen = (fun r -> generic_named name { t with root = r });
     range = (fun ~lo ~hi -> range t ~lo ~hi) }

@@ -1,4 +1,5 @@
 open Siri_crypto
+module Telemetry = Siri_telemetry.Telemetry
 
 exception Missing of Hash.t
 exception Transient of Hash.t
@@ -23,6 +24,7 @@ type t = {
   mutable get_observer : (Hash.t -> int -> unit) option;
   mutable put_observer : (Hash.t -> int -> unit) option;
   mutable read_gate : (Hash.t -> string -> unit) option;
+  mutable sink : Telemetry.sink;
 }
 
 let create () =
@@ -33,29 +35,47 @@ let create () =
     gets = 0;
     get_observer = None;
     put_observer = None;
-    read_gate = None }
+    read_gate = None;
+    sink = Telemetry.null }
 
 let set_get_observer t obs = t.get_observer <- obs
 let set_put_observer t obs = t.put_observer <- obs
 let set_read_gate t gate = t.read_gate <- gate
+let set_sink t sink = t.sink <- sink
+let sink t = t.sink
 
 let put t ?(children = []) bytes =
   let h = Hash.of_string bytes in
+  let len = String.length bytes in
   t.puts <- t.puts + 1;
-  t.put_bytes <- t.put_bytes + String.length bytes;
-  if not (Hash.Table.mem t.tbl h) then begin
+  t.put_bytes <- t.put_bytes + len;
+  let fresh = not (Hash.Table.mem t.tbl h) in
+  if fresh then begin
     Hash.Table.add t.tbl h { bytes; children };
-    t.stored_bytes <- t.stored_bytes + String.length bytes
+    t.stored_bytes <- t.stored_bytes + len
   end;
-  (match t.put_observer with
-  | Some f -> f h (String.length bytes)
-  | None -> ());
+  if Telemetry.enabled t.sink then begin
+    Telemetry.incr t.sink "store.put";
+    Telemetry.incr t.sink ~by:len "store.put_bytes";
+    if fresh then begin
+      Telemetry.incr t.sink "store.put_unique";
+      Telemetry.incr t.sink ~by:len "store.put_unique_bytes"
+    end
+  end;
+  (match t.put_observer with Some f -> f h len | None -> ());
   h
 
 let get t h =
   t.gets <- t.gets + 1;
   let bytes = (Hash.Table.find t.tbl h).bytes in
   (match t.read_gate with Some gate -> gate h bytes | None -> ());
+  (* Telemetry counts successful reads (past the fault gate), at the same
+     point the deployment-simulation observer fires — so cache hit/miss
+     accounting and [store.get] stay conservation-consistent. *)
+  if Telemetry.enabled t.sink then begin
+    Telemetry.incr t.sink "store.get";
+    Telemetry.incr t.sink ~by:(String.length bytes) "store.get_bytes"
+  end;
   (match t.get_observer with
   | Some f -> f h (String.length bytes)
   | None -> ());

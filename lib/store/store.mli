@@ -75,6 +75,19 @@ val set_get_observer : t -> (Hash.t -> int -> unit) option -> unit
 val set_put_observer : t -> (Hash.t -> int -> unit) option -> unit
 (** Same for {!put} (called on every logical write, duplicate or not). *)
 
+val set_sink : t -> Siri_telemetry.Telemetry.sink -> unit
+(** Attach a telemetry sink.  Every successful {!get} increments
+    [store.get] / [store.get_bytes]; every {!put} increments [store.put] /
+    [store.put_bytes], plus [store.put_unique] / [store.put_unique_bytes]
+    when the bytes were not already stored (so
+    [store.put - store.put_unique] is the deduplicated write count).
+    Attaching {!Siri_telemetry.Telemetry.null} (the default) disables
+    metering; a sink never alters stored bytes or hashes. *)
+
+val sink : t -> Siri_telemetry.Telemetry.sink
+(** The attached sink (shared by the index implementations bound to this
+    store — their per-operation probes report here). *)
+
 val set_read_gate : t -> (Hash.t -> string -> unit) option -> unit
 (** Install a gate consulted on every {!get} {e before} the bytes are
     returned (and before the get observer fires).  The gate may raise one

@@ -7,6 +7,7 @@
 
 module Store = Siri_store.Store
 module Hash = Siri_crypto.Hash
+module Telemetry = Siri_telemetry.Telemetry
 module Mpt = Siri_mpt.Mpt
 module Mbt = Siri_mbt.Mbt
 module Pos = Siri_pos.Pos_tree
@@ -16,28 +17,53 @@ module Prolly = Siri_prolly.Prolly
 let entries =
   List.init 100 (fun i -> (Printf.sprintf "key-%03d" i, Printf.sprintf "value-%d" (i * i)))
 
+let mpt_root = "9bc1a9eb1ceb85ab222fdca1f2a0cdfcd3c4d053616ac91b0b4173da0e2866bb"
+let mbt_root = "adadc0c966d13469270fa881c06553998ad49c6ec8bfed50cc8752cf45d671c5"
+let pos_root = "9ec66005a0652557f74b3c059fbd5cc586ad7d2fba87d3030c288cba2bc19fc8"
+let mvbt_root = "a468a8bf58145876890595b2da825b7c79c2cf5a544edfbf251c880c8c9d5fd7"
+
 let check name expected actual =
   Alcotest.(check string) (name ^ " root frozen") expected (Hash.to_hex actual)
 
+let builders =
+  [ ("mpt", mpt_root, fun store -> Mpt.root (Mpt.of_entries store entries));
+    ( "mbt",
+      mbt_root,
+      fun store ->
+        Mbt.root (Mbt.of_entries store (Mbt.config ~capacity:16 ~fanout:4 ()) entries)
+    );
+    ( "pos",
+      pos_root,
+      fun store ->
+        Pos.root
+          (Pos.of_entries store (Pos.config ~leaf_target:256 ~internal_bits:3 ()) entries)
+    );
+    ( "mvbt",
+      mvbt_root,
+      fun store ->
+        Mvbt.root
+          (Mvbt.of_entries store
+             (Mvbt.config ~leaf_capacity:4 ~internal_capacity:5 ())
+             entries) ) ]
+
 let test_mpt () =
   let store = Store.create () in
-  check "mpt" "9bc1a9eb1ceb85ab222fdca1f2a0cdfcd3c4d053616ac91b0b4173da0e2866bb"
-    (Mpt.root (Mpt.of_entries store entries))
+  check "mpt" mpt_root (Mpt.root (Mpt.of_entries store entries))
 
 let test_mbt () =
   let store = Store.create () in
-  check "mbt" "adadc0c966d13469270fa881c06553998ad49c6ec8bfed50cc8752cf45d671c5"
+  check "mbt" mbt_root
     (Mbt.root (Mbt.of_entries store (Mbt.config ~capacity:16 ~fanout:4 ()) entries))
 
 let test_pos () =
   let store = Store.create () in
-  check "pos" "9ec66005a0652557f74b3c059fbd5cc586ad7d2fba87d3030c288cba2bc19fc8"
+  check "pos" pos_root
     (Pos.root
        (Pos.of_entries store (Pos.config ~leaf_target:256 ~internal_bits:3 ()) entries))
 
 let test_mvbt () =
   let store = Store.create () in
-  check "mvbt" "a468a8bf58145876890595b2da825b7c79c2cf5a544edfbf251c880c8c9d5fd7"
+  check "mvbt" mvbt_root
     (Mvbt.root
        (Mvbt.of_entries store
           (Mvbt.config ~leaf_capacity:4 ~internal_capacity:5 ())
@@ -49,8 +75,26 @@ let test_prolly () =
      leaves), so the digest matches POS — freezing it still pins the
      By_rolling code path. *)
   let store = Store.create () in
-  check "prolly" "9ec66005a0652557f74b3c059fbd5cc586ad7d2fba87d3030c288cba2bc19fc8"
+  check "prolly" pos_root
     (Pos.root (Pos.of_entries store (Prolly.config ~node_target:256 ()) entries))
+
+let test_instrumented_roots () =
+  (* The same golden digests must come out of a fully metered build — a
+     telemetry sink plus the global hash counter attached.  Instrumentation
+     that leaked into a serialization or a digest would break the vectors
+     here even if the plain builds above still pass. *)
+  let sink = Telemetry.create () in
+  Telemetry.attach_hash_counter sink;
+  Fun.protect ~finally:Telemetry.detach_hash_counter (fun () ->
+      List.iter
+        (fun (name, expected, build) ->
+          let store = Store.create () in
+          Store.set_sink store sink;
+          check (name ^ " (instrumented)") expected (build store))
+        builders;
+      Alcotest.(check bool) "the builds were actually metered" true
+        (Telemetry.counter sink "store.put" > 0
+        && Telemetry.counter sink "hash.count" > 0))
 
 let test_empty_roots () =
   (* The empty tree of every keyed structure is the null digest... except
@@ -71,4 +115,5 @@ let () =
           Alcotest.test_case "pos" `Quick test_pos;
           Alcotest.test_case "mvbt" `Quick test_mvbt;
           Alcotest.test_case "prolly" `Quick test_prolly;
-          Alcotest.test_case "empty roots" `Quick test_empty_roots ] ) ]
+          Alcotest.test_case "empty roots" `Quick test_empty_roots;
+          Alcotest.test_case "instrumented roots" `Quick test_instrumented_roots ] ) ]

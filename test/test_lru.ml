@@ -1,0 +1,92 @@
+(* LRU edge cases: degenerate capacities, recency order under repeated
+   touches, and the eviction counter's agreement with telemetry. *)
+
+module Hash = Siri_crypto.Hash
+module Lru = Siri_forkbase.Lru
+module Telemetry = Siri_telemetry.Telemetry
+
+let h i = Hash.of_string (string_of_int i)
+
+let test_negative_capacity () =
+  Alcotest.check_raises "negative capacity rejected"
+    (Invalid_argument "Lru.create: capacity must be non-negative") (fun () ->
+      ignore (Lru.create ~capacity:(-1)))
+
+let test_capacity_zero () =
+  let c = Lru.create ~capacity:0 in
+  Alcotest.(check int) "capacity" 0 (Lru.capacity c);
+  for i = 1 to 10 do
+    Alcotest.(check bool) "every touch misses" false (Lru.touch c (h i));
+    Alcotest.(check bool) "repeat still misses" false (Lru.touch c (h i))
+  done;
+  Alcotest.(check int) "retains nothing" 0 (Lru.size c);
+  Alcotest.(check int) "nothing stored, nothing evicted" 0 (Lru.evictions c)
+
+let test_capacity_one () =
+  let c = Lru.create ~capacity:1 in
+  Alcotest.(check bool) "first touch misses" false (Lru.touch c (h 1));
+  Alcotest.(check bool) "second touch hits" true (Lru.touch c (h 1));
+  Alcotest.(check bool) "new key misses" false (Lru.touch c (h 2));
+  Alcotest.(check bool) "old key evicted" false (Lru.mem c (h 1));
+  Alcotest.(check bool) "new key resident" true (Lru.mem c (h 2));
+  Alcotest.(check int) "size stays 1" 1 (Lru.size c);
+  Alcotest.(check int) "one eviction" 1 (Lru.evictions c)
+
+let test_eviction_order () =
+  let c = Lru.create ~capacity:2 in
+  ignore (Lru.touch c (h 1));
+  ignore (Lru.touch c (h 2));
+  (* Refresh 1: now 2 is the least recently used. *)
+  Alcotest.(check bool) "refresh hits" true (Lru.touch c (h 1));
+  ignore (Lru.touch c (h 3));
+  Alcotest.(check bool) "refreshed key survives" true (Lru.mem c (h 1));
+  Alcotest.(check bool) "LRU key evicted" false (Lru.mem c (h 2));
+  Alcotest.(check bool) "new key resident" true (Lru.mem c (h 3));
+  (* Repeated touches of resident keys never evict. *)
+  let before = Lru.evictions c in
+  for _ = 1 to 20 do
+    ignore (Lru.touch c (h 1));
+    ignore (Lru.touch c (h 3))
+  done;
+  Alcotest.(check int) "hits do not evict" before (Lru.evictions c)
+
+let test_mem_does_not_refresh () =
+  let c = Lru.create ~capacity:2 in
+  ignore (Lru.touch c (h 1));
+  ignore (Lru.touch c (h 2));
+  (* mem must not promote 1; the next insert still evicts it. *)
+  Alcotest.(check bool) "mem sees 1" true (Lru.mem c (h 1));
+  ignore (Lru.touch c (h 3));
+  Alcotest.(check bool) "1 evicted despite mem" false (Lru.mem c (h 1))
+
+let test_clear_keeps_evictions () =
+  let c = Lru.create ~capacity:1 in
+  ignore (Lru.touch c (h 1));
+  ignore (Lru.touch c (h 2));
+  Alcotest.(check int) "one eviction before clear" 1 (Lru.evictions c);
+  Lru.clear c;
+  Alcotest.(check int) "clear empties" 0 (Lru.size c);
+  Alcotest.(check int) "clear is not an eviction" 1 (Lru.evictions c)
+
+let test_telemetry_agreement () =
+  let sink = Telemetry.create () in
+  let c = Lru.create ~capacity:3 in
+  Lru.set_sink c sink;
+  let rng_keys = List.init 200 (fun i -> h (i * 37 mod 11)) in
+  List.iter (fun k -> ignore (Lru.touch c k)) rng_keys;
+  Alcotest.(check int) "cache.evict = evictions"
+    (Lru.evictions c)
+    (Telemetry.counter sink "cache.evict");
+  Alcotest.(check bool) "evictions happened" true (Lru.evictions c > 0)
+
+let () =
+  Alcotest.run "lru"
+    [ ( "edge cases",
+        [ Alcotest.test_case "negative capacity" `Quick test_negative_capacity;
+          Alcotest.test_case "capacity 0" `Quick test_capacity_zero;
+          Alcotest.test_case "capacity 1" `Quick test_capacity_one;
+          Alcotest.test_case "eviction order" `Quick test_eviction_order;
+          Alcotest.test_case "mem does not refresh" `Quick test_mem_does_not_refresh;
+          Alcotest.test_case "clear keeps evictions" `Quick test_clear_keeps_evictions;
+          Alcotest.test_case "telemetry agreement" `Quick test_telemetry_agreement ]
+      ) ]
