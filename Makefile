@@ -6,10 +6,15 @@
 #                  pipeline end to end: `siri-cli stats` must print
 #                  per-structure counters and latency quantiles for all
 #                  four indexes on a sample workload.
+#   make crash   — run the WAL crash simulator on its own: every-byte-offset
+#                  truncation plus seeded bit-flip storms against the commit
+#                  journal, for all four index structures.  The seed is
+#                  pinned so a failure reproduces identically everywhere.
 
 DUNE ?= dune
+QCHECK_SEED ?= 20260806
 
-.PHONY: all build test smoke check bench clean
+.PHONY: all build test smoke crash check bench clean
 
 all: build
 
@@ -22,7 +27,10 @@ test:
 smoke: build
 	$(DUNE) exec bin/siri_cli.exe -- stats --records 1000 --ops 500
 
-check: build test smoke
+crash: build
+	QCHECK_SEED=$(QCHECK_SEED) $(DUNE) exec test/test_wal.exe
+
+check: build test smoke crash
 	@echo "check: OK"
 
 bench:

@@ -1,0 +1,110 @@
+(* Extension (not a paper figure): durability cost of the write-ahead
+   commit journal.  Measures journaled commit throughput with and without
+   fsync, the journal bytes produced, and the recovery replay rate when the
+   directory is reopened cold.  The fsync column is the price of the "no
+   acknowledged commit is lost" guarantee; the nosync column bounds the pure
+   journaling overhead (encode + checksum + write). *)
+
+open Siri_core
+module Store = Siri_store.Store
+module Engine = Siri_forkbase.Engine
+module Durable = Siri_wal.Durable
+module Wal = Siri_wal.Wal
+module Clock = Siri_benchkit.Clock
+module Table = Siri_benchkit.Table
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "siri_wal_bench.%d.%d" (Unix.getpid ()) !dir_counter)
+  in
+  rm_rf d;
+  d
+
+let fail_error e = failwith (Format.asprintf "%a" Wal.pp_error e)
+
+(* Commit [commits] batches of [batch] ops through a durable engine and
+   return (commits/s, journal bytes); the directory is left populated so the
+   caller can measure recovery. *)
+let append_run ~sync ~commits ~batch kind dir =
+  let empty_index = Common.make ~record_bytes:128 kind (Store.create ()) in
+  match Durable.open_ ~sync ~dir ~empty_index () with
+  | Error e -> fail_error e
+  | Ok t ->
+      let rng = Rng.create Params.seed in
+      let t0 = Clock.now () in
+      for i = 1 to commits do
+        let ops =
+          List.init batch (fun j ->
+              Kv.Put
+                ( Printf.sprintf "key%06d" (Rng.int rng 100_000),
+                  Printf.sprintf "value-%d-%d" i j ))
+        in
+        ignore
+          (Durable.commit t ~branch:"master"
+             ~message:(Printf.sprintf "c%d" i)
+             ops
+            : Engine.commit)
+      done;
+      let seconds = Clock.now () -. t0 in
+      let bytes = Durable.journal_bytes t in
+      Durable.close t;
+      (float_of_int commits /. seconds, bytes)
+
+(* Reopen the populated directory cold and return records replayed per
+   second (journal scan + checksum verification + engine re-execution). *)
+let recovery_run kind dir =
+  let empty_index = Common.make ~record_bytes:128 kind (Store.create ()) in
+  let t0 = Clock.now () in
+  match Durable.open_ ~dir ~empty_index () with
+  | Error e -> fail_error e
+  | Ok t ->
+      let seconds = Clock.now () -. t0 in
+      let r = Durable.recovery t in
+      Durable.close t;
+      float_of_int r.Durable.replayed /. seconds
+
+let run () =
+  let commits = if Params.is_full () then 2000 else 200 in
+  let batch = 20 in
+  let rows =
+    List.map
+      (fun kind ->
+        let dir_sync = fresh_dir () and dir_nosync = fresh_dir () in
+        let sync_rate, _ =
+          append_run ~sync:true ~commits ~batch kind dir_sync
+        in
+        let nosync_rate, bytes =
+          append_run ~sync:false ~commits ~batch kind dir_nosync
+        in
+        let replay_rate = recovery_run kind dir_nosync in
+        rm_rf dir_sync;
+        rm_rf dir_nosync;
+        [ Common.name kind;
+          Printf.sprintf "%.0f" sync_rate;
+          Printf.sprintf "%.0f" nosync_rate;
+          Printf.sprintf "%.1f" (float_of_int bytes /. 1024.0);
+          Printf.sprintf "%.0f" replay_rate ])
+      Common.all
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "WAL durability: %d commits x %d ops (journaled engine)" commits
+         batch)
+    ~headers:
+      [ "index"; "fsync commit/s"; "nosync commit/s"; "journal KB";
+        "replay rec/s" ]
+    rows

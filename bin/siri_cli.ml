@@ -453,6 +453,75 @@ let scrub_cmd =
           integrity violations, 2 if the file is unreadable.")
     Term.(const run $ strict $ file_arg 0 "SNAPSHOT")
 
+(* --- durability: recover / checkpoint ---------------------------------------- *)
+
+module Engine = Siri_forkbase.Engine
+module Wal = Siri_wal.Wal
+module Durable = Siri_wal.Durable
+
+let dir_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR")
+
+(* Shared by recover and checkpoint: open (recovering), print the report,
+   optionally checkpoint, and exit with the established convention —
+   0 clean, 1 recovered-with-clamp, 2 unrecoverable. *)
+let durable_run ~checkpoint kind dir =
+  match Durable.open_ ~dir ~empty_index:(make kind (Store.create ())) () with
+  | Error e ->
+      Format.eprintf "recover: %a@." Wal.pp_error e;
+      2
+  | Ok t ->
+      let r = Durable.recovery t in
+      Printf.printf "snapshot   : generation %d\n" r.Durable.generation;
+      Printf.printf "replayed   : %d record%s\n" r.Durable.replayed
+        (if r.Durable.replayed = 1 then "" else "s");
+      if r.Durable.skipped > 0 then
+        Printf.printf "skipped    : %d (already in the snapshot)\n"
+          r.Durable.skipped;
+      Printf.printf "clamped    : %d byte%s of torn tail\n"
+        r.Durable.clamped_bytes
+        (if r.Durable.clamped_bytes = 1 then "" else "s");
+      let engine = Durable.engine t in
+      List.iter
+        (fun b ->
+          let h = Engine.head engine b in
+          Printf.printf "branch     : %-12s %s (version %d)\n" b
+            (Hash.short h.Engine.id) h.Engine.version)
+        (Engine.branches engine);
+      if checkpoint then begin
+        Durable.checkpoint t;
+        Printf.printf "checkpoint : journal truncated to %d bytes\n"
+          (Durable.journal_bytes t)
+      end;
+      Durable.close t;
+      if r.Durable.clamped_bytes > 0 then begin
+        print_endline "=> recovered (torn journal tail clamped)";
+        1
+      end
+      else begin
+        print_endline "=> clean";
+        0
+      end
+
+let recover_cmd =
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Recover a durable engine directory: load the manifest snapshot, \
+          replay the commit journal, clamp any torn tail.  Exits 0 when the \
+          journal was clean, 1 when a torn tail was clamped, 2 when the \
+          directory is unrecoverable (corrupt journal or snapshot).")
+    Term.(const (durable_run ~checkpoint:false) $ index_arg $ dir_arg)
+
+let checkpoint_cmd =
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:
+         "Recover a durable engine directory, then checkpoint it: write the \
+          next-generation snapshot, atomically publish the manifest and \
+          truncate the journal.  Same exit codes as $(b,recover).")
+    Term.(const (durable_run ~checkpoint:true) $ index_arg $ dir_arg)
+
 let gen_cmd =
   let count =
     Arg.(value & opt int 1000 & info [ "count"; "n" ] ~docv:"N" ~doc:"Records to generate.")
@@ -475,4 +544,5 @@ let () =
   exit
     (Cmd.eval' (Cmd.group info
        [ stats_cmd; get_cmd; prove_cmd; range_cmd; diff_cmd; merge_cmd;
-         properties_cmd; snapshot_cmd; scrub_cmd; gen_cmd ]))
+         properties_cmd; snapshot_cmd; scrub_cmd; recover_cmd; checkpoint_cmd;
+         gen_cmd ]))

@@ -144,6 +144,20 @@ let arm plan store =
   Store.set_read_gate store (Some gate);
   a
 
+let flip_blob ~seed ~rate blob =
+  let rate = clamp rate in
+  let rng = Rng.create seed in
+  let b = Bytes.of_string blob in
+  let offsets = ref [] in
+  for i = 0 to Bytes.length b - 1 do
+    if Rng.float rng < rate then begin
+      let bit = Rng.int rng 8 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      offsets := i :: !offsets
+    end
+  done;
+  (Bytes.unsafe_to_string b, List.rev !offsets)
+
 let disarm a = Store.set_read_gate a.target None
 let store a = a.target
 let corrupted a = a.corrupted

@@ -97,6 +97,14 @@ val arm : plan -> Store.t -> armed
     arming are not corrupted but still pass through the gate.  Only one
     plan may be armed on a store at a time. *)
 
+val flip_blob : seed:int -> rate:float -> string -> string * int list
+(** Plan-style damage for a raw byte blob (e.g. a write-ahead journal
+    file): every byte is independently hit with probability [rate]
+    (clamped to [0, 1]); a hit flips one seeded-random bit.  Returns the
+    damaged copy and the hit offsets in increasing order.  Deterministic
+    in [seed] — the same blob and seed reproduce the same damage, so a
+    crash-simulation failure replays exactly. *)
+
 val disarm : armed -> unit
 (** Remove the read gate.  Persistent corruptions remain (use
     [Store.repair] to heal them). *)

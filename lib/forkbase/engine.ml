@@ -139,8 +139,7 @@ let merge_base t a b =
 
 module Smap = Map.Make (String)
 
-let merge_branches t ~into ~from ~policy =
- Telemetry.with_span (Store.sink t.store) "engine.merge" @@ fun () ->
+let merge_ops t ~into ~from ~policy =
   let base = merge_base t into from in
   let base_index = t.reopen base.index_root in
   let to_map diffs =
@@ -187,12 +186,20 @@ let merge_branches t ~into ~from ~policy =
     right_changes;
   match !conflicts with
   | _ :: _ as cs -> Error (List.rev cs)
-  | [] ->
+  | [] -> Ok (List.rev !ops)
+
+let merge_message ~into ~from = Printf.sprintf "merge %s into %s" from into
+
+let merge_branches t ~into ~from ~policy =
+ Telemetry.with_span (Store.sink t.store) "engine.merge" @@ fun () ->
+  match merge_ops t ~into ~from ~policy with
+  | Error cs -> Error cs
+  | Ok ops ->
       let h = head t into in
-      let merged = (t.reopen h.index_root).Generic.batch (List.rev !ops) in
+      let merged = (t.reopen h.index_root).Generic.batch ops in
       let c =
         store_commit t ~parent:(Some h.id) ~index_root:merged.Generic.root
-          ~message:(Printf.sprintf "merge %s into %s" from into)
+          ~message:(merge_message ~into ~from)
           ~version:(h.version + 1)
       in
       Hashtbl.replace t.heads into c;
@@ -273,15 +280,12 @@ let commit_txn txn ~message =
 
 let heads_path path = path ^ ".heads"
 
-let save t path =
-  Store.save t.store path;
-  let tmp = heads_path path ^ ".tmp" in
-  let oc = open_out tmp in
-  Hashtbl.iter
-    (fun name c -> Printf.fprintf oc "%s\t%s\n" name (Hash.to_hex c.id))
-    t.heads;
-  close_out oc;
-  Sys.rename tmp (heads_path path)
+let save ?sync t path =
+  Store.save ?sync t.store path;
+  Store.write_file_atomic ?sync (heads_path path) (fun oc ->
+      Hashtbl.iter
+        (fun name c -> Printf.fprintf oc "%s\t%s\n" name (Hash.to_hex c.id))
+        t.heads)
 
 let load ~empty_index path =
   (* Graft the loaded nodes into the caller's (fresh) store so that the
@@ -297,6 +301,8 @@ let load ~empty_index path =
       heads = Hashtbl.create 8;
       reopen = empty_index.Generic.reopen }
   in
+  ignore (Store.cleanup_stale_tmp (heads_path path) : int);
+  let skipped = ref [] in
   let ic = open_in (heads_path path) in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
@@ -310,12 +316,32 @@ let load ~empty_index path =
               let name = String.sub line 0 i in
               let hex = String.sub line (i + 1) (String.length line - i - 1) in
               let id = Hash.of_hex hex in
-              Hashtbl.replace t.heads name
-                (decode_commit id (Store.get t.store id))
+              (* The store file and the heads file are written as two
+                 separate renames, so a crash between them can leave a head
+                 naming a commit the store never received.  Such a branch is
+                 unrecoverable from this snapshot alone: clamp it (drop the
+                 head) rather than abort the whole load with [Not_found]. *)
+              (match decode_commit id (Store.get t.store id) with
+              | c -> Hashtbl.replace t.heads name c
+              | exception (Not_found | Invalid_argument _ | Wire.Reader.Truncated)
+                ->
+                  skipped := name :: !skipped)
         done
       with End_of_file -> ());
-  if Hashtbl.length t.heads = 0 then failwith "Engine.load: no branches";
+  if Hashtbl.length t.heads = 0 then
+    failwith
+      (if !skipped = [] then "Engine.load: no branches"
+       else "Engine.load: every head references a commit absent from the store");
   t
+
+let load_checked ~empty_index path =
+  match load ~empty_index path with
+  | t -> Ok t
+  | exception Failure msg -> Error (`Malformed msg)
+  | exception Sys_error msg -> Error (`Malformed msg)
+  | exception Invalid_argument msg -> Error (`Malformed msg)
+  | exception Wire.Reader.Truncated ->
+      Error (`Malformed "Engine.load: truncated commit object")
 
 (* --- history management ------------------------------------------------------ *)
 

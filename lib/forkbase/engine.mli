@@ -57,6 +57,19 @@ val merge_base : t -> string -> string -> commit
 (** The nearest common ancestor of two branches' heads in the commit DAG
     (at worst the initial commit, which every branch descends from). *)
 
+val merge_ops :
+  t -> into:string -> from:string -> policy:Kv.merge_policy ->
+  (Kv.op list, Kv.conflict list) result
+(** The resolved, non-conflicting write batch a {!merge_branches} of the
+    same arguments would commit on [into] — exposed so the write-ahead
+    journal can record a merge as a concrete replayable batch (a
+    [Kv.Resolve] closure cannot be serialized).  Does not modify the
+    engine. *)
+
+val merge_message : into:string -> from:string -> string
+(** The commit message {!merge_branches} uses — replaying a journaled
+    merge with this message byte-reproduces the original merge commit. *)
+
 val merge_branches :
   t -> into:string -> from:string -> policy:Kv.merge_policy ->
   (commit, Kv.conflict list) result
@@ -93,12 +106,27 @@ val commit_txn :
     ([path], via {!Siri_store.Store.save}) and the branch heads
     ([path ^ ".heads"], one "branch<TAB>commit-hex" line each). *)
 
-val save : t -> string -> unit
+val save : ?sync:bool -> t -> string -> unit
+(** Both files are written with the crash-safe tmp+fsync+rename protocol
+    of {!Siri_store.Store.save} ([sync] defaults to [true]).  The two
+    renames are still not atomic {e together} — {!load} degrades
+    gracefully on the resulting inconsistency, and the [Siri_wal.Durable]
+    layer closes the hole entirely with a single manifest file. *)
 
 val load : empty_index:Generic.t -> string -> t
 (** [empty_index] supplies the index kind (and configuration) the engine
     was built with; its store is ignored in favour of the loaded one.
-    Raises [Failure] on malformed files. *)
+    Stale temp files from interrupted saves are cleaned up.  A head whose
+    commit object is absent from (or undecodable in) the store file — the
+    signature of a crash between the two {!save} renames — is clamped:
+    the branch is dropped and the remaining consistent heads are kept.
+    Raises [Failure] on malformed files or when no head survives. *)
+
+val load_checked :
+  empty_index:Generic.t -> string -> (t, [ `Malformed of string ]) result
+(** {!load} with the untyped exceptions ([Failure], [Sys_error],
+    [Invalid_argument], [Wire.Reader.Truncated]) folded into a typed
+    error, mirroring {!Siri_store.Store.load_checked}. *)
 
 (** {2 Graceful degradation}
 

@@ -145,6 +145,54 @@ let gc t ~roots =
 
 let magic = "SIRISTORE2"
 
+(* Atomic file replacement.  The temp name carries the pid and a process-wide
+   counter so concurrent saves to the same destination never clobber each
+   other's half-written file; [fsync] before the rename makes the
+   bytes-then-name ordering crash-safe (a torn save leaves only a stale
+   [.tmp.*], never a damaged destination). *)
+
+let tmp_counter = ref 0
+
+let fresh_tmp path =
+  incr tmp_counter;
+  Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) !tmp_counter
+
+let tmp_marker = ".tmp."
+
+let is_tmp_of ~base name =
+  let prefix = base ^ tmp_marker in
+  String.length name > String.length prefix
+  && String.sub name 0 (String.length prefix) = prefix
+
+let cleanup_stale_tmp path =
+  let dir = Filename.dirname path in
+  let base = Filename.basename path in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | names ->
+      Array.fold_left
+        (fun removed name ->
+          if is_tmp_of ~base name then (
+            match Sys.remove (Filename.concat dir name) with
+            | () -> removed + 1
+            | exception Sys_error _ -> removed)
+          else removed)
+        0 names
+
+let write_file_atomic ?(sync = true) path writer =
+  let tmp = fresh_tmp path in
+  let oc = open_out_bin tmp in
+  (try
+     writer oc;
+     flush oc;
+     if sync then Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
 (* Insert a node under an explicit key without re-hashing — the load path
    needs this so that a node whose recorded digest no longer matches its
    bytes keeps its original identity (and can then be found by [scrub]). *)
@@ -154,41 +202,34 @@ let add_raw t h bytes children =
     t.stored_bytes <- t.stored_bytes + String.length bytes
   end
 
-let save t path =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  (try
-     output_string oc magic;
-     let write_varint n =
-       let rec go n =
-         if n < 0x80 then output_char oc (Char.chr n)
-         else begin
-           output_char oc (Char.chr (0x80 lor (n land 0x7F)));
-           go (n lsr 7)
-         end
-       in
-       go n
-     in
-     write_varint (Hash.Table.length t.tbl);
-     Hash.Table.iter
-       (fun h node ->
-         (* The key digest is recorded alongside the payload so that load
-            can detect on-disk damage: any flipped or missing byte makes
-            the re-hash disagree with the recorded digest. *)
-         output_string oc (Hash.to_raw h);
-         write_varint (String.length node.bytes);
-         output_string oc node.bytes;
-         write_varint (List.length node.children);
-         List.iter (fun c -> output_string oc (Hash.to_raw c)) node.children)
-       t.tbl;
-     close_out oc
-   with e ->
-     close_out_noerr oc;
-     Sys.remove tmp;
-     raise e);
-  Sys.rename tmp path
+let save ?sync t path =
+  write_file_atomic ?sync path (fun oc ->
+      output_string oc magic;
+      let write_varint n =
+        let rec go n =
+          if n < 0x80 then output_char oc (Char.chr n)
+          else begin
+            output_char oc (Char.chr (0x80 lor (n land 0x7F)));
+            go (n lsr 7)
+          end
+        in
+        go n
+      in
+      write_varint (Hash.Table.length t.tbl);
+      Hash.Table.iter
+        (fun h node ->
+          (* The key digest is recorded alongside the payload so that load
+             can detect on-disk damage: any flipped or missing byte makes
+             the re-hash disagree with the recorded digest. *)
+          output_string oc (Hash.to_raw h);
+          write_varint (String.length node.bytes);
+          output_string oc node.bytes;
+          write_varint (List.length node.children);
+          List.iter (fun c -> output_string oc (Hash.to_raw c)) node.children)
+        t.tbl)
 
 let load ?(verify = true) path =
+  ignore (cleanup_stale_tmp path : int);
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)

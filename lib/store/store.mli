@@ -123,8 +123,23 @@ val gc : t -> roots:Hash.t list -> int
     load, so a flipped or truncated byte anywhere in the file is detected
     and the file rejected with a typed error. *)
 
-val save : t -> string -> unit
-(** Write all nodes to [path] (atomic via a temp file + rename). *)
+val save : ?sync:bool -> t -> string -> unit
+(** Write all nodes to [path], atomically: bytes go to a uniquely-named
+    temp file ([path ^ ".tmp.<pid>.<counter>"], so concurrent saves to one
+    destination cannot clobber each other), are [fsync]ed ([sync] defaults
+    to [true]; pass [false] to trade crash-durability for speed in tests
+    and benchmarks), and only then renamed over [path].  A crash mid-save
+    leaves at most a stale temp file, never a damaged destination. *)
+
+val cleanup_stale_tmp : string -> int
+(** Remove leftover [path ^ ".tmp.*"] files from interrupted saves next to
+    [path]; returns how many were removed.  {!load} calls this
+    automatically. *)
+
+val write_file_atomic : ?sync:bool -> string -> (out_channel -> unit) -> unit
+(** The tmp+fsync+rename primitive underlying {!save}, exposed for the
+    other persistence layers (engine heads, WAL manifest) so every file
+    in the system is replaced with the same crash-safe protocol. *)
 
 val load : ?verify:bool -> string -> t
 (** Read a store back.  Raises [Failure] on a malformed, truncated or

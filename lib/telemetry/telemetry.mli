@@ -18,7 +18,12 @@
     same name schema: [store.get], [store.put], [store.put_unique],
     [hash.count], [cache.hit], [cache.miss], [cache.evict],
     [remote.retry], and per-index [<index>.<op>] probes
-    ([mpt.lookup], [pos-tree.batch], …).
+    ([mpt.lookup], [pos-tree.batch], …).  The durability layer
+    ([Siri_wal]) adds [wal.append], [wal.append_bytes], [wal.fsync] and
+    [wal.checkpoint] on the write path, and [recovery.replayed],
+    [recovery.skipped], [recovery.clamped], [recovery.clamped_bytes]
+    plus a [recovery] span (and a [wal.checkpoint] span) on the recovery
+    path.
 
     {b Determinism.}  A sink is driven by a pluggable clock.  The default
     clock is a per-sink tick counter — every reading advances simulated

@@ -1,0 +1,318 @@
+module Engine = Siri_forkbase.Engine
+module Store = Siri_store.Store
+module Fault = Siri_fault.Fault
+module Telemetry = Siri_telemetry.Telemetry
+
+let manifest_magic = "SIRIWALMANIFEST1"
+
+let journal_path dir = Filename.concat dir "journal"
+let manifest_path dir = Filename.concat dir "MANIFEST"
+let snapshot_path dir gen = Filename.concat dir (Printf.sprintf "store.%d" gen)
+
+type recovery = {
+  generation : int;
+  replayed : int;
+  skipped : int;
+  clamped_bytes : int;
+}
+
+type t = {
+  dir : string;
+  sync : bool;
+  engine : Engine.t;
+  mutable journal : out_channel option;
+  mutable generation : int;
+  mutable next_seq : int;
+  recovered : recovery;
+}
+
+let recovery t = t.recovered
+let engine t = t.engine
+let dir t = t.dir
+
+let sink t = Store.sink (Engine.store t.engine)
+
+(* --- manifest ---------------------------------------------------------------- *)
+
+(* One line of magic, one line "<generation> <last-captured-seq>".  The file
+   is tiny and replaced atomically (tmp+fsync+rename), so it is either the
+   old version or the new one — never torn. *)
+
+let write_manifest ~sync dir ~generation ~seq =
+  Store.write_file_atomic ~sync (manifest_path dir) (fun oc ->
+      Printf.fprintf oc "%s\n%d %d\n" manifest_magic generation seq)
+
+let read_manifest dir =
+  let path = manifest_path dir in
+  if not (Sys.file_exists path) then Ok None
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error msg -> Error (`Malformed msg)
+    | content -> (
+        match String.split_on_char '\n' content with
+        | m :: line :: _ when m = manifest_magic -> (
+            match String.split_on_char ' ' line with
+            | [ g; s ] -> (
+                match (int_of_string_opt g, int_of_string_opt s) with
+                | Some generation, Some seq when generation > 0 && seq >= 0 ->
+                    Ok (Some (generation, seq))
+                | _ -> Error (`Malformed "manifest: bad generation line"))
+            | _ -> Error (`Malformed "manifest: bad generation line"))
+        | _ -> Error (`Malformed "manifest: bad magic"))
+
+(* --- journal file helpers ----------------------------------------------------- *)
+
+let fsync_out oc = Unix.fsync (Unix.descr_of_out_channel oc)
+
+let open_journal_for_append ~sync path =
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 path
+  in
+  if out_channel_length oc = 0 then begin
+    output_string oc Wal.magic;
+    flush oc;
+    if sync then fsync_out oc
+  end;
+  oc
+
+let cleanup_stale_tmp dir =
+  (* Any interrupted atomic write in this directory (snapshot, heads or
+     manifest) leaves a uniquely-named *.tmp.* file; none is ever a live
+     artifact, so sweep them all. *)
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      Array.iter
+        (fun name ->
+          let is_tmp =
+            match String.index_opt name '.' with
+            | None -> false
+            | Some _ ->
+                (* contains ".tmp." somewhere *)
+                let marker = ".tmp." in
+                let nl = String.length name and ml = String.length marker in
+                let rec scan i =
+                  i + ml <= nl
+                  && (String.sub name i ml = marker || scan (i + 1))
+                in
+                scan 0
+          in
+          if is_tmp then
+            try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        names
+
+(* --- recovery ----------------------------------------------------------------- *)
+
+let apply_record engine = function
+  | Wal.Commit { branch; message; ops } ->
+      ignore (Engine.commit engine ~branch ~message ops : Engine.commit)
+  | Wal.Fork { from; name } -> Engine.fork engine ~from name
+  | Wal.Merge { into; from = _; message; ops } ->
+      (* Replaying the resolved batch as a plain commit byte-reproduces the
+         original merge commit: same parent, message, version and ops. *)
+      ignore (Engine.commit engine ~branch:into ~message ops : Engine.commit)
+
+let open_ ?(sync = true) ~dir ~empty_index () =
+  match
+    if Sys.file_exists dir then
+      if Sys.is_directory dir then Ok ()
+      else Error (`Malformed (dir ^ ": not a directory"))
+    else
+      match Unix.mkdir dir 0o755 with
+      | () -> Ok ()
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (`Malformed (dir ^ ": " ^ Unix.error_message e))
+  with
+  | Error _ as e -> e
+  | Ok () -> (
+      cleanup_stale_tmp dir;
+      match read_manifest dir with
+      | Error _ as e -> e
+      | Ok manifest -> (
+          let engine_r =
+            match manifest with
+            | None -> Ok (Engine.create ~empty_index, 0, 0)
+            | Some (generation, seq) -> (
+                match
+                  Engine.load_checked ~empty_index (snapshot_path dir generation)
+                with
+                | Ok engine -> Ok (engine, generation, seq)
+                | Error (`Malformed _) as e -> e)
+          in
+          (* A crash between manifest publication and old-generation removal
+             leaves superseded snapshot files behind; sweep them. *)
+          (match manifest with
+          | None -> ()
+          | Some (generation, _) ->
+              Array.iter
+                (fun name ->
+                  match Scanf.sscanf_opt name "store.%d%s" (fun g rest -> (g, rest)) with
+                  | Some (g, ("" | ".heads")) when g <> generation -> (
+                      try Sys.remove (Filename.concat dir name)
+                      with Sys_error _ -> ())
+                  | _ -> ())
+                (try Sys.readdir dir with Sys_error _ -> [||]));
+          match engine_r with
+          | Error _ as e -> e
+          | Ok (engine, generation, snapshot_seq) -> (
+              let sink = Store.sink (Engine.store engine) in
+              let jpath = journal_path dir in
+              let scan_r =
+                if Sys.file_exists jpath then
+                  Wal.scan (In_channel.with_open_bin jpath In_channel.input_all)
+                else
+                  Ok
+                    { Wal.entries = [];
+                      ends = [];
+                      valid_prefix = 0;
+                      clamped_bytes = 0 }
+              in
+              match scan_r with
+              | Error _ as e -> e
+              | Ok { Wal.entries; valid_prefix; clamped_bytes; _ } -> (
+                  let replay () =
+                    let replayed = ref 0 and skipped = ref 0 in
+                    List.iter
+                      (fun (seq, record) ->
+                        if seq <= snapshot_seq then incr skipped
+                        else begin
+                          apply_record engine record;
+                          incr replayed
+                        end)
+                      entries;
+                    (!replayed, !skipped)
+                  in
+                  match
+                    Telemetry.with_span sink "recovery" (fun () ->
+                        Fault.protect replay)
+                  with
+                  | Error e ->
+                      (* A record that passed its checksum but cannot be
+                         applied (e.g. it forks from a branch the snapshot
+                         does not know): the journal and snapshot disagree. *)
+                      Error
+                        (`Malformed
+                           ("replay failed: " ^ Fault.error_to_string e))
+                  | Ok (replayed, skipped) ->
+                      if clamped_bytes > 0 then begin
+                        (* Drop the torn tail on disk so subsequent appends
+                           extend the valid prefix, not the garbage. *)
+                        Unix.truncate jpath valid_prefix;
+                        Telemetry.incr sink "recovery.clamped";
+                        Telemetry.incr sink ~by:clamped_bytes
+                          "recovery.clamped_bytes"
+                      end;
+                      Telemetry.incr sink ~by:replayed "recovery.replayed";
+                      Telemetry.incr sink ~by:skipped "recovery.skipped";
+                      let last_seq =
+                        List.fold_left
+                          (fun acc (seq, _) -> max acc seq)
+                          snapshot_seq entries
+                      in
+                      let journal = open_journal_for_append ~sync jpath in
+                      Ok
+                        { dir;
+                          sync;
+                          engine;
+                          journal = Some journal;
+                          generation;
+                          next_seq = last_seq + 1;
+                          recovered =
+                            { generation; replayed; skipped; clamped_bytes }
+                        }))))
+
+(* --- journaled writes ---------------------------------------------------------- *)
+
+let journal_channel t =
+  match t.journal with
+  | Some oc -> oc
+  | None -> invalid_arg "Durable: journal closed"
+
+let append t record =
+  let oc = journal_channel t in
+  let bytes = Wal.encode_record ~seq:t.next_seq record in
+  t.next_seq <- t.next_seq + 1;
+  output_string oc bytes;
+  flush oc;
+  let s = sink t in
+  if t.sync then begin
+    fsync_out oc;
+    Telemetry.incr s "wal.fsync"
+  end;
+  Telemetry.incr s "wal.append";
+  Telemetry.incr s ~by:(String.length bytes) "wal.append_bytes"
+
+let commit t ~branch ~message ops =
+  (* Validate before journaling so an invalid branch never taints the log. *)
+  ignore (Engine.head t.engine branch : Engine.commit);
+  append t (Wal.Commit { branch; message; ops });
+  Engine.commit t.engine ~branch ~message ops
+
+let fork t ~from name =
+  if List.mem name (Engine.branches t.engine) then
+    invalid_arg (Printf.sprintf "Engine.fork: branch %S exists" name);
+  ignore (Engine.head t.engine from : Engine.commit);
+  append t (Wal.Fork { from; name });
+  Engine.fork t.engine ~from name
+
+let get t ~branch key = Engine.get t.engine ~branch key
+
+let merge_branches t ~into ~from ~policy =
+  match Engine.merge_ops t.engine ~into ~from ~policy with
+  | Error _ as e -> e
+  | Ok ops ->
+      let message = Engine.merge_message ~into ~from in
+      append t (Wal.Merge { into; from; message; ops });
+      Ok (Engine.commit t.engine ~branch:into ~message ops)
+
+(* --- checkpoint ----------------------------------------------------------------- *)
+
+let journal_bytes t =
+  match t.journal with
+  | Some oc -> out_channel_length oc
+  | None -> (
+      match (Unix.stat (journal_path t.dir)).Unix.st_size with
+      | n -> n
+      | exception Unix.Unix_error _ -> 0)
+
+let checkpoint t =
+  let s = sink t in
+  Telemetry.with_span s "wal.checkpoint" @@ fun () ->
+  let generation = t.generation + 1 in
+  (* 1. Snapshot (fsynced, atomically renamed file by file). *)
+  Engine.save ~sync:t.sync t.engine (snapshot_path t.dir generation);
+  (* 2. Commit point: one atomic manifest replacement naming both the
+     snapshot generation and the last journal sequence it captures. *)
+  write_manifest ~sync:t.sync t.dir ~generation ~seq:(t.next_seq - 1);
+  (* 3. Truncate the journal — everything in it is captured.  A crash
+     before this point replays against the new snapshot and skips every
+     record by sequence number. *)
+  (match t.journal with
+  | Some oc -> close_out_noerr oc
+  | None -> ());
+  let oc =
+    open_out_gen
+      [ Open_wronly; Open_trunc; Open_creat; Open_binary ]
+      0o644 (journal_path t.dir)
+  in
+  output_string oc Wal.magic;
+  flush oc;
+  if t.sync then fsync_out oc;
+  t.journal <- Some oc;
+  (* 4. Best-effort removal of the superseded generation. *)
+  if t.generation > 0 then begin
+    let old = snapshot_path t.dir t.generation in
+    (try Sys.remove old with Sys_error _ -> ());
+    try Sys.remove (old ^ ".heads") with Sys_error _ -> ()
+  end;
+  t.generation <- generation;
+  Telemetry.incr s "wal.checkpoint"
+
+let close t =
+  match t.journal with
+  | None -> ()
+  | Some oc ->
+      flush oc;
+      if t.sync then fsync_out oc;
+      close_out_noerr oc;
+      t.journal <- None

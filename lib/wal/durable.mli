@@ -1,0 +1,99 @@
+(** Crash-consistent durability for {!Siri_forkbase.Engine}: every commit,
+    fork and merge is appended to a checksummed write-ahead journal
+    ({!Wal}) {e before} it is applied in memory, so a crash at any byte
+    boundary recovers to an exact committed prefix of the history.
+
+    {b Layout.}  A durable engine lives in a directory:
+
+    - [journal] — the append-only commit journal;
+    - [MANIFEST] — {e one} atomically-replaced file naming the current
+      snapshot generation and the last journal sequence number it
+      captures (closing the two-file store/heads atomicity hole of
+      {!Siri_forkbase.Engine.save});
+    - [store.<gen>] / [store.<gen>.heads] — the snapshot of that
+      generation, written by {!Siri_forkbase.Engine.save}.
+
+    {b Recovery} ({!open_}): load the manifest's snapshot if one exists
+    (else recreate the deterministic initial engine), then replay every
+    journal record whose sequence number the snapshot does not already
+    capture.  A torn journal tail is clamped silently (and truncated on
+    disk so later appends extend the valid prefix); mid-journal corruption
+    surfaces as [`Tampered offset] — recovery never raises.
+
+    {b Checkpoint} ({!checkpoint}): write the next-generation snapshot
+    (fsync), atomically publish the manifest (tmp+fsync+rename — the
+    commit point), then truncate the journal and drop the old generation.
+    A crash anywhere in that sequence recovers: before the manifest rename
+    the old generation + full journal are intact; after it, replay skips
+    everything the new snapshot captures.
+
+    Instrumentation (on the engine store's telemetry sink): [wal.append],
+    [wal.append_bytes], [wal.fsync], [wal.checkpoint] counters; recovery
+    runs inside a [recovery] span and bumps [recovery.replayed] (records
+    re-applied), [recovery.skipped] (records the snapshot already
+    captured), [recovery.clamped] (torn-tail clamp events) and
+    [recovery.clamped_bytes]. *)
+
+open Siri_core
+module Engine = Siri_forkbase.Engine
+
+type t
+
+type recovery = {
+  generation : int;  (** snapshot generation loaded; 0 = none *)
+  replayed : int;  (** journal records re-applied *)
+  skipped : int;  (** records already captured by the snapshot *)
+  clamped_bytes : int;  (** torn-tail bytes discarded *)
+}
+
+val open_ :
+  ?sync:bool ->
+  dir:string ->
+  empty_index:Generic.t ->
+  unit ->
+  (t, Wal.error) result
+(** Open (creating the directory if needed) and recover.  [empty_index]
+    must be a {e fresh} instance of the index kind the engine was built
+    with — its store receives the recovered state, exactly as in
+    {!Siri_forkbase.Engine.load}.  [sync] (default [true]) controls
+    [fsync] on every journal append and snapshot write; [false] trades
+    power-loss durability for speed (tests, benchmarks).  Stale temp
+    files from interrupted atomic writes are cleaned up. *)
+
+val recovery : t -> recovery
+(** What {!open_} found. *)
+
+val engine : t -> Engine.t
+(** The underlying engine, for reads (get / history / checkout / …).
+    Mutating it directly bypasses the journal — write through {!commit},
+    {!fork} and {!merge_branches} instead. *)
+
+val dir : t -> string
+val journal_path : string -> string
+(** [journal_path dir] — where the journal of a durable directory lives
+    (for the crash simulator). *)
+
+val journal_bytes : t -> int
+(** Current size of the journal file in bytes. *)
+
+val commit :
+  t -> branch:string -> message:string -> Kv.op list -> Engine.commit
+(** Journal (flush, and [fsync] when [sync]), then apply. *)
+
+val fork : t -> from:string -> string -> unit
+val get : t -> branch:string -> Kv.key -> Kv.value option
+
+val merge_branches :
+  t -> into:string -> from:string -> policy:Kv.merge_policy ->
+  (Engine.commit, Kv.conflict list) result
+(** Conflict checking happens {e before} journaling: a failed merge
+    leaves no journal record.  A successful merge is journaled as its
+    resolved write batch ({!Wal.record.Merge}), so replay needs no
+    serialized policy. *)
+
+val checkpoint : t -> unit
+(** Atomic snapshot + journal truncation, as described above. *)
+
+val close : t -> unit
+(** Flush ([fsync] when [sync]) and close the journal.  The engine stays
+    usable for reads; further durable writes require a fresh {!open_}. *)

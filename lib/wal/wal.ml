@@ -1,0 +1,191 @@
+module Hash = Siri_crypto.Hash
+module Wire = Siri_codec.Wire
+module Kv = Siri_core.Kv
+
+let magic = "SIRIWAL1"
+
+type record =
+  | Commit of { branch : string; message : string; ops : Kv.op list }
+  | Fork of { from : string; name : string }
+  | Merge of { into : string; from : string; message : string; ops : Kv.op list }
+
+type error = [ `Tampered of int | `Malformed of string ]
+
+let pp_error ppf = function
+  | `Tampered off ->
+      Format.fprintf ppf "journal corrupted at byte offset %d" off
+  | `Malformed msg -> Format.fprintf ppf "malformed journal: %s" msg
+
+(* --- payload encoding -------------------------------------------------------- *)
+
+let tag_commit = 0x01
+let tag_fork = 0x02
+let tag_merge = 0x03
+
+let write_ops w ops =
+  Wire.Writer.varint w (List.length ops);
+  List.iter
+    (fun op ->
+      match op with
+      | Kv.Put (k, v) ->
+          Wire.Writer.u8 w 0;
+          Wire.Writer.str w k;
+          Wire.Writer.str w v
+      | Kv.Del k ->
+          Wire.Writer.u8 w 1;
+          Wire.Writer.str w k)
+    ops
+
+let read_ops r =
+  let n = Wire.Reader.varint r in
+  List.init n (fun _ ->
+      match Wire.Reader.u8 r with
+      | 0 ->
+          let k = Wire.Reader.str r in
+          let v = Wire.Reader.str r in
+          Kv.Put (k, v)
+      | 1 -> Kv.Del (Wire.Reader.str r)
+      | _ -> raise Wire.Reader.Truncated)
+
+let encode_payload ~seq record =
+  let w = Wire.Writer.create () in
+  Wire.Writer.varint w seq;
+  (match record with
+  | Commit { branch; message; ops } ->
+      Wire.Writer.u8 w tag_commit;
+      Wire.Writer.str w branch;
+      Wire.Writer.str w message;
+      write_ops w ops
+  | Fork { from; name } ->
+      Wire.Writer.u8 w tag_fork;
+      Wire.Writer.str w from;
+      Wire.Writer.str w name
+  | Merge { into; from; message; ops } ->
+      Wire.Writer.u8 w tag_merge;
+      Wire.Writer.str w into;
+      Wire.Writer.str w from;
+      Wire.Writer.str w message;
+      write_ops w ops);
+  Wire.Writer.contents w
+
+let decode_payload bytes =
+  let r = Wire.Reader.of_string bytes in
+  let seq = Wire.Reader.varint r in
+  let record =
+    match Wire.Reader.u8 r with
+    | t when t = tag_commit ->
+        let branch = Wire.Reader.str r in
+        let message = Wire.Reader.str r in
+        Commit { branch; message; ops = read_ops r }
+    | t when t = tag_fork ->
+        let from = Wire.Reader.str r in
+        let name = Wire.Reader.str r in
+        Fork { from; name }
+    | t when t = tag_merge ->
+        let into = Wire.Reader.str r in
+        let from = Wire.Reader.str r in
+        let message = Wire.Reader.str r in
+        Merge { into; from; message; ops = read_ops r }
+    | _ -> raise Wire.Reader.Truncated
+  in
+  if not (Wire.Reader.at_end r) then raise Wire.Reader.Truncated;
+  (seq, record)
+
+(* --- framing ----------------------------------------------------------------- *)
+
+let u32_be n =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xFF));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xFF));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xFF));
+  Bytes.set b 3 (Char.chr (n land 0xFF));
+  Bytes.unsafe_to_string b
+
+let frame payload =
+  let len = u32_be (String.length payload) in
+  let digest = Hash.to_raw (Hash.of_string (len ^ payload)) in
+  len ^ digest ^ payload
+
+let encode_record ~seq record = frame (encode_payload ~seq record)
+
+(* Frame header: 4 length bytes + 32 checksum bytes. *)
+let header_len = 4 + Hash.size
+
+type scan_result = {
+  entries : (int * record) list;
+  ends : int list;
+  valid_prefix : int;
+  clamped_bytes : int;
+}
+
+let scan blob =
+  let total = String.length blob in
+  let mlen = String.length magic in
+  if total < mlen then
+    if String.equal blob (String.sub magic 0 total) then
+      (* Torn while writing the very header: an empty committed prefix. *)
+      Ok { entries = []; ends = []; valid_prefix = 0; clamped_bytes = total }
+    else Error (`Malformed "bad magic")
+  else if not (String.equal (String.sub blob 0 mlen) magic) then
+    Error (`Malformed "bad magic")
+  else begin
+    let entries = ref [] in
+    let ends = ref [] in
+    let result = ref None in
+    let pos = ref mlen in
+    let stop r = result := Some r in
+    while !result = None do
+      let remaining = total - !pos in
+      if remaining = 0 then
+        stop
+          (Ok
+             { entries = List.rev !entries;
+               ends = List.rev !ends;
+               valid_prefix = !pos;
+               clamped_bytes = 0 })
+      else if remaining < header_len then
+        (* Torn mid-header. *)
+        stop
+          (Ok
+             { entries = List.rev !entries;
+               ends = List.rev !ends;
+               valid_prefix = !pos;
+               clamped_bytes = remaining })
+      else begin
+        let len_bytes = String.sub blob !pos 4 in
+        let len =
+          (Char.code len_bytes.[0] lsl 24)
+          lor (Char.code len_bytes.[1] lsl 16)
+          lor (Char.code len_bytes.[2] lsl 8)
+          lor Char.code len_bytes.[3]
+        in
+        if remaining - header_len < len then
+          (* Torn mid-payload (or a length flip on the final record —
+             indistinguishable from a torn write; see the interface). *)
+          stop
+            (Ok
+               { entries = List.rev !entries;
+                 ends = List.rev !ends;
+                 valid_prefix = !pos;
+                 clamped_bytes = remaining })
+        else begin
+          let digest = Hash.of_raw (String.sub blob (!pos + 4) Hash.size) in
+          let payload = String.sub blob (!pos + header_len) len in
+          if not (Hash.equal (Hash.of_string (len_bytes ^ payload)) digest)
+          then stop (Error (`Tampered !pos))
+          else
+            match decode_payload payload with
+            | seq, record ->
+                entries := (seq, record) :: !entries;
+                pos := !pos + header_len + len;
+                ends := !pos :: !ends
+            | exception Wire.Reader.Truncated ->
+                stop
+                  (Error
+                     (`Malformed
+                        (Printf.sprintf "undecodable record at offset %d" !pos)))
+        end
+      end
+    done;
+    Option.get !result
+  end

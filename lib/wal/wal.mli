@@ -1,0 +1,74 @@
+(** The append-only commit journal: record types, on-disk framing, and the
+    recovery scan.
+
+    A journal file is the byte [magic] followed by a sequence of framed
+    records.  Each frame is
+
+    {v
+    +--------------+---------------------------+------------------+
+    | u32 len (BE) | 32-byte SHA-256 checksum  | payload (len B)  |
+    +--------------+---------------------------+------------------+
+    v}
+
+    where the checksum covers the 4 length bytes {e and} the payload, so a
+    bit flip anywhere in a complete frame — including its length prefix —
+    fails verification.  The payload itself is {!Siri_codec.Wire} encoded:
+    a varint sequence number, a one-byte record tag, then the record body.
+
+    {b Recovery invariant.}  {!scan} splits any byte string into the
+    longest valid prefix of complete, checksum-verified records plus a
+    diagnosis of the remainder:
+
+    - a record that runs past the end of the input is a {b torn tail}
+      (the crash happened mid-append): the partial bytes are reported as
+      [clamped_bytes] and silently discarded — recovery lands on the
+      committed prefix;
+    - a {e complete} record whose checksum fails is {b corruption} (a
+      truncation alone can never produce it): scan stops with
+      [`Tampered offset], never an exception.
+
+    A flipped length byte that makes the {e final} record appear to extend
+    past the end of the input is indistinguishable from a torn write and is
+    clamped — the standard WAL ambiguity (LevelDB and etcd resolve it the
+    same way); every other single-bit flip over a frame is detected. *)
+
+module Kv = Siri_core.Kv
+
+val magic : string
+(** The 8-byte journal file header (["SIRIWAL1"]). *)
+
+type record =
+  | Commit of { branch : string; message : string; ops : Kv.op list }
+  | Fork of { from : string; name : string }
+  | Merge of { into : string; from : string; message : string; ops : Kv.op list }
+      (** A successful merge, recorded as the {e resolved} write batch
+          ({!Siri_forkbase.Engine.merge_ops}) so that replay needs no
+          serialized conflict policy: applying [ops] on [into] with
+          [message] byte-reproduces the original merge commit. *)
+
+type error =
+  [ `Tampered of int  (** checksum failure at this byte offset *)
+  | `Malformed of string ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val encode_record : seq:int -> record -> string
+(** One complete frame (length prefix, checksum, payload) for appending.
+    [seq] is the journal-wide monotone sequence number; the checkpoint
+    manifest records the last sequence number captured by a snapshot, so
+    a crash {e between} manifest publication and journal truncation
+    replays nothing twice. *)
+
+type scan_result = {
+  entries : (int * record) list;  (** (sequence number, record), in order *)
+  ends : int list;
+      (** byte offset of the end of each valid record — the crash
+          simulator's oracle for "which committed prefix must survive a
+          truncation at offset L" *)
+  valid_prefix : int;  (** offset where the last valid record ends *)
+  clamped_bytes : int;  (** torn-tail bytes after [valid_prefix] *)
+}
+
+val scan : string -> (scan_result, error) result
+(** Total on arbitrary bytes: every outcome is [Ok] (possibly clamped) or
+    a typed [error] — never an exception. *)
