@@ -10,11 +10,14 @@
 #                  truncation plus seeded bit-flip storms against the commit
 #                  journal, for all four index structures.  The seed is
 #                  pinned so a failure reproduces identically everywhere.
+#   make par     — run the parallel-commit determinism suite twice, with the
+#                  pool width forced to 1 and to 4 via SIRI_DOMAINS: the
+#                  root-hash and accounting equalities must hold at both.
 
 DUNE ?= dune
 QCHECK_SEED ?= 20260806
 
-.PHONY: all build test smoke crash check bench clean
+.PHONY: all build test smoke crash par check bench clean
 
 all: build
 
@@ -30,7 +33,11 @@ smoke: build
 crash: build
 	QCHECK_SEED=$(QCHECK_SEED) $(DUNE) exec test/test_wal.exe
 
-check: build test smoke crash
+par: build
+	SIRI_DOMAINS=1 QCHECK_SEED=$(QCHECK_SEED) $(DUNE) exec test/test_parallel.exe
+	SIRI_DOMAINS=4 QCHECK_SEED=$(QCHECK_SEED) $(DUNE) exec test/test_parallel.exe
+
+check: build test smoke crash par
 	@echo "check: OK"
 
 bench:

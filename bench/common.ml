@@ -31,24 +31,24 @@ let names kinds = List.map name kinds
    exactly as Section 5 does ("we tune the size of each index node to be
    approximately 1 KB").  MBT's bucket count is fixed per experiment (it
    cannot change during the index lifetime). *)
-let make ?(node_bytes = 1024) ?mbt_capacity ~record_bytes kind store =
+let make ?(node_bytes = 1024) ?mbt_capacity ?pool ~record_bytes kind store =
   match kind with
   | Kpos ->
-      Pos.generic (Pos.empty store (Pos.config ~leaf_target:node_bytes ()))
+      Pos.generic ?pool (Pos.empty store (Pos.config ~leaf_target:node_bytes ()))
   | Kprolly ->
-      Pos.generic_named "prolly"
+      Pos.generic_named ?pool "prolly"
         (Pos.empty store (Prolly.config ~node_target:node_bytes ()))
-  | Kmpt -> Mpt.generic (Mpt.empty store)
+  | Kmpt -> Mpt.generic ?pool (Mpt.empty store)
   | Kmvbt ->
       let leaf_capacity = max 2 (node_bytes / max 1 record_bytes) in
-      Mvbt.generic
+      Mvbt.generic ?pool
         (Mvbt.empty store
            (Mvbt.config ~leaf_capacity ~internal_capacity:(max 2 (node_bytes / 41)) ()))
   | Kmbt ->
       let capacity =
         match mbt_capacity with Some c -> c | None -> Params.mbt_buckets ()
       in
-      Mbt.generic (Mbt.empty store (Mbt.config ~capacity ~fanout:4 ()))
+      Mbt.generic ?pool (Mbt.empty store (Mbt.config ~capacity ~fanout:4 ()))
 
 let load inst entries =
   inst.Generic.batch (List.map (fun (k, v) -> Kv.Put (k, v)) entries)

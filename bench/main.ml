@@ -33,6 +33,7 @@ let experiments =
     ("eta-dag", "extension: dedup of branching version DAGs", Theory.eta_dag);
     ("proofs", "extension: point & range proof sizes", Fig_proofs.run);
     ("wal", "extension: WAL commit & recovery throughput", Fig_wal.run);
+    ("parallel", "extension: domain sweep of the parallel commit pipeline", Fig_parallel.run);
     ("batch", "ablation: write batch size vs throughput", Fig_throughput.batch_throughput);
     ("micro", "Bechamel per-op microbenchmarks", Micro.run);
     ("params", "print the Table 1/2 notation and parameter values", fun () ->

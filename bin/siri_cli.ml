@@ -19,6 +19,7 @@ module Hash = Siri_crypto.Hash
 module Telemetry = Siri_telemetry.Telemetry
 module Table = Siri_benchkit.Table
 module Ycsb = Siri_workload.Ycsb
+module Pool = Siri_parallel.Pool
 
 (* --- index selection ------------------------------------------------------- *)
 
@@ -35,18 +36,19 @@ let index_arg =
     & info [ "i"; "index" ] ~docv:"INDEX"
         ~doc:"Index structure: $(b,pos), $(b,mpt), $(b,mbt), $(b,mvbt) or $(b,prolly).")
 
-let make kind store =
+let make ?pool kind store =
   match kind with
   | Pos ->
-      Siri_pos.Pos_tree.generic
+      Siri_pos.Pos_tree.generic ?pool
         (Siri_pos.Pos_tree.empty store (Siri_pos.Pos_tree.config ()))
-  | Prolly -> Siri_prolly.Prolly.generic (Siri_prolly.Prolly.empty store)
-  | Mpt -> Siri_mpt.Mpt.generic (Siri_mpt.Mpt.empty store)
+  | Prolly -> Siri_prolly.Prolly.generic ?pool (Siri_prolly.Prolly.empty store)
+  | Mpt -> Siri_mpt.Mpt.generic ?pool (Siri_mpt.Mpt.empty store)
   | Mbt ->
-      Siri_mbt.Mbt.generic
+      Siri_mbt.Mbt.generic ?pool
         (Siri_mbt.Mbt.empty store (Siri_mbt.Mbt.config ~capacity:1024 ~fanout:4 ()))
   | Mvbt ->
-      Siri_mvbt.Mvbt.generic (Siri_mvbt.Mvbt.empty store (Siri_mvbt.Mvbt.config ()))
+      Siri_mvbt.Mvbt.generic ?pool
+        (Siri_mvbt.Mvbt.empty store (Siri_mvbt.Mvbt.config ()))
 
 (* --- tsv io ------------------------------------------------------------------ *)
 
@@ -87,13 +89,13 @@ let key_arg idx = Arg.(required & pos idx (some string) None & info [] ~docv:"KE
 (* Build a YCSB dataset and replay a 50/50 read/write stream against one
    structure with a wall-clock telemetry sink attached; returns the final
    instance and the sink holding counters, latency histograms and spans. *)
-let run_sample kind ~records ~ops =
+let run_sample ?pool kind ~records ~ops =
   let store = Store.create () in
   let sink = Telemetry.create ~clock:Unix.gettimeofday () in
   Store.set_sink store sink;
   Telemetry.attach_hash_counter sink;
   let y = Ycsb.create ~seed:1 ~n:records () in
-  let inst = Generic.of_entries (make kind store) (Ycsb.dataset y) in
+  let inst = Generic.load_sorted (make ?pool kind store) (Ycsb.dataset y) in
   let rng = Rng.create 1 in
   let operations =
     Ycsb.operations y ~rng ~theta:0.5 ~mix:{ Ycsb.write_ratio = 0.5 } ~count:ops
@@ -121,19 +123,22 @@ let run_sample kind ~records ~ops =
 
 let sample_kinds = [ Mpt; Mbt; Pos; Mvbt ]
 
-let stats_workload ~records ~ops ~json =
+let stats_workload ?pool ~records ~ops ~json () =
   let results =
     List.map
       (fun kind ->
-        let inst, sink = run_sample kind ~records ~ops in
+        let inst, sink = run_sample ?pool kind ~records ~ops in
         (inst.Generic.name, inst, sink))
       sample_kinds
   in
   Table.print
     ~title:
       (Printf.sprintf
-         "Telemetry counters — YCSB sample workload (%d records, %d ops)"
-         records ops)
+         "Telemetry counters — YCSB sample workload (%d records, %d ops, %d \
+          domain%s)"
+         records ops
+         (match pool with Some p -> Pool.domains p | None -> 1)
+         (match pool with Some p when Pool.domains p > 1 -> "s" | _ -> ""))
     ~headers:
       [ "index"; "node reads"; "node writes"; "unique"; "bytes written";
         "hashes"; "hashed bytes" ]
@@ -190,11 +195,13 @@ let stats_workload ~records ~ops ~json =
   0
 
 let stats_cmd =
-  let run kind path =
-    let store, inst = load kind path in
+  let run ~pool kind path =
+    let store = Store.create () in
+    let inst = Generic.load_sorted (make ~pool kind store) (read_tsv path) in
     let st = Store.stats store in
     let pages = Generic.page_set inst in
     Printf.printf "index      : %s\n" inst.Generic.name;
+    Printf.printf "domains    : %d\n" (Pool.domains pool);
     Printf.printf "records    : %d\n" (inst.Generic.cardinal ());
     Printf.printf "root       : %s\n" (Hash.to_hex inst.Generic.root);
     Printf.printf "nodes      : %d\n" (Hash.Set.cardinal pages);
@@ -250,10 +257,28 @@ let stats_cmd =
             "Write the per-structure telemetry as newline-delimited JSON to \
              $(docv) (sample-workload mode only).")
   in
-  let dispatch kind path records ops json =
-    match path with
-    | Some path -> run kind path
-    | None -> stats_workload ~records ~ops ~json
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Domains for the parallel commit pipeline (default: the host's \
+             recommended domain count, capped at 8; 1 = sequential).  The \
+             root hashes are identical for any value.")
+  in
+  let dispatch kind path records ops json domains =
+    let pool =
+      match domains with
+      | Some d -> Pool.create ~domains:d ()
+      | None -> Pool.create ()
+    in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        match path with
+        | Some path -> run ~pool kind path
+        | None -> stats_workload ~pool ~records ~ops ~json ())
   in
   Cmd.v
     (Cmd.info "stats"
@@ -261,7 +286,7 @@ let stats_cmd =
          "Print index statistics for a TSV file, or (without FILE) run a \
           telemetry-instrumented sample workload over all four structures \
           and print per-structure counters and p50/p95/p99 latencies.")
-    Term.(const dispatch $ index_arg $ file_opt $ records $ ops $ json)
+    Term.(const dispatch $ index_arg $ file_opt $ records $ ops $ json $ domains)
 
 let get_cmd =
   let run kind path key =

@@ -8,6 +8,7 @@ type t = {
   lookup : Kv.key -> Kv.value option;
   path_length : Kv.key -> int;
   batch : Kv.op list -> t;
+  bulk_load : (Kv.key * Kv.value) list -> t;
   to_list : unit -> (Kv.key * Kv.value) list;
   cardinal : unit -> int;
   diff : Hash.t -> Kv.diff_entry list;
@@ -21,6 +22,7 @@ type t = {
 let insert t k v = t.batch [ Kv.Put (k, v) ]
 let remove t k = t.batch [ Kv.Del k ]
 let of_entries t entries = t.batch (List.map (fun (k, v) -> Kv.Put (k, v)) entries)
+let load_sorted t entries = t.bulk_load entries
 let page_set t = Store.reachable t.store t.root
 let node_count t = Hash.Set.cardinal (page_set t)
 let total_bytes t = Store.bytes_of_set t.store (page_set t)

@@ -20,6 +20,13 @@ type t = {
   path_length : Kv.key -> int;
       (** number of nodes traversed by [lookup] (Figure 9) *)
   batch : Kv.op list -> t;  (** apply a write batch, yielding a new version *)
+  bulk_load : (Kv.key * Kv.value) list -> t;
+      (** build a fresh version containing exactly the given entries
+          (current contents are ignored; duplicate keys resolve as in
+          [batch]) through the index's bulk pipeline — the entry point the
+          parallel commit path uses.  For history-independent structures
+          the resulting root equals the [batch]-built one; the MVMB+-Tree
+          documents its canonical bulk shape separately. *)
   to_list : unit -> (Kv.key * Kv.value) list;  (** sorted by key *)
   cardinal : unit -> int;
   diff : Hash.t -> Kv.diff_entry list;
@@ -43,7 +50,13 @@ type t = {
 val insert : t -> Kv.key -> Kv.value -> t
 val remove : t -> Kv.key -> t
 val of_entries : t -> (Kv.key * Kv.value) list -> t
-(** Bulk-load into (a fresh version of) the given instance. *)
+(** Bulk-load into (a fresh version of) the given instance via [batch]. *)
+
+val load_sorted : t -> (Kv.key * Kv.value) list -> t
+(** [load_sorted t entries] is [t.bulk_load entries] — the batched (and,
+    when the instance was constructed with a pool, parallel) bulk-load
+    path.  Entries need not actually be sorted; the indexes sort and
+    dedup internally. *)
 
 val page_set : t -> Hash.Set.t
 (** Reachable pages [P(I)] of this version. *)

@@ -4,16 +4,28 @@ let size = 32
 
 (* Digest observer: the telemetry layer hooks every hash invocation here to
    meter the "hash path" (state-root computation dominates real systems).
-   One ref dereference when detached — negligible on the hot path. *)
-let digest_observer : (int -> unit) option ref = ref None
-let set_digest_observer f = digest_observer := f
+   Held in an [Atomic] so installing or clearing the observer from one
+   domain is well-defined while others are hashing; one atomic load when
+   detached — negligible on the hot path. *)
+let digest_observer : (int -> unit) option Atomic.t = Atomic.make None
+let set_digest_observer f = Atomic.set digest_observer f
 
 let note_digest len =
-  match !digest_observer with Some f -> f len | None -> ()
+  match Atomic.get digest_observer with Some f -> f len | None -> ()
 
 let of_string s =
   note_digest (String.length s);
   Sha256.digest_string s
+
+let of_string_quiet s = Sha256.digest_string s
+
+let of_substring s ~off ~len =
+  note_digest len;
+  Sha256.digest_substring s ~off ~len
+
+let of_concat a b =
+  note_digest (String.length a + String.length b);
+  Sha256.digest_concat a b
 
 let of_bytes b =
   note_digest (Bytes.length b);

@@ -16,12 +16,32 @@ val of_string : string -> t
 val of_bytes : bytes -> t
 (** Same as {!of_string} for byte buffers. *)
 
+val of_substring : string -> off:int -> len:int -> t
+(** [of_substring s ~off ~len] = [of_string (String.sub s off len)]
+    without copying the slice first. *)
+
+val of_concat : string -> string -> t
+(** [of_concat a b] = [of_string (a ^ b)] without materializing the
+    concatenation. *)
+
+val of_string_quiet : string -> t
+(** {!of_string} without notifying the digest observer.  Used by the
+    parallel commit pipeline: worker domains hash quietly and the
+    coordinator replays the notifications via {!note_digest}, keeping
+    metering single-domain and deterministic. *)
+
 val set_digest_observer : (int -> unit) option -> unit
 (** Install a callback invoked with the input length in bytes on every
     digest computation ({!of_string} / {!of_bytes}).  At most one observer
-    is active at a time; [None] detaches.  This is the metering point the
-    telemetry layer uses to count hash invocations and hashed bytes —
-    adopting a pre-computed digest ({!of_raw}) is not counted. *)
+    is active at a time; [None] detaches.  The slot is an [Atomic], so
+    installing from one domain while others hash is well-defined.  This
+    is the metering point the telemetry layer uses to count hash
+    invocations and hashed bytes — adopting a pre-computed digest
+    ({!of_raw}) is not counted. *)
+
+val note_digest : int -> unit
+(** Notify the observer (if any) of a digest over [len] bytes — the replay
+    half of {!of_string_quiet}. *)
 
 val of_raw : string -> t
 (** Adopt a pre-computed 32-byte digest.  Raises [Invalid_argument] if the

@@ -21,18 +21,27 @@ type ctx = {
   h : int32 array;            (* 8 chaining words *)
   buf : Bytes.t;              (* 64-byte block buffer *)
   w : int32 array;            (* 64-word message schedule, reused *)
+  pad : Bytes.t;              (* 72-byte finalization pad, reused *)
   mutable buf_len : int;
   mutable total : int64;      (* total bytes absorbed *)
 }
 
+let iv =
+  [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al; 0x510e527fl;
+     0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |]
+
 let init () =
-  { h =
-      [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al; 0x510e527fl;
-         0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |];
+  { h = Array.copy iv;
     buf = Bytes.create 64;
     w = Array.make 64 0l;
+    pad = Bytes.create 72;
     buf_len = 0;
     total = 0L }
+
+let reset ctx =
+  Array.blit iv 0 ctx.h 0 8;
+  ctx.buf_len <- 0;
+  ctx.total <- 0L
 
 let ( &&& ) = Int32.logand
 let ( ||| ) = Int32.logor
@@ -127,7 +136,9 @@ let finalize ctx =
     let r = (ctx.buf_len + 1 + 8) mod 64 in
     if r = 0 then 1 else 1 + (64 - r)
   in
-  let tail = Bytes.make (pad_len + 8) '\000' in
+  (* pad_len + 8 <= 72, so the preallocated pad always fits. *)
+  let tail = ctx.pad in
+  Bytes.fill tail 0 (pad_len + 8) '\000';
   Bytes.set tail 0 '\x80';
   for i = 0 to 7 do
     let shift = (7 - i) * 8 in
@@ -136,7 +147,7 @@ let finalize ctx =
   done;
   (* Bypass the total counter: feed_bytes would keep counting. *)
   let saved = ctx.total in
-  feed_bytes ctx tail;
+  feed_bytes ctx tail ~len:(pad_len + 8);
   ctx.total <- saved;
   assert (ctx.buf_len = 0);
   let out = Bytes.create 32 in
@@ -152,15 +163,36 @@ let finalize ctx =
   done;
   Bytes.unsafe_to_string out
 
+(* One-shot digests reuse a per-domain scratch context: no allocation of
+   the chaining state, schedule or pad on the hot path, and no sharing
+   between domains, so workers in a pool can hash concurrently. *)
+let scratch = Domain.DLS.new_key init
+
+let with_scratch f =
+  let ctx = Domain.DLS.get scratch in
+  reset ctx;
+  f ctx
+
 let digest_string s =
-  let ctx = init () in
-  feed_string ctx s;
-  finalize ctx
+  with_scratch (fun ctx ->
+      feed_string ctx s;
+      finalize ctx)
 
 let digest_bytes b =
-  let ctx = init () in
-  feed_bytes ctx b;
-  finalize ctx
+  with_scratch (fun ctx ->
+      feed_bytes ctx b;
+      finalize ctx)
+
+let digest_substring s ~off ~len =
+  with_scratch (fun ctx ->
+      feed_string ctx ~off ~len s;
+      finalize ctx)
+
+let digest_concat a b =
+  with_scratch (fun ctx ->
+      feed_string ctx a;
+      feed_string ctx b;
+      finalize ctx)
 
 let hex_alphabet = "0123456789abcdef"
 

@@ -17,15 +17,30 @@ val feed_string : ctx -> ?off:int -> ?len:int -> string -> unit
 (** Same as {!feed_bytes} for strings. *)
 
 val finalize : ctx -> string
-(** Pad, finish and return the 32-byte digest.  The context must not be
-    reused afterwards. *)
+(** Pad, finish and return the 32-byte digest.  The context must be
+    {!reset} before any further use. *)
+
+val reset : ctx -> unit
+(** Return the context to its initial state, reusing its internal block,
+    schedule and pad buffers — the allocation-free way to start a new
+    digest. *)
 
 val digest_string : string -> string
 (** One-shot digest of a string: [digest_string s] is the 32-byte SHA-256
-    of [s]. *)
+    of [s].  One-shot digests run on a per-domain scratch context, so
+    they allocate only the result and are safe to call concurrently from
+    different domains. *)
 
 val digest_bytes : bytes -> string
 (** One-shot digest of a byte buffer. *)
+
+val digest_substring : string -> off:int -> len:int -> string
+(** [digest_substring s ~off ~len] is
+    [digest_string (String.sub s off len)] without the copy. *)
+
+val digest_concat : string -> string -> string
+(** [digest_concat a b] is [digest_string (a ^ b)] without materializing
+    the concatenation. *)
 
 val to_hex : string -> string
 (** Lowercase hex rendering of a raw digest (or any string). *)

@@ -109,6 +109,24 @@ let commit t ~branch ~message ops =
       Hashtbl.replace t.heads branch c;
       c)
 
+let commit_bulk t ~branch ~message entries =
+  Telemetry.with_span (Store.sink t.store) "engine.commit" (fun () ->
+      let h = head t branch in
+      let inst = t.reopen h.index_root in
+      let inst' =
+        (* A bulk load replaces the version's content wholesale; only the
+           initial (empty) version can take the fast canonical-build path
+           without discarding existing records. *)
+        if h.version = 0 then inst.Generic.bulk_load entries
+        else inst.Generic.batch (List.map (fun (k, v) -> Kv.Put (k, v)) entries)
+      in
+      let c =
+        store_commit t ~parent:(Some h.id) ~index_root:inst'.Generic.root
+          ~message ~version:(h.version + 1)
+      in
+      Hashtbl.replace t.heads branch c;
+      c)
+
 let get t ~branch key = (index t branch).Generic.lookup key
 let put t ~branch key value = commit t ~branch ~message:"put" [ Kv.Put (key, value) ]
 

@@ -48,6 +48,13 @@ val checkout : t -> Hash.t -> Generic.t
 val commit : t -> branch:string -> message:string -> Kv.op list -> commit
 (** Apply a write batch on a branch and advance its head. *)
 
+val commit_bulk :
+  t -> branch:string -> message:string -> (Kv.key * Kv.value) list -> commit
+(** Load [entries] as one commit.  On a branch still at version 0 this
+    goes through the index's [bulk_load] — the canonical bottom-up build
+    that the parallel commit pipeline accelerates; on a non-empty branch
+    it degrades to a plain put-batch so existing records are kept. *)
+
 val get : t -> branch:string -> Kv.key -> Kv.value option
 val put : t -> branch:string -> Kv.key -> Kv.value -> commit
 

@@ -14,7 +14,7 @@ type t = {
   tbl : entry Hash.Table.t;
   mutable first : entry option;  (* most recent *)
   mutable last : entry option;  (* least recent *)
-  mutable evictions : int;
+  evictions : int Atomic.t;  (* stat counter — safe to read from any domain *)
   mutable sink : Telemetry.sink;
 }
 
@@ -24,13 +24,13 @@ let create ~capacity =
     tbl = Hash.Table.create (max 1 (2 * capacity));
     first = None;
     last = None;
-    evictions = 0;
+    evictions = Atomic.make 0;
     sink = Telemetry.null }
 
 let capacity t = t.capacity
 let mem t h = Hash.Table.mem t.tbl h
 let size t = Hash.Table.length t.tbl
-let evictions t = t.evictions
+let evictions t = Atomic.get t.evictions
 let set_sink t sink = t.sink <- sink
 
 let unlink t e =
@@ -55,7 +55,7 @@ let evict_last t =
   | Some e ->
       unlink t e;
       Hash.Table.remove t.tbl e.key;
-      t.evictions <- t.evictions + 1;
+      Atomic.incr t.evictions;
       Telemetry.incr t.sink "cache.evict"
 
 let touch t h =

@@ -107,14 +107,15 @@ let of_root store cfg root = { store; cfg; root; counts = level_counts cfg }
 
 (* --- lookup ------------------------------------------------------------- *)
 
-let bucket_index cfg key =
-  (* Uniform bucket choice from the key's digest. *)
-  let h = Hash.of_string key in
+(* Uniform bucket choice from the key's digest. *)
+let bucket_of_hash cfg h =
   let v = ref 0 in
   for i = 0 to 6 do
     v := (!v lsl 8) lor Hash.byte h i
   done;
   !v mod cfg.capacity
+
+let bucket_index cfg key = bucket_of_hash cfg (Hash.of_string key)
 
 (* Hashes along the path root→bucket for bucket index [b]; returns the
    decoded bucket and the list of (internal node, child slot) pairs visited,
@@ -180,12 +181,12 @@ let rewrite_path t b entries' =
   in
   { t with root = rebuild (List.rev path) new_leaf }
 
-let batch t ops =
-  (* Group ops by bucket; rewrite each touched path once. *)
+(* Ops grouped by target bucket, ascending, each group op-sorted. *)
+let group_by_bucket cfg ops =
   let by_bucket = Hashtbl.create 16 in
   List.iter
     (fun op ->
-      let b = bucket_index t.cfg (Kv.key_of_op op) in
+      let b = bucket_index cfg (Kv.key_of_op op) in
       Hashtbl.replace by_bucket b
         (op :: (try Hashtbl.find by_bucket b with Not_found -> [])))
     ops;
@@ -193,16 +194,169 @@ let batch t ops =
     (fun b ops_rev acc -> (b, Kv.sort_ops (List.rev ops_rev)) :: acc)
     by_bucket []
   |> List.sort compare
+
+let batch_seq t ops =
+  (* Group ops by bucket; rewrite each touched path once. *)
+  group_by_bucket t.cfg ops
   |> List.fold_left
        (fun t (b, ops) ->
          let entries, _ = walk t b in
          rewrite_path t b (apply_ops entries ops))
        t
 
+(* --- parallel commit pipeline -------------------------------------------- *)
+
+module Pool = Siri_parallel.Pool
+
+let note_and_put store staged =
+  let l = Array.to_list staged in
+  Store.note_staged l;
+  Store.put_staged store l
+
+(* Internal levels over the level-0 hashes, encoding+hashing each level's
+   parents on the pool and installing them in index order — same nodes,
+   same order, same root as the sequential [build_up]. *)
+let build_up_pool pool store cfg leaf_hashes =
+  let sink = Store.sink store in
+  let rec loop hashes =
+    let n = Array.length hashes in
+    if n = 1 then hashes.(0)
+    else begin
+      let parents = (n + cfg.fanout - 1) / cfg.fanout in
+      let slices =
+        Array.init parents (fun i ->
+            let lo = i * cfg.fanout in
+            Array.sub hashes lo (min cfg.fanout (n - lo)))
+      in
+      let staged =
+        Telemetry.with_span sink "commit.parallel" (fun () ->
+            Pool.map pool
+              (fun slice ->
+                Store.stage_quiet ~children:(Array.to_list slice)
+                  (encode_internal slice))
+              slices)
+      in
+      note_and_put store staged;
+      loop (Array.map (fun s -> s.Store.digest) staged)
+    end
+  in
+  loop leaf_hashes
+
+(* Level-wise incremental commit: instead of rewriting the root→bucket
+   path once per dirty bucket (re-hashing shared ancestors up to
+   [fanout] times), rebuild each affected node exactly once per level,
+   fanning the pure encode+hash work over the pool.  Node contents are
+   determined by the final child set, so the resulting root is identical
+   to the sequential fold's — with strictly fewer intermediate puts. *)
+let batch_pool pool t ops =
+  match group_by_bucket t.cfg ops with
+  | [] -> t
+  | groups ->
+      let fanout = t.cfg.fanout in
+      let d = depth t in
+      let sink = Store.sink t.store in
+      let ancestor b l =
+        let r = ref b in
+        for _ = 1 to l do
+          r := !r / fanout
+        done;
+        !r
+      in
+      let affected = Array.make (d + 1) [||] in
+      affected.(0) <- Array.of_list (List.map fst groups);
+      for l = 1 to d do
+        affected.(l) <-
+          Array.of_list
+            (List.sort_uniq compare
+               (Array.to_list (Array.map (fun b -> ancestor b l) affected.(0))))
+      done;
+      (* Top-down: current hash and children of every affected node. *)
+      let children_at = Hashtbl.create 64 in
+      let hash_at = Hashtbl.create 64 in
+      Hashtbl.replace hash_at (d, 0) t.root;
+      for l = d downto 1 do
+        Array.iter
+          (fun j ->
+            match decode (Store.get t.store (Hashtbl.find hash_at (l, j))) with
+            | Internal cs ->
+                Hashtbl.replace children_at (l, j) cs;
+                Array.iter
+                  (fun c ->
+                    if c / fanout = j then
+                      Hashtbl.replace hash_at (l - 1, c) cs.(c mod fanout))
+                  affected.(l - 1)
+            | Bucket _ -> assert false)
+          affected.(l)
+      done;
+      (* Dirty buckets: fetch on the coordinator, apply+encode+hash on the
+         pool, install in bucket order. *)
+      let leaf_inputs =
+        Array.map
+          (fun (b, bops) ->
+            match decode (Store.get t.store (Hashtbl.find hash_at (0, b))) with
+            | Bucket entries -> (b, entries, bops)
+            | Internal _ -> assert false)
+          (Array.of_list groups)
+      in
+      let staged_leaves =
+        Telemetry.with_span sink "commit.parallel" (fun () ->
+            Pool.map pool
+              (fun (_, entries, bops) ->
+                Store.stage_quiet (encode_bucket (apply_ops entries bops)))
+              leaf_inputs)
+      in
+      note_and_put t.store staged_leaves;
+      let current = ref (Hashtbl.create 16) in
+      Array.iteri
+        (fun i (b, _, _) ->
+          Hashtbl.replace !current b staged_leaves.(i).Store.digest)
+        leaf_inputs;
+      for l = 1 to d do
+        let parents = affected.(l) in
+        let inputs =
+          Array.map
+            (fun j ->
+              let cs = Array.copy (Hashtbl.find children_at (l, j)) in
+              Hashtbl.iter
+                (fun c h -> if c / fanout = j then cs.(c mod fanout) <- h)
+                !current;
+              cs)
+            parents
+        in
+        let staged =
+          Telemetry.with_span sink "commit.parallel" (fun () ->
+              Pool.map pool
+                (fun cs ->
+                  Store.stage_quiet ~children:(Array.to_list cs)
+                    (encode_internal cs))
+                inputs)
+        in
+        note_and_put t.store staged;
+        let next = Hashtbl.create 16 in
+        Array.iteri (fun i j -> Hashtbl.replace next j staged.(i).Store.digest) parents;
+        current := next
+      done;
+      if Telemetry.enabled sink then begin
+        Telemetry.incr sink "parallel.maps";
+        Telemetry.incr sink ~by:(Array.length leaf_inputs) "parallel.tasks";
+        let nodes =
+          Array.fold_left (fun acc a -> acc + Array.length a) 0 affected
+        in
+        Telemetry.incr sink ~by:nodes "parallel.nodes"
+      end;
+      { t with root = Hashtbl.find !current 0 }
+
+let batch ?pool t ops =
+  match pool with None -> batch_seq t ops | Some pool -> batch_pool pool t ops
+
 let insert t key value = batch t [ Kv.Put (key, value) ]
 let remove t key = batch t [ Kv.Del key ]
 
-let of_entries store cfg entries =
+let sorted_bucket lst =
+  Array.of_list
+    (Kv.apply_sorted [] (Kv.sort_ops (List.map (fun (k, v) -> Kv.Put (k, v)) lst)))
+
+let of_entries_seq store cfg entries =
   (* Bulk build: fill all buckets, then hash bottom-up once. *)
   let buckets = Array.make cfg.capacity [] in
   List.iter
@@ -210,15 +364,52 @@ let of_entries store cfg entries =
       let b = bucket_index cfg k in
       buckets.(b) <- (k, v) :: buckets.(b))
     entries;
-  let store_bucket lst =
-    let arr =
-      Array.of_list
-        (Kv.apply_sorted [] (Kv.sort_ops (List.map (fun (k, v) -> Kv.Put (k, v)) lst)))
-    in
-    put_bucket store arr
-  in
-  let leaves = Array.map store_bucket buckets in
+  let leaves = Array.map (fun lst -> put_bucket store (sorted_bucket lst)) buckets in
   { store; cfg; root = build_up store cfg leaves; counts = level_counts cfg }
+
+(* Parallel bulk build.  Three pool phases — key digesting for bucket
+   assignment, bucket encoding, internal levels — each staged quietly and
+   installed in the same order as the sequential build, so the root, the
+   put sequence and the metering totals are all byte-identical to
+   [of_entries_seq]. *)
+let of_entries_pool pool store cfg entries =
+  let sink = Store.sink store in
+  let entries_arr = Array.of_list entries in
+  let assignment =
+    Telemetry.with_span sink "commit.parallel" (fun () ->
+        Pool.map pool
+          (fun (k, _) -> bucket_of_hash cfg (Hash.of_string_quiet k))
+          entries_arr)
+  in
+  Array.iter (fun (k, _) -> Hash.note_digest (String.length k)) entries_arr;
+  let buckets = Array.make cfg.capacity [] in
+  Array.iteri
+    (fun i kv -> buckets.(assignment.(i)) <- kv :: buckets.(assignment.(i)))
+    entries_arr;
+  let staged_leaves =
+    Telemetry.with_span sink "commit.parallel" (fun () ->
+        Pool.map pool
+          (fun lst -> Store.stage_quiet (encode_bucket (sorted_bucket lst)))
+          buckets)
+  in
+  note_and_put store staged_leaves;
+  if Telemetry.enabled sink then begin
+    Telemetry.incr sink "parallel.maps";
+    Telemetry.incr sink
+      ~by:(Array.length entries_arr + Array.length staged_leaves)
+      "parallel.tasks";
+    Telemetry.incr sink ~by:(Array.length staged_leaves) "parallel.nodes"
+  end;
+  let leaves = Array.map (fun s -> s.Store.digest) staged_leaves in
+  { store;
+    cfg;
+    root = build_up_pool pool store cfg leaves;
+    counts = level_counts cfg }
+
+let of_entries ?pool store cfg entries =
+  match pool with
+  | None -> of_entries_seq store cfg entries
+  | Some pool -> of_entries_pool pool store cfg entries
 
 (* --- traversal ----------------------------------------------------------- *)
 
@@ -339,13 +530,18 @@ let verify_proof cfg ~root (proof : Proof.t) =
    effect on hashing. *)
 let probe t name f = Telemetry.probe (Store.sink t.store) name f
 
-let rec generic t =
+let rec generic ?pool t =
   { Generic.name = "mbt";
     store = t.store;
     root = t.root;
     lookup = (fun k -> probe t "mbt.lookup" (fun () -> lookup t k));
     path_length = path_length t;
-    batch = (fun ops -> generic (probe t "mbt.batch" (fun () -> batch t ops)));
+    batch =
+      (fun ops -> generic ?pool (probe t "mbt.batch" (fun () -> batch ?pool t ops)));
+    bulk_load =
+      (fun entries ->
+        generic ?pool
+          (probe t "mbt.bulk_load" (fun () -> of_entries ?pool t.store t.cfg entries)));
     to_list = (fun () -> to_list t);
     cardinal = (fun () -> cardinal t);
     diff =
@@ -354,11 +550,11 @@ let rec generic t =
     merge =
       (fun policy other ->
         match merge t (of_root t.store t.cfg other) ~policy with
-        | Ok m -> Ok (generic m)
+        | Ok m -> Ok (generic ?pool m)
         | Error cs -> Error cs);
     prove = (fun k -> probe t "mbt.prove" (fun () -> prove t k));
     verify = (fun ~root proof -> verify_proof t.cfg ~root proof);
-    reopen = (fun r -> generic (of_root t.store t.cfg r));
+    reopen = (fun r -> generic ?pool (of_root t.store t.cfg r));
     range =
       (fun ~lo ~hi ->
         (* MBT hashes keys into buckets: no key order to prune by, so a

@@ -53,10 +53,20 @@ val bucket_size : bucket -> int
 
 val insert : t -> Kv.key -> Kv.value -> t
 val remove : t -> Kv.key -> t
-val batch : t -> Kv.op list -> t
-(** Groups ops by bucket so each touched path is rewritten once. *)
 
-val of_entries : Store.t -> config -> (Kv.key * Kv.value) list -> t
+val batch : ?pool:Siri_parallel.Pool.t -> t -> Kv.op list -> t
+(** Groups ops by bucket so each touched path is rewritten once.  With
+    [pool], the commit is rebuilt level by level: dirty buckets and their
+    affected ancestors are encoded and hashed on the pool (each node
+    exactly once, vs. up to [fanout] times for the sequential per-path
+    fold) and installed in deterministic index order — the resulting root
+    is identical for any domain count. *)
+
+val of_entries : ?pool:Siri_parallel.Pool.t -> Store.t -> config -> (Kv.key * Kv.value) list -> t
+(** Bulk build: fill all buckets, then hash bottom-up once.  With [pool],
+    key digesting, bucket encoding and the internal levels fan out over
+    the pool; the root, put sequence and metering totals are identical to
+    the sequential build. *)
 
 val to_list : t -> (Kv.key * Kv.value) list
 (** Sorted by key (buckets are collected and then sorted — MBT has no global
@@ -74,4 +84,6 @@ val merge : t -> t -> policy:Kv.merge_policy -> (t, Kv.conflict list) result
 val prove : t -> Kv.key -> Proof.t
 val verify_proof : config -> root:Hash.t -> Proof.t -> bool
 
-val generic : t -> Generic.t
+val generic : ?pool:Siri_parallel.Pool.t -> t -> Generic.t
+(** Package as a uniform SIRI instance.  With [pool], [batch] and
+    [bulk_load] run through the parallel commit pipeline. *)

@@ -248,6 +248,134 @@ let batch t ops =
 let of_entries store entries =
   batch (empty store) (List.map (fun (k, v) -> Kv.Put (k, v)) entries)
 
+(* --- parallel bulk load -------------------------------------------------- *)
+
+(* Canonical bottom-up construction over sorted distinct keys.  The trie
+   shape is key-set–determined (the MPT is history-independent), so this
+   produces exactly the root that the insert-fold above would — but the
+   expensive part, encoding and SHA-256 over every node, is pure and can
+   be fanned out over a domain pool: the key space is split at the first
+   branch point into up to 16 independent subtries, each worker stages its
+   subtrie's nodes quietly ([Store.stage_quiet]), and the coordinator then
+   replays the digest notifications and installs the batches in task
+   order, so every observable effect is identical at any domain count. *)
+
+module Pool = Siri_parallel.Pool
+
+(* Length of the common nibble prefix of paths[lo..hi-1] beyond [depth].
+   The slice is sorted, so the extremes bound the whole range. *)
+let common_from paths lo hi depth =
+  let p0 = fst paths.(lo) and p1 = fst paths.(hi - 1) in
+  let n0 = Nibbles.length p0 and n1 = Nibbles.length p1 in
+  let i = ref depth in
+  while !i < n0 && !i < n1 && Nibbles.get p0 !i = Nibbles.get p1 !i do incr i done;
+  !i - depth
+
+(* Build the canonical subtrie over paths[lo..hi-1], all sharing their
+   first [depth] nibbles; stages nodes into [acc] (children before
+   parents) and returns the subtrie root hash. *)
+let rec build_slice acc paths lo hi depth =
+  if hi - lo = 1 then begin
+    let p, v = paths.(lo) in
+    let s = Store.stage_quiet (encode (Leaf (Nibbles.drop p depth, v))) in
+    acc := s :: !acc;
+    s.Store.digest
+  end
+  else begin
+    let lcp = common_from paths lo hi depth in
+    let bdepth = depth + lcp in
+    (* A key ending exactly at the branch point becomes the branch value;
+       keys are whole bytes so it can only be the slice's first (shortest)
+       path. *)
+    let bvalue = ref None and start = ref lo in
+    if Nibbles.length (fst paths.(lo)) = bdepth then begin
+      bvalue := Some (snd paths.(lo));
+      start := lo + 1
+    end;
+    let children = Array.make 16 Hash.null in
+    let i = ref !start in
+    while !i < hi do
+      let nib = Nibbles.get (fst paths.(!i)) bdepth in
+      let j = ref (!i + 1) in
+      while !j < hi && Nibbles.get (fst paths.(!j)) bdepth = nib do incr j done;
+      children.(nib) <- build_slice acc paths !i !j (bdepth + 1);
+      i := !j
+    done;
+    let stage node =
+      let s = Store.stage_quiet ~children:(node_children node) (encode node) in
+      acc := s :: !acc;
+      s.Store.digest
+    in
+    let b = stage (Branch (children, !bvalue)) in
+    if lcp = 0 then b else stage (Ext (Nibbles.sub (fst paths.(lo)) depth lcp, b))
+  end
+
+let of_sorted ?pool store entries =
+  let entries =
+    Kv.apply_sorted [] (Kv.sort_ops (List.map (fun (k, v) -> Kv.Put (k, v)) entries))
+  in
+  match entries with
+  | [] -> empty store
+  | [ (k, v) ] -> { store; root = put store (Leaf (Nibbles.of_key k, v)) }
+  | _ ->
+      let pool = match pool with Some p -> p | None -> Pool.sequential in
+      let paths =
+        Array.of_list (List.map (fun (k, v) -> (Nibbles.of_key k, v)) entries)
+      in
+      let n = Array.length paths in
+      let lcp = common_from paths 0 n 0 in
+      let bvalue = ref None and start = ref 0 in
+      if Nibbles.length (fst paths.(0)) = lcp then begin
+        bvalue := Some (snd paths.(0));
+        start := 1
+      end;
+      (* Contiguous runs sharing the nibble right after the common prefix:
+         the fan-out units (at most 16). *)
+      let groups = ref [] in
+      let i = ref !start in
+      while !i < n do
+        let nib = Nibbles.get (fst paths.(!i)) lcp in
+        let j = ref (!i + 1) in
+        while !j < n && Nibbles.get (fst paths.(!j)) lcp = nib do incr j done;
+        groups := (nib, !i, !j) :: !groups;
+        i := !j
+      done;
+      let groups = Array.of_list (List.rev !groups) in
+      let sink = Store.sink store in
+      let results =
+        Telemetry.with_span sink "commit.parallel" (fun () ->
+            Pool.map pool
+              (fun (nib, lo, hi) ->
+                let acc = ref [] in
+                let h = build_slice acc paths lo hi (lcp + 1) in
+                (nib, h, List.rev !acc))
+              groups)
+      in
+      let children = Array.make 16 Hash.null in
+      let staged_nodes = ref 0 in
+      Array.iter
+        (fun (nib, h, staged) ->
+          Store.note_staged staged;
+          Store.put_staged store staged;
+          staged_nodes := !staged_nodes + List.length staged;
+          children.(nib) <- h)
+        results;
+      if Telemetry.enabled sink then begin
+        Telemetry.incr sink "parallel.maps";
+        Telemetry.incr sink ~by:(Array.length groups) "parallel.tasks";
+        Telemetry.incr sink ~by:!staged_nodes "parallel.nodes"
+      end;
+      let b = put store (Branch (children, !bvalue)) in
+      let root =
+        if lcp = 0 then b
+        else put store (Ext (Nibbles.sub (fst paths.(0)) 0 lcp, b))
+      in
+      { store; root }
+
+let insert_many ?pool t entries =
+  if is_empty t then of_sorted ?pool t.store entries
+  else batch t (List.map (fun (k, v) -> Kv.Put (k, v)) entries)
+
 (* --- traversal ---------------------------------------------------------- *)
 
 let iter_prefixed store root f =
@@ -570,13 +698,18 @@ let verify_proof ~root (proof : Proof.t) =
    are identical with telemetry enabled or disabled. *)
 let probe t name f = Telemetry.probe (Store.sink t.store) name f
 
-let rec generic t =
+let rec generic ?pool t =
   { Generic.name = "mpt";
     store = t.store;
     root = t.root;
     lookup = (fun k -> probe t "mpt.lookup" (fun () -> lookup t k));
     path_length = path_length t;
-    batch = (fun ops -> generic (probe t "mpt.batch" (fun () -> batch t ops)));
+    batch =
+      (fun ops -> generic ?pool (probe t "mpt.batch" (fun () -> batch t ops)));
+    bulk_load =
+      (fun entries ->
+        generic ?pool
+          (probe t "mpt.bulk_load" (fun () -> of_sorted ?pool t.store entries)));
     to_list = (fun () -> to_list t);
     cardinal = (fun () -> cardinal t);
     diff =
@@ -585,9 +718,9 @@ let rec generic t =
     merge =
       (fun policy other_root ->
         match merge t (of_root t.store other_root) ~policy with
-        | Ok m -> Ok (generic m)
+        | Ok m -> Ok (generic ?pool m)
         | Error cs -> Error cs);
     prove = (fun k -> probe t "mpt.prove" (fun () -> prove t k));
     verify = (fun ~root proof -> verify_proof ~root proof);
-    reopen = (fun r -> generic (of_root t.store r));
+    reopen = (fun r -> generic ?pool (of_root t.store r));
     range = (fun ~lo ~hi -> range t ~lo ~hi) }

@@ -32,6 +32,17 @@ val remove : t -> Kv.key -> t
 val batch : t -> Kv.op list -> t
 val of_entries : Store.t -> (Kv.key * Kv.value) list -> t
 
+val of_sorted : ?pool:Siri_parallel.Pool.t -> Store.t -> (Kv.key * Kv.value) list -> t
+(** Bulk-load by canonical bottom-up construction.  The trie is
+    structurally invariant, so the root is byte-identical to
+    {!of_entries} — but node encoding and hashing fan out over [pool]
+    (default: sequential), split at the first branch point into up to 16
+    independent subtries.  Root hashes and store/telemetry accounting are
+    identical for any domain count.  Duplicate keys: last wins. *)
+
+val insert_many : ?pool:Siri_parallel.Pool.t -> t -> (Kv.key * Kv.value) list -> t
+(** {!of_sorted} when the trie is empty, sequential {!batch} otherwise. *)
+
 val to_list : t -> (Kv.key * Kv.value) list
 (** Records sorted by key (byte order — nibble order coincides with it). *)
 
@@ -54,5 +65,6 @@ val verify_proof : root:Hash.t -> Proof.t -> bool
 (** Checks the proof's node chain against the trusted root and replays the
     traversal; accepts both membership and absence proofs. *)
 
-val generic : t -> Generic.t
-(** Package as a uniform SIRI instance. *)
+val generic : ?pool:Siri_parallel.Pool.t -> t -> Generic.t
+(** Package as a uniform SIRI instance.  With [pool], the instance's
+    [bulk_load] runs through the parallel {!of_sorted} pipeline. *)

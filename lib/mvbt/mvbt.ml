@@ -288,6 +288,76 @@ let batch t ops =
 let of_entries store cfg entries =
   batch (empty store cfg) (List.map (fun (k, v) -> Kv.Put (k, v)) entries)
 
+(* --- parallel bulk load ----------------------------------------------------- *)
+
+module Pool = Siri_parallel.Pool
+
+(* Split [n] items into ceil(n/cap) parts whose sizes differ by at most
+   one.  This is the canonical bulk shape: it depends only on [n] and
+   [cap], never on how work is distributed over domains. *)
+let balanced_segments n cap =
+  let parts = (n + cap - 1) / cap in
+  let base = n / parts and extra = n mod parts in
+  Array.init parts (fun i ->
+      ((i * base) + min i extra, base + if i < extra then 1 else 0))
+
+let of_sorted ?pool store cfg entries =
+  let entries =
+    Kv.apply_sorted []
+      (Kv.sort_ops (List.map (fun (k, v) -> Kv.Put (k, v)) entries))
+  in
+  match entries with
+  | [] -> empty store cfg
+  | _ ->
+      let pool = match pool with Some p -> p | None -> Pool.sequential in
+      let sink = Store.sink store in
+      (* Same worker/coordinator split as the SIRI indexes: quiet
+         encode+hash on the pool, observer replay + batched install in
+         segment order on the coordinator. *)
+      let par_stage segs stage_of =
+        let staged =
+          Telemetry.with_span sink "commit.parallel" (fun () ->
+              Pool.map pool stage_of segs)
+        in
+        let as_list = Array.to_list (Array.map snd staged) in
+        Store.note_staged as_list;
+        Store.put_staged store as_list;
+        if Telemetry.enabled sink then begin
+          Telemetry.incr sink "parallel.maps";
+          Telemetry.incr sink ~by:(Array.length segs) "parallel.tasks";
+          Telemetry.incr sink ~by:(Array.length segs) "parallel.nodes"
+        end;
+        Array.map (fun (k, s) -> (k, s.Store.digest)) staged
+      in
+      let arr = Array.of_list entries in
+      let leaves =
+        par_stage (balanced_segments (Array.length arr) cfg.leaf_capacity)
+          (fun (lo, len) ->
+            let node = Leaf (Array.sub arr lo len) in
+            (max_key node, Store.stage_quiet (encode node)))
+      in
+      let rec build lvl refs =
+        if Array.length refs = 1 then snd refs.(0)
+        else
+          let nodes =
+            par_stage
+              (balanced_segments (Array.length refs) cfg.internal_capacity)
+              (fun (lo, len) ->
+                let slice = Array.sub refs lo len in
+                let node = Internal (lvl, slice) in
+                ( max_key node,
+                  Store.stage_quiet
+                    ~children:(Array.to_list (Array.map snd slice))
+                    (encode node) ))
+          in
+          build (lvl + 1) nodes
+      in
+      { store; cfg; root = build 1 leaves }
+
+let insert_many ?pool t entries =
+  if Hash.is_null t.root then of_sorted ?pool t.store t.cfg entries
+  else batch t (List.map (fun (k, v) -> Kv.Put (k, v)) entries)
+
 (* --- traversal ------------------------------------------------------------------ *)
 
 let iter t f =
@@ -426,14 +496,20 @@ let verify_proof ~root (proof : Proof.t) =
    effect on hashing. *)
 let probe t name f = Telemetry.probe (Store.sink t.store) name f
 
-let rec generic t =
+let rec generic ?pool t =
   { Generic.name = "mvmb+-tree";
     store = t.store;
     root = t.root;
     lookup = (fun k -> probe t "mvmb+-tree.lookup" (fun () -> lookup t k));
     path_length = path_length t;
     batch =
-      (fun ops -> generic (probe t "mvmb+-tree.batch" (fun () -> batch t ops)));
+      (fun ops ->
+        generic ?pool (probe t "mvmb+-tree.batch" (fun () -> batch t ops)));
+    bulk_load =
+      (fun entries ->
+        generic ?pool
+          (probe t "mvmb+-tree.bulk_load" (fun () ->
+               of_sorted ?pool t.store t.cfg entries)));
     to_list = (fun () -> to_list t);
     cardinal = (fun () -> cardinal t);
     diff =
@@ -442,9 +518,9 @@ let rec generic t =
     merge =
       (fun policy other ->
         match merge t { t with root = other } ~policy with
-        | Ok m -> Ok (generic m)
+        | Ok m -> Ok (generic ?pool m)
         | Error cs -> Error cs);
     prove = (fun k -> probe t "mvmb+-tree.prove" (fun () -> prove t k));
     verify = (fun ~root proof -> verify_proof ~root proof);
-    reopen = (fun r -> generic { t with root = r });
+    reopen = (fun r -> generic ?pool { t with root = r });
     range = (fun ~lo ~hi -> range t ~lo ~hi) }

@@ -37,6 +37,20 @@ val insert : t -> Kv.key -> Kv.value -> t
 val remove : t -> Kv.key -> t
 val batch : t -> Kv.op list -> t
 val of_entries : Store.t -> config -> (Kv.key * Kv.value) list -> t
+
+val of_sorted : ?pool:Siri_parallel.Pool.t -> Store.t -> config -> (Kv.key * Kv.value) list -> t
+(** Bulk-load by canonical bottom-up packing: entries are split into
+    balanced nodes of at most [leaf_capacity] (resp. [internal_capacity])
+    whose sizes differ by at most one; encoding and hashing fan out over
+    [pool] (default: sequential).  The root is byte-identical for any
+    domain count, but — the B+-tree not being structurally invariant —
+    it generally differs from the insertion-order-dependent root that
+    {!of_entries} produces for the same records.  Duplicate keys: last
+    wins. *)
+
+val insert_many : ?pool:Siri_parallel.Pool.t -> t -> (Kv.key * Kv.value) list -> t
+(** {!of_sorted} when the tree is empty, sequential {!batch} otherwise. *)
+
 val to_list : t -> (Kv.key * Kv.value) list
 val cardinal : t -> int
 val iter : t -> (Kv.key -> Kv.value -> unit) -> unit
@@ -50,4 +64,6 @@ val diff : t -> t -> Kv.diff_entry list
 val merge : t -> t -> policy:Kv.merge_policy -> (t, Kv.conflict list) result
 val prove : t -> Kv.key -> Proof.t
 val verify_proof : root:Hash.t -> Proof.t -> bool
-val generic : t -> Generic.t
+val generic : ?pool:Siri_parallel.Pool.t -> t -> Generic.t
+(** Package as a uniform instance.  With [pool], the instance's
+    [bulk_load] runs through the parallel {!of_sorted} pipeline. *)

@@ -1,0 +1,64 @@
+(** A dependency-free fixed-size domain pool for the commit pipeline.
+
+    The pool spawns its worker domains once at {!create} and reuses them
+    for every subsequent {!run}/{!map} — commits are frequent and small,
+    so per-call [Domain.spawn] (tens of microseconds plus a minor heap)
+    would dominate the very hashing work we are trying to parallelize.
+
+    {b Determinism.}  {!map} writes result [j] into slot [j] of a
+    fixed-size output array regardless of which worker computes it, and
+    chunk boundaries depend only on the input length and the pool width —
+    never on scheduling.  Callers that keep their task functions pure
+    therefore observe byte-identical output for any [domains], which is
+    what lets the Merkle commit pipeline guarantee identical root hashes
+    at [domains=1] and [domains=8].
+
+    {b Sequential fallback.}  A pool with [domains = 1] spawns no workers
+    at all: {!run} and {!map} degrade to a plain loop in the calling
+    domain, so single-core deployments pay nothing for the abstraction.
+
+    {b Memory model.}  Task functions must not touch shared mutable
+    state; the pool gives them disjoint output slots and publishes their
+    writes to the caller via the mutex guarding the task queue (release
+    on the worker's final decrement, acquire on the caller's wait), so no
+    additional synchronization is needed for results. *)
+
+type t
+(** A pool of worker domains (possibly zero). *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains (the caller
+    participates as the remaining one).  [domains] defaults to
+    {!recommended}[ ()] and is clamped to at least 1. *)
+
+val domains : t -> int
+(** Parallel width of the pool, including the calling domain; [>= 1]. *)
+
+val sequential : t
+(** A shared width-1 pool: no workers, direct execution.  Used as the
+    default by every [?pool] entry point in the indexes. *)
+
+val recommended : ?cap:int -> unit -> int
+(** [Domain.recommended_domain_count ()] capped at [cap] (default 8), or
+    the value of the [SIRI_DOMAINS] environment variable when set (still
+    capped); always at least 1. *)
+
+val run : t -> (unit -> unit) array -> unit
+(** Execute every thunk, spread over the pool; returns when all have
+    finished.  The calling domain helps drain the queue.  If any thunk
+    raises, the first exception (in completion order) is re-raised after
+    all tasks have completed; the pool remains usable. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f arr] is [Array.map f arr] computed in parallel chunks.
+    Output ordering is deterministic: result [j] always corresponds to
+    input [j].  Falls back to a sequential [Array.map] when the pool has
+    width 1 or the input has fewer than two elements. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over a list, preserving order. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent; {!run}/{!map} on a pool after
+    [shutdown] fall back to sequential execution.  Pools that are never
+    shut down explicitly are joined by an [at_exit] hook. *)

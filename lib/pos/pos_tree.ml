@@ -61,12 +61,11 @@ let store t = t.store
 let conf t = t.cfg
 
 (* Fresh salts for the non-recursively-identical ablation: every write makes
-   byte-distinct nodes, so the content-addressed store can never share. *)
-let salt_counter = ref 0
+   byte-distinct nodes, so the content-addressed store can never share.
+   Atomic so concurrent builds never mint the same salt. *)
+let salt_counter = Atomic.make 0
 
-let next_salt () =
-  incr salt_counter;
-  Printf.sprintf "v%d" !salt_counter
+let next_salt () = Printf.sprintf "v%d" (Atomic.fetch_and_add salt_counter 1 + 1)
 
 (* --- node codec ---------------------------------------------------------- *)
 
@@ -358,6 +357,122 @@ let remove t k = batch t [ Kv.Del k ]
 let of_entries store cfg entries =
   batch (empty store cfg) (List.map (fun (k, v) -> Kv.Put (k, v)) entries)
 
+(* --- parallel bulk load ---------------------------------------------------- *)
+
+(* Chunk boundaries depend only on the item sequence (the tree is
+   history-independent for a full build), so a bulk load can be split into
+   two passes per level: a sequential scan that replays the streaming
+   boundary rules to find the cut points, then a parallel pass encoding
+   and hashing each chunk on the pool.  The scan is a rolling hash over
+   the serialized items — an order of magnitude cheaper than the SHA-256
+   work it unlocks. *)
+
+module Pool = Siri_parallel.Pool
+
+(* Cut points for the record stream (level 0): a chunk ends exactly where
+   [add_item 0] would fire.  [Chunker.feed] resets its own state when it
+   fires, matching the streaming rebuilder. *)
+let leaf_segments cfg entries =
+  let n = Array.length entries in
+  let ch = Chunker.create cfg.leaf in
+  let segs = ref [] and lo = ref 0 in
+  Array.iteri
+    (fun i (k, v) ->
+      if Chunker.feed ch (ser_entry k v) then begin
+        segs := (!lo, i + 1) :: !segs;
+        lo := i + 1
+      end)
+    entries;
+  if !lo < n then segs := (!lo, n) :: !segs;
+  Array.of_list (List.rev !segs)
+
+(* Cut points for a ref stream (level >= 1), mirroring [add_item]'s
+   internal-rule cases including the never-cut-a-single-ref guard. *)
+let ref_segments cfg refs =
+  let n = Array.length refs in
+  let segs = ref [] and lo = ref 0 in
+  (match cfg.internal with
+  | By_rolling c ->
+      let ch = Chunker.create c in
+      Array.iteri
+        (fun i (k, h) ->
+          let fired = Chunker.feed ch (ser_ref k h) in
+          if fired && i + 1 - !lo >= 2 then begin
+            segs := (!lo, i + 1) :: !segs;
+            lo := i + 1
+          end)
+        refs
+  | By_child_hash { bits; min_items; max_items } ->
+      let c = Chunker.config ~pattern_bits:bits () in
+      Array.iteri
+        (fun i (_, h) ->
+          let pending = i + 1 - !lo in
+          if
+            pending >= max_items
+            || (pending >= min_items && Chunker.hash_boundary c h)
+          then begin
+            segs := (!lo, i + 1) :: !segs;
+            lo := i + 1
+          end)
+        refs);
+  if !lo < n then segs := (!lo, n) :: !segs;
+  Array.of_list (List.rev !segs)
+
+let of_sorted ?pool store cfg entries =
+  let entries =
+    Kv.apply_sorted []
+      (Kv.sort_ops (List.map (fun (k, v) -> Kv.Put (k, v)) entries))
+  in
+  match entries with
+  | [] -> empty store cfg
+  | _ ->
+      let pool = match pool with Some p -> p | None -> Pool.sequential in
+      let salt = if cfg.non_recursively_identical then next_salt () else "" in
+      let sink = Store.sink store in
+      (* Stage one level on the pool: quiet hashing in the workers, then
+         observer replay + batched install in segment order on the
+         coordinator — the same digest/put sequence as the streaming
+         rebuilder emits for these nodes. *)
+      let par_stage segs stage_of =
+        let staged =
+          Telemetry.with_span sink "commit.parallel" (fun () ->
+              Pool.map pool stage_of segs)
+        in
+        let as_list = Array.to_list (Array.map snd staged) in
+        Store.note_staged as_list;
+        Store.put_staged store as_list;
+        if Telemetry.enabled sink then begin
+          Telemetry.incr sink "parallel.maps";
+          Telemetry.incr sink ~by:(Array.length segs) "parallel.tasks";
+          Telemetry.incr sink ~by:(Array.length segs) "parallel.nodes"
+        end;
+        Array.map (fun (k, s) -> (k, s.Store.digest)) staged
+      in
+      let arr = Array.of_list entries in
+      let leaves =
+        par_stage (leaf_segments cfg arr) (fun (lo, hi) ->
+            let slice = Array.sub arr lo (hi - lo) in
+            (fst slice.(hi - lo - 1), Store.stage_quiet (encode_leaf salt slice)))
+      in
+      let rec build lvl refs =
+        if Array.length refs = 1 then snd refs.(0)
+        else
+          let nodes =
+            par_stage (ref_segments cfg refs) (fun (lo, hi) ->
+                let slice = Array.sub refs lo (hi - lo) in
+                ( fst slice.(hi - lo - 1),
+                  Store.stage_quiet
+                    ~children:(Array.to_list (Array.map snd slice))
+                    (encode_internal salt lvl slice) ))
+          in
+          build (lvl + 1) nodes
+      in
+      { store; cfg; root = build 1 leaves; salt }
+
+let insert_many ?pool t entries =
+  if Hash.is_null t.root then of_sorted ?pool t.store t.cfg entries
+  else batch t (List.map (fun (k, v) -> Kv.Put (k, v)) entries)
+
 (* --- queries ----------------------------------------------------------------- *)
 
 (* First index in [refs] whose split key is >= key, or none. *)
@@ -563,9 +678,10 @@ let verify_range_proof ~root proof =
    Prolly-configured tree reports as [prolly.<op>]. *)
 let probe t name f = Telemetry.probe (Store.sink t.store) name f
 
-let rec generic_named name t =
+let rec generic_named ?pool name t =
   let p_lookup = name ^ ".lookup"
   and p_batch = name ^ ".batch"
+  and p_bulk = name ^ ".bulk_load"
   and p_diff = name ^ ".diff"
   and p_prove = name ^ ".prove" in
   { Generic.name;
@@ -573,18 +689,24 @@ let rec generic_named name t =
     root = t.root;
     lookup = (fun k -> probe t p_lookup (fun () -> lookup t k));
     path_length = path_length t;
-    batch = (fun ops -> generic_named name (probe t p_batch (fun () -> batch t ops)));
+    batch =
+      (fun ops ->
+        generic_named ?pool name (probe t p_batch (fun () -> batch t ops)));
+    bulk_load =
+      (fun entries ->
+        generic_named ?pool name
+          (probe t p_bulk (fun () -> of_sorted ?pool t.store t.cfg entries)));
     to_list = (fun () -> to_list t);
     cardinal = (fun () -> cardinal t);
     diff = (fun other -> probe t p_diff (fun () -> diff t { t with root = other }));
     merge =
       (fun policy other ->
         match merge t { t with root = other } ~policy with
-        | Ok m -> Ok (generic_named name m)
+        | Ok m -> Ok (generic_named ?pool name m)
         | Error cs -> Error cs);
     prove = (fun k -> probe t p_prove (fun () -> prove t k));
     verify = (fun ~root proof -> verify_proof ~root proof);
-    reopen = (fun r -> generic_named name { t with root = r });
+    reopen = (fun r -> generic_named ?pool name { t with root = r });
     range = (fun ~lo ~hi -> range t ~lo ~hi) }
 
-let generic t = generic_named "pos-tree" t
+let generic ?pool t = generic_named ?pool "pos-tree" t

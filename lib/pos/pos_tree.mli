@@ -96,6 +96,17 @@ val batch : t -> Kv.op list -> t
 val of_entries : Store.t -> config -> (Kv.key * Kv.value) list -> t
 (** Bottom-up bulk build. *)
 
+val of_sorted : ?pool:Siri_parallel.Pool.t -> Store.t -> config -> (Kv.key * Kv.value) list -> t
+(** Bulk build in two passes per level: a sequential rolling-hash scan
+    replays the streaming boundary rules to find every chunk cut, then the
+    chunks are encoded and SHA-256'd in parallel on [pool] (default:
+    sequential).  Boundaries depend only on the item sequence, so the root
+    is byte-identical to {!of_entries} and to itself at any domain count.
+    Duplicate keys: last wins. *)
+
+val insert_many : ?pool:Siri_parallel.Pool.t -> t -> (Kv.key * Kv.value) list -> t
+(** {!of_sorted} when the tree is empty, streaming {!batch} otherwise. *)
+
 val to_list : t -> (Kv.key * Kv.value) list
 val cardinal : t -> int
 val iter : t -> (Kv.key -> Kv.value -> unit) -> unit
@@ -116,9 +127,11 @@ val diff : t -> t -> Kv.diff_entry list
 val merge : t -> t -> policy:Kv.merge_policy -> (t, Kv.conflict list) result
 val prove : t -> Kv.key -> Proof.t
 val verify_proof : root:Hash.t -> Proof.t -> bool
-val generic : t -> Generic.t
+val generic : ?pool:Siri_parallel.Pool.t -> t -> Generic.t
+(** With [pool], the instance's [bulk_load] runs through the parallel
+    {!of_sorted} pipeline. *)
 
-val generic_named : string -> t -> Generic.t
+val generic_named : ?pool:Siri_parallel.Pool.t -> string -> t -> Generic.t
 (** Like {!generic} with a custom display name — used by the Prolly Tree
     instantiation. *)
 

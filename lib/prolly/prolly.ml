@@ -10,4 +10,8 @@ let config ?(node_target = 4096) () =
 let default_config = config ()
 let empty store = Pos_tree.empty store default_config
 let of_entries store entries = Pos_tree.of_entries store default_config entries
-let generic t = Pos_tree.generic_named "prolly" t
+
+let of_sorted ?pool store entries =
+  Pos_tree.of_sorted ?pool store default_config entries
+
+let generic ?pool t = Pos_tree.generic_named ?pool "prolly" t

@@ -24,5 +24,10 @@ val config : ?node_target:int -> unit -> Pos_tree.config
 
 val empty : Store.t -> t
 val of_entries : Store.t -> (Kv.key * Kv.value) list -> t
-val generic : t -> Generic.t
+
+val of_sorted : ?pool:Siri_parallel.Pool.t -> Store.t -> (Kv.key * Kv.value) list -> t
+(** Parallel bulk build (see {!Siri_pos.Pos_tree.of_sorted}); the root is
+    byte-identical to {!of_entries} for any domain count. *)
+
+val generic : ?pool:Siri_parallel.Pool.t -> t -> Generic.t
 (** Named ["prolly"] in benchmark output. *)

@@ -15,12 +15,17 @@ type stats = {
   gets : int;
 }
 
+(* Stat counters are [Atomic]s: the node table itself is only ever touched
+   by the coordinating domain (workers in the parallel commit pipeline
+   stage pure bytes and never reach the store), but the counters are cheap
+   to make unconditionally race-free, which keeps [stats] trustworthy even
+   if a future caller meters from several domains. *)
 type t = {
   tbl : node Hash.Table.t;
-  mutable puts : int;
-  mutable put_bytes : int;
-  mutable stored_bytes : int;
-  mutable gets : int;
+  puts : int Atomic.t;
+  put_bytes : int Atomic.t;
+  stored_bytes : int Atomic.t;
+  gets : int Atomic.t;
   mutable get_observer : (Hash.t -> int -> unit) option;
   mutable put_observer : (Hash.t -> int -> unit) option;
   mutable read_gate : (Hash.t -> string -> unit) option;
@@ -29,14 +34,16 @@ type t = {
 
 let create () =
   { tbl = Hash.Table.create 4096;
-    puts = 0;
-    put_bytes = 0;
-    stored_bytes = 0;
-    gets = 0;
+    puts = Atomic.make 0;
+    put_bytes = Atomic.make 0;
+    stored_bytes = Atomic.make 0;
+    gets = Atomic.make 0;
     get_observer = None;
     put_observer = None;
     read_gate = None;
     sink = Telemetry.null }
+
+let add_counter c by = ignore (Atomic.fetch_and_add c by : int)
 
 let set_get_observer t obs = t.get_observer <- obs
 let set_put_observer t obs = t.put_observer <- obs
@@ -47,12 +54,12 @@ let sink t = t.sink
 let put t ?(children = []) bytes =
   let h = Hash.of_string bytes in
   let len = String.length bytes in
-  t.puts <- t.puts + 1;
-  t.put_bytes <- t.put_bytes + len;
+  add_counter t.puts 1;
+  add_counter t.put_bytes len;
   let fresh = not (Hash.Table.mem t.tbl h) in
   if fresh then begin
     Hash.Table.add t.tbl h { bytes; children };
-    t.stored_bytes <- t.stored_bytes + len
+    add_counter t.stored_bytes len
   end;
   if Telemetry.enabled t.sink then begin
     Telemetry.incr t.sink "store.put";
@@ -65,8 +72,65 @@ let put t ?(children = []) bytes =
   (match t.put_observer with Some f -> f h len | None -> ());
   h
 
+(* --- staged (parallel) writes ---------------------------------------------- *)
+
+(* A staged node: encoded bytes plus their digest, computed away from the
+   store — typically by a pool worker via [stage_quiet], whose hashing
+   does not notify the digest observer.  The coordinating domain then
+   replays the notifications in deterministic order ([note_staged]) and
+   installs the nodes ([put_staged]), so the observable effects of a
+   parallel commit are byte-for-byte those of the sequential one. *)
+type staged = { digest : Hash.t; node_bytes : string; node_children : Hash.t list }
+
+let stage ?(children = []) bytes =
+  { digest = Hash.of_string bytes; node_bytes = bytes; node_children = children }
+
+let stage_quiet ?(children = []) bytes =
+  { digest = Hash.of_string_quiet bytes;
+    node_bytes = bytes;
+    node_children = children }
+
+let note_staged staged =
+  List.iter (fun s -> Hash.note_digest (String.length s.node_bytes)) staged
+
+let put_staged t staged =
+  (* One pass, one stats update, one telemetry flush.  Dedup accounting is
+     per node and in list order, exactly as a sequence of [put]s: a
+     duplicate later in the batch sees the earlier node already installed. *)
+  let count = ref 0 and total = ref 0 in
+  let fresh_count = ref 0 and fresh_bytes = ref 0 in
+  List.iter
+    (fun s ->
+      let len = String.length s.node_bytes in
+      incr count;
+      total := !total + len;
+      if not (Hash.Table.mem t.tbl s.digest) then begin
+        Hash.Table.add t.tbl s.digest
+          { bytes = s.node_bytes; children = s.node_children };
+        incr fresh_count;
+        fresh_bytes := !fresh_bytes + len
+      end;
+      match t.put_observer with Some f -> f s.digest len | None -> ())
+    staged;
+  add_counter t.puts !count;
+  add_counter t.put_bytes !total;
+  add_counter t.stored_bytes !fresh_bytes;
+  if Telemetry.enabled t.sink && !count > 0 then begin
+    Telemetry.incr t.sink ~by:!count "store.put";
+    Telemetry.incr t.sink ~by:!total "store.put_bytes";
+    if !fresh_count > 0 then begin
+      Telemetry.incr t.sink ~by:!fresh_count "store.put_unique";
+      Telemetry.incr t.sink ~by:!fresh_bytes "store.put_unique_bytes"
+    end
+  end
+
+let put_batch t items =
+  let staged = List.map (fun (bytes, children) -> stage ~children bytes) items in
+  put_staged t staged;
+  List.map (fun s -> s.digest) staged
+
 let get t h =
-  t.gets <- t.gets + 1;
+  add_counter t.gets 1;
   let bytes = (Hash.Table.find t.tbl h).bytes in
   (match t.read_gate with Some gate -> gate h bytes | None -> ());
   (* Telemetry counts successful reads (past the fault gate), at the same
@@ -90,16 +154,16 @@ let iter_nodes t f =
   Hash.Table.iter (fun _ node -> f node.bytes node.children) t.tbl
 
 let stats t =
-  { puts = t.puts;
+  { puts = Atomic.get t.puts;
     unique_nodes = Hash.Table.length t.tbl;
-    stored_bytes = t.stored_bytes;
-    put_bytes = t.put_bytes;
-    gets = t.gets }
+    stored_bytes = Atomic.get t.stored_bytes;
+    put_bytes = Atomic.get t.put_bytes;
+    gets = Atomic.get t.gets }
 
 let reset_counters t =
-  t.puts <- 0;
-  t.put_bytes <- 0;
-  t.gets <- 0
+  Atomic.set t.puts 0;
+  Atomic.set t.put_bytes 0;
+  Atomic.set t.gets 0
 
 let reachable_many t roots =
   let visited = ref Hash.Set.empty in
@@ -136,7 +200,7 @@ let gc t ~roots =
   List.iter
     (fun h ->
       let n = Hash.Table.find t.tbl h in
-      t.stored_bytes <- t.stored_bytes - String.length n.bytes;
+      add_counter t.stored_bytes (-String.length n.bytes);
       Hash.Table.remove t.tbl h)
     dead;
   List.length dead
@@ -151,11 +215,11 @@ let magic = "SIRISTORE2"
    bytes-then-name ordering crash-safe (a torn save leaves only a stale
    [.tmp.*], never a damaged destination). *)
 
-let tmp_counter = ref 0
+let tmp_counter = Atomic.make 0
 
 let fresh_tmp path =
-  incr tmp_counter;
-  Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) !tmp_counter
+  Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+    (Atomic.fetch_and_add tmp_counter 1 + 1)
 
 let tmp_marker = ".tmp."
 
@@ -199,7 +263,7 @@ let write_file_atomic ?(sync = true) path writer =
 let add_raw t h bytes children =
   if not (Hash.Table.mem t.tbl h) then begin
     Hash.Table.add t.tbl h { bytes; children };
-    t.stored_bytes <- t.stored_bytes + String.length bytes
+    add_counter t.stored_bytes (String.length bytes)
   end
 
 let save ?sync t path =
@@ -306,14 +370,14 @@ let corrupt_at t h ~pos =
 let truncate_node t h ~keep =
   let n = Hash.Table.find t.tbl h in
   let keep = max 0 (min keep (String.length n.bytes)) in
-  t.stored_bytes <- t.stored_bytes - (String.length n.bytes - keep);
+  add_counter t.stored_bytes (-(String.length n.bytes - keep));
   n.bytes <- String.sub n.bytes 0 keep
 
 let remove_node t h =
   match Hash.Table.find_opt t.tbl h with
   | None -> false
   | Some n ->
-      t.stored_bytes <- t.stored_bytes - String.length n.bytes;
+      add_counter t.stored_bytes (-String.length n.bytes);
       Hash.Table.remove t.tbl h;
       true
 

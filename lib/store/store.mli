@@ -47,6 +47,46 @@ val put : t -> ?children:Hash.t list -> string -> Hash.t
     hashes of the node's direct children (for reachability); they need not be
     present yet. *)
 
+(** {2 Staged (batched) writes}
+
+    The parallel commit pipeline splits a write into a pure phase — encode
+    the node and digest its bytes, safe to fan out over pool workers — and
+    a sequential install phase into the store.  {!stage_quiet} is the
+    worker half (it does not notify the digest observer); the coordinator
+    then calls {!note_staged} to replay the observer notifications in
+    deterministic order and {!put_staged} to install the nodes.  A batch
+    installed this way is observably identical to the same sequence of
+    {!put}s: same hashes, same per-node dedup accounting, same counter
+    totals — but with a single stats update and one coalesced telemetry
+    flush for the whole batch. *)
+
+type staged = {
+  digest : Hash.t;
+  node_bytes : string;
+  node_children : Hash.t list;
+}
+(** A node whose digest has been computed but which is not yet installed. *)
+
+val stage : ?children:Hash.t list -> string -> staged
+(** Digest now (notifying the observer), install later. *)
+
+val stage_quiet : ?children:Hash.t list -> string -> staged
+(** {!stage} without notifying the digest observer — the only store entry
+    point safe to call from pool worker domains. *)
+
+val note_staged : staged list -> unit
+(** Replay the digest-observer notifications for quietly staged nodes, in
+    list order. *)
+
+val put_staged : t -> staged list -> unit
+(** Install staged nodes, in list order, with coalesced accounting. *)
+
+val put_batch : t -> (string * Hash.t list) list -> Hash.t list
+(** [put_batch t [(bytes, children); …]] stages and installs a batch in
+    one call, returning the content hashes in order.  Equivalent to
+    [List.map (fun (b, c) -> put t ~children:c b)] with a single stats
+    update. *)
+
 val get : t -> Hash.t -> string
 (** Raises [Not_found] if the hash is unknown. *)
 

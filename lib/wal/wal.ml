@@ -103,7 +103,7 @@ let u32_be n =
 
 let frame payload =
   let len = u32_be (String.length payload) in
-  let digest = Hash.to_raw (Hash.of_string (len ^ payload)) in
+  let digest = Hash.to_raw (Hash.of_concat len payload) in
   len ^ digest ^ payload
 
 let encode_record ~seq record = frame (encode_payload ~seq record)
@@ -171,7 +171,7 @@ let scan blob =
         else begin
           let digest = Hash.of_raw (String.sub blob (!pos + 4) Hash.size) in
           let payload = String.sub blob (!pos + header_len) len in
-          if not (Hash.equal (Hash.of_string (len_bytes ^ payload)) digest)
+          if not (Hash.equal (Hash.of_concat len_bytes payload) digest)
           then stop (Error (`Tampered !pos))
           else
             match decode_payload payload with
