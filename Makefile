@@ -13,11 +13,14 @@
 #   make par     — run the parallel-commit determinism suite twice, with the
 #                  pool width forced to 1 and to 4 via SIRI_DOMAINS: the
 #                  root-hash and accounting equalities must hold at both.
+#   make read    — run the read-path suite twice, with the decoded-node
+#                  cache forced off and to its 64 MiB default via
+#                  SIRI_NODE_CACHE: cached and uncached answers must agree.
 
 DUNE ?= dune
 QCHECK_SEED ?= 20260806
 
-.PHONY: all build test smoke crash par check bench clean
+.PHONY: all build test smoke crash par read check bench clean
 
 all: build
 
@@ -37,7 +40,11 @@ par: build
 	SIRI_DOMAINS=1 QCHECK_SEED=$(QCHECK_SEED) $(DUNE) exec test/test_parallel.exe
 	SIRI_DOMAINS=4 QCHECK_SEED=$(QCHECK_SEED) $(DUNE) exec test/test_parallel.exe
 
-check: build test smoke crash par
+read: build
+	SIRI_NODE_CACHE=0 QCHECK_SEED=$(QCHECK_SEED) $(DUNE) exec test/test_readpath.exe
+	SIRI_NODE_CACHE=67108864 QCHECK_SEED=$(QCHECK_SEED) $(DUNE) exec test/test_readpath.exe
+
+check: build test smoke crash par read
 	@echo "check: OK"
 
 bench:

@@ -34,6 +34,7 @@ let experiments =
     ("proofs", "extension: point & range proof sizes", Fig_proofs.run);
     ("wal", "extension: WAL commit & recovery throughput", Fig_wal.run);
     ("parallel", "extension: domain sweep of the parallel commit pipeline", Fig_parallel.run);
+    ("readpath", "extension: decoded-node cache, batched get, Bloom filters", Fig_readpath.run);
     ("batch", "ablation: write batch size vs throughput", Fig_throughput.batch_throughput);
     ("micro", "Bechamel per-op microbenchmarks", Micro.run);
     ("params", "print the Table 1/2 notation and parameter values", fun () ->

@@ -89,8 +89,8 @@ let key_arg idx = Arg.(required & pos idx (some string) None & info [] ~docv:"KE
 (* Build a YCSB dataset and replay a 50/50 read/write stream against one
    structure with a wall-clock telemetry sink attached; returns the final
    instance and the sink holding counters, latency histograms and spans. *)
-let run_sample ?pool kind ~records ~ops =
-  let store = Store.create () in
+let run_sample ?pool ?cache_bytes kind ~records ~ops =
+  let store = Store.create ?cache_bytes () in
   let sink = Telemetry.create ~clock:Unix.gettimeofday () in
   Store.set_sink store sink;
   Telemetry.attach_hash_counter sink;
@@ -108,7 +108,9 @@ let run_sample ?pool kind ~records ~ops =
       (fun (inst, pending) op ->
         match op with
         | Ycsb.Read k ->
-            ignore (inst.Generic.lookup k);
+            (* Through the full read path (filter + tiered telemetry), not
+               the raw closure, so the hit/miss split below has data. *)
+            ignore (Generic.get inst k);
             (inst, pending)
         | Ycsb.Write (k, v) ->
             let pending = Kv.Put (k, v) :: pending in
@@ -123,11 +125,11 @@ let run_sample ?pool kind ~records ~ops =
 
 let sample_kinds = [ Mpt; Mbt; Pos; Mvbt ]
 
-let stats_workload ?pool ~records ~ops ~json () =
+let stats_workload ?pool ?cache_bytes ~records ~ops ~json () =
   let results =
     List.map
       (fun kind ->
-        let inst, sink = run_sample ?pool kind ~records ~ops in
+        let inst, sink = run_sample ?pool ?cache_bytes kind ~records ~ops in
         (inst.Generic.name, inst, sink))
       sample_kinds
   in
@@ -153,12 +155,31 @@ let stats_workload ?pool ~records ~ops ~json () =
            string_of_int (c "hash.count");
            Table.fmt_bytes (c "hash.bytes") ])
        results);
+  Table.print
+    ~title:"Read path — decoded-node cache and negative-lookup filter"
+    ~headers:
+      [ "index"; "cache hits"; "cache misses"; "hit ratio"; "evictions";
+        "filter skips" ]
+    (List.map
+       (fun (name, _, sink) ->
+         let c = Telemetry.counter sink in
+         let hits = c "cache.node.hit" and misses = c "cache.node.miss" in
+         let ratio =
+           if hits + misses = 0 then "-"
+           else
+             Printf.sprintf "%.1f%%"
+               (100. *. float_of_int hits /. float_of_int (hits + misses))
+         in
+         [ name; string_of_int hits; string_of_int misses; ratio;
+           string_of_int (c "cache.node.evict");
+           string_of_int (c "read.filter.skip") ])
+       results);
   let latency_rows =
     List.concat_map
       (fun (name, _, sink) ->
         List.filter_map
-          (fun op ->
-            match Telemetry.histogram sink (name ^ "." ^ op) with
+          (fun (op, metric) ->
+            match Telemetry.histogram sink metric with
             | None -> None
             | Some h ->
                 let us x = Printf.sprintf "%.1f" (x *. 1e6) in
@@ -169,7 +190,11 @@ let stats_workload ?pool ~records ~ops ~json () =
                     us (Telemetry.Histo.p95 h);
                     us (Telemetry.Histo.p99 h);
                     us (Telemetry.Histo.max_value h) ])
-          [ "lookup"; "batch" ])
+          [ ("lookup", name ^ ".lookup"); ("batch", name ^ ".batch");
+            (* Per-tier read latency: the sink is per structure, so the
+               global metric names still split by index here. *)
+            ("lookup (cache hit)", "read.lookup.hit");
+            ("lookup (cache miss)", "read.lookup.miss") ])
       results
   in
   Table.print ~title:"Telemetry latency (per-op histograms)"
@@ -267,7 +292,17 @@ let stats_cmd =
              recommended domain count, capped at 8; 1 = sequential).  The \
              root hashes are identical for any value.")
   in
-  let dispatch kind path records ops json domains =
+  let cache =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache" ] ~docv:"BYTES"
+          ~doc:
+            "Decoded-node cache budget in bytes for the sample workload \
+             (overrides $(b,SIRI_NODE_CACHE); 0 disables).  Default: the \
+             environment variable, else disabled.")
+  in
+  let dispatch kind path records ops json domains cache =
     let pool =
       match domains with
       | Some d -> Pool.create ~domains:d ()
@@ -278,15 +313,18 @@ let stats_cmd =
       (fun () ->
         match path with
         | Some path -> run ~pool kind path
-        | None -> stats_workload ~pool ~records ~ops ~json ())
+        | None -> stats_workload ~pool ?cache_bytes:cache ~records ~ops ~json ())
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Print index statistics for a TSV file, or (without FILE) run a \
           telemetry-instrumented sample workload over all four structures \
-          and print per-structure counters and p50/p95/p99 latencies.")
-    Term.(const dispatch $ index_arg $ file_opt $ records $ ops $ json $ domains)
+          and print per-structure counters, node-cache hit ratios and \
+          per-tier p50/p95/p99 latencies.")
+    Term.(
+      const dispatch $ index_arg $ file_opt $ records $ ops $ json $ domains
+      $ cache)
 
 let get_cmd =
   let run kind path key =

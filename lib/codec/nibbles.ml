@@ -37,6 +37,21 @@ let common_prefix a b =
   let rec loop i = if i < limit && a.[i] = b.[i] then loop (i + 1) else i in
   loop 0
 
+(* Offset variants so a traversal can keep one nibble string and walk an
+   index into it instead of allocating a [drop] suffix per node. *)
+
+let equal_at p full ~off =
+  let n = String.length p in
+  String.length full - off = n
+  &&
+  let rec go i = i = n || (p.[i] = full.[off + i] && go (i + 1)) in
+  go 0
+
+let common_prefix_at p full ~off =
+  let limit = min (String.length p) (String.length full - off) in
+  let rec loop i = if i < limit && p.[i] = full.[off + i] then loop (i + 1) else i in
+  loop 0
+
 let equal = String.equal
 let compare = String.compare
 

@@ -38,6 +38,14 @@ val cons : int -> t -> t
 val common_prefix : t -> t -> int
 (** Length of the longest common prefix. *)
 
+val equal_at : t -> t -> off:int -> bool
+(** [equal_at p full ~off] is [equal p (drop full off)] without
+    materializing the suffix. *)
+
+val common_prefix_at : t -> t -> off:int -> int
+(** [common_prefix_at p full ~off] is [common_prefix p (drop full off)]
+    without materializing the suffix. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 

@@ -41,13 +41,23 @@ module Writer = struct
 end
 
 module Reader = struct
-  type t = { src : string; mutable pos : int }
+  (* A reader is a window [base, limit) over [src]; [of_string] opens the
+     whole string, [of_substring] a slice of it without copying — frame
+     decoders (WAL scan) read length-prefixed payloads in place instead of
+     materializing a [String.sub] per frame. *)
+  type t = { src : string; mutable pos : int; base : int; limit : int }
 
   exception Truncated
 
-  let of_string src = { src; pos = 0 }
-  let pos t = t.pos
-  let remaining t = String.length t.src - t.pos
+  let of_string src = { src; pos = 0; base = 0; limit = String.length src }
+
+  let of_substring src ~off ~len =
+    if off < 0 || len < 0 || off + len > String.length src then
+      invalid_arg "Wire.Reader.of_substring";
+    { src; pos = off; base = off; limit = off + len }
+
+  let pos t = t.pos - t.base
+  let remaining t = t.limit - t.pos
   let at_end t = remaining t = 0
 
   let need t n = if n < 0 || remaining t < n then raise Truncated

@@ -38,7 +38,17 @@ module Reader : sig
   type t
 
   val of_string : string -> t
+
+  val of_substring : string -> off:int -> len:int -> t
+  (** A zero-copy reader over the slice [off, off+len) of the string — no
+      [String.sub] is performed; reads past the slice raise {!Truncated}
+      exactly as if the slice were a standalone string.  Raises
+      [Invalid_argument] if the slice falls outside the string. *)
+
   val pos : t -> int
+  (** Bytes consumed so far, relative to the start of the (sub)string the
+      reader was opened on. *)
+
   val remaining : t -> int
   val at_end : t -> bool
 

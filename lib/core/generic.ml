@@ -1,11 +1,15 @@
 open Siri_crypto
 module Store = Siri_store.Store
+module Node_cache = Siri_readpath.Node_cache
+module Bloom = Siri_readpath.Bloom
+module Telemetry = Siri_telemetry.Telemetry
 
 type t = {
   name : string;
   store : Store.t;
   root : Hash.t;
   lookup : Kv.key -> Kv.value option;
+  get_many : Kv.key list -> (Kv.key * Kv.value option) list;
   path_length : Kv.key -> int;
   batch : Kv.op list -> t;
   bulk_load : (Kv.key * Kv.value) list -> t;
@@ -22,7 +26,76 @@ type t = {
 let insert t k v = t.batch [ Kv.Put (k, v) ]
 let remove t k = t.batch [ Kv.Del k ]
 let of_entries t entries = t.batch (List.map (fun (k, v) -> Kv.Put (k, v)) entries)
-let load_sorted t entries = t.bulk_load entries
+
+let register_filter t entries =
+  if not (Hash.is_null t.root) then
+    Store.set_root_filter t.store t.root
+      (Bloom.of_keys (List.map fst entries))
+
+let load_sorted t entries =
+  let loaded = t.bulk_load entries in
+  register_filter loaded entries;
+  loaded
+
+(* --- filtered, tiered reads -------------------------------------------------
+
+   [get]/[get_many] are the read front door: they consult the version's
+   negative-lookup filter before any traversal, and classify each
+   traversal's latency by whether it was served from the decoded-node
+   cache ([read.lookup.hit]: no cache miss during the walk) or had to
+   decode ([read.lookup.miss]).  The raw [t.lookup]/[t.get_many] closures
+   stay available for callers that want the untiered path. *)
+
+let lookup_tiered t k =
+  let sink = Store.sink t.store in
+  if not (Telemetry.enabled sink) then t.lookup k
+  else begin
+    let cache = Store.cache t.store in
+    let misses_before = Node_cache.misses cache in
+    let start = Telemetry.now sink in
+    let r = t.lookup k in
+    let stop = Telemetry.now sink in
+    let tier =
+      if Node_cache.misses cache = misses_before then "read.lookup.hit"
+      else "read.lookup.miss"
+    in
+    Telemetry.incr sink tier;
+    Telemetry.observe sink tier (stop -. start);
+    r
+  end
+
+let filter_blocks t k =
+  match Store.root_filter t.store t.root with
+  | Some f -> not (Bloom.mem f k)
+  | None -> false
+
+let get t k =
+  if filter_blocks t k then begin
+    Telemetry.incr (Store.sink t.store) "read.filter.skip";
+    None
+  end
+  else lookup_tiered t k
+
+let get_many t ks =
+  match Store.root_filter t.store t.root with
+  | None -> t.get_many ks
+  | Some f ->
+      (* Answer definite misses from the filter alone; batch-walk the rest
+         and re-interleave in input order. *)
+      let sink = Store.sink t.store in
+      let walked =
+        List.filter (Bloom.mem f) ks |> t.get_many |> List.to_seq
+        |> Hashtbl.of_seq
+      in
+      List.map
+        (fun k ->
+          match Hashtbl.find_opt walked k with
+          | Some v -> (k, v)
+          | None ->
+              Telemetry.incr sink "read.filter.skip";
+              (k, None))
+        ks
+
 let page_set t = Store.reachable t.store t.root
 let node_count t = Hash.Set.cardinal (page_set t)
 let total_bytes t = Store.bytes_of_set t.store (page_set t)

@@ -17,6 +17,13 @@ type t = {
   store : Siri_store.Store.t;
   root : Hash.t;  (** {!Hash.null} for an empty instance *)
   lookup : Kv.key -> Kv.value option;
+  get_many : Kv.key list -> (Kv.key * Kv.value option) list;
+      (** batched point lookups: one result pair per input key, in input
+          order ([None] for absent keys).  The batch is answered in a
+          single tree walk — keys are sorted and partitioned by child at
+          each internal node, so sibling keys share every decoded prefix
+          node instead of re-walking from the root.  Semantically
+          equivalent to [List.map (fun k -> (k, lookup k))] (qcheck). *)
   path_length : Kv.key -> int;
       (** number of nodes traversed by [lookup] (Figure 9) *)
   batch : Kv.op list -> t;  (** apply a write batch, yielding a new version *)
@@ -56,7 +63,28 @@ val load_sorted : t -> (Kv.key * Kv.value) list -> t
 (** [load_sorted t entries] is [t.bulk_load entries] — the batched (and,
     when the instance was constructed with a pool, parallel) bulk-load
     path.  Entries need not actually be sorted; the indexes sort and
-    dedup internally. *)
+    dedup internally.  Additionally registers a negative-lookup filter
+    for the loaded version ({!Siri_store.Store.set_root_filter}), so
+    {!get}/{!get_many} on it short-circuit definite misses. *)
+
+(** {2 Filtered, tiered reads}
+
+    The preferred read entry points.  Both consult the version's
+    negative-lookup filter (when one is registered for [t.root]) before
+    touching the tree — a filter miss answers [None] with zero node reads
+    and counts [read.filter.skip].  Lookups that do traverse are timed
+    into [read.lookup.hit] (no decoded-node-cache miss during the walk —
+    every node came from cache) or [read.lookup.miss] histograms, with
+    matching counters, so [siri-cli stats] can report hit ratio and
+    per-tier latency.  With telemetry off ({!Siri_telemetry.Telemetry.null})
+    they add one closed-over branch to the raw closures. *)
+
+val get : t -> Kv.key -> Kv.value option
+(** Filter-aware, tiered [t.lookup]. *)
+
+val get_many : t -> Kv.key list -> (Kv.key * Kv.value option) list
+(** Filter-aware [t.get_many]: keys rejected by the filter never enter the
+    batch traversal; results stay in input order. *)
 
 val page_set : t -> Hash.Set.t
 (** Reachable pages [P(I)] of this version. *)

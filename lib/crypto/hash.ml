@@ -27,6 +27,10 @@ let of_concat a b =
   note_digest (String.length a + String.length b);
   Sha256.digest_concat a b
 
+let of_concat_sub a b ~off ~len =
+  note_digest (String.length a + len);
+  Sha256.digest_concat_sub a b ~off ~len
+
 let of_bytes b =
   note_digest (Bytes.length b);
   Sha256.digest_bytes b

@@ -24,6 +24,10 @@ val of_concat : string -> string -> t
 (** [of_concat a b] = [of_string (a ^ b)] without materializing the
     concatenation. *)
 
+val of_concat_sub : string -> string -> off:int -> len:int -> t
+(** [of_concat_sub a b ~off ~len] = [of_concat a (String.sub b off len)]
+    without copying the slice. *)
+
 val of_string_quiet : string -> t
 (** {!of_string} without notifying the digest observer.  Used by the
     parallel commit pipeline: worker domains hash quietly and the

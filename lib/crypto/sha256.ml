@@ -194,6 +194,12 @@ let digest_concat a b =
       feed_string ctx b;
       finalize ctx)
 
+let digest_concat_sub a b ~off ~len =
+  with_scratch (fun ctx ->
+      feed_string ctx a;
+      feed_string ctx b ~off ~len;
+      finalize ctx)
+
 let hex_alphabet = "0123456789abcdef"
 
 let to_hex s =

@@ -42,5 +42,10 @@ val digest_concat : string -> string -> string
 (** [digest_concat a b] is [digest_string (a ^ b)] without materializing
     the concatenation. *)
 
+val digest_concat_sub : string -> string -> off:int -> len:int -> string
+(** [digest_concat_sub a b ~off ~len] is
+    [digest_concat a (String.sub b off len)] without the copy — the WAL
+    frame checksum hashed in place. *)
+
 val to_hex : string -> string
 (** Lowercase hex rendering of a raw digest (or any string). *)

@@ -4,6 +4,7 @@ module Store = Siri_store.Store
 module Wire = Siri_codec.Wire
 module Fault = Siri_fault.Fault
 module Telemetry = Siri_telemetry.Telemetry
+module Bloom = Siri_readpath.Bloom
 
 type commit = {
   id : Hash.t;
@@ -95,6 +96,32 @@ let checkout t id =
   Telemetry.with_span (Store.sink t.store) "engine.checkout" (fun () ->
       t.reopen (decode_commit id (Store.get t.store id)).index_root)
 
+(* Extend the parent version's negative-lookup filter to the committed
+   version: copy it and add the written keys.  Deleted keys stay set in
+   the copy, costing only false positives — a filter must never produce a
+   false negative.  A parent without a filter whose key set is non-empty
+   (only possible for pre-existing histories) gets none either: building
+   one from the ops alone would miss the parent's keys. *)
+let propagate_filter t ~parent ~parent_known_empty ~root keys =
+  if not (Hash.is_null root) then begin
+    let base =
+      match Store.root_filter t.store parent with
+      | Some f -> Some (Bloom.copy f)
+      | None ->
+          if parent_known_empty then
+            Some (Bloom.create ~expected:(max 16 (List.length keys)) ())
+          else None
+    in
+    match base with
+    | None -> ()
+    | Some f ->
+        Bloom.add_all f keys;
+        Store.set_root_filter t.store root f
+  end
+
+let put_keys ops =
+  List.filter_map (function Kv.Put (k, _) -> Some k | Kv.Del _ -> None) ops
+
 let commit t ~branch ~message ops =
   (* The span encloses the index batch, so per-index [<index>.batch] probes
      nest inside [engine.commit] in the trace. *)
@@ -102,6 +129,9 @@ let commit t ~branch ~message ops =
       let h = head t branch in
       let inst = t.reopen h.index_root in
       let inst' = inst.Generic.batch ops in
+      propagate_filter t ~parent:h.index_root
+        ~parent_known_empty:(h.version = 0) ~root:inst'.Generic.root
+        (put_keys ops);
       let c =
         store_commit t ~parent:(Some h.id) ~index_root:inst'.Generic.root
           ~message ~version:(h.version + 1)
@@ -120,6 +150,9 @@ let commit_bulk t ~branch ~message entries =
         if h.version = 0 then inst.Generic.bulk_load entries
         else inst.Generic.batch (List.map (fun (k, v) -> Kv.Put (k, v)) entries)
       in
+      propagate_filter t ~parent:h.index_root
+        ~parent_known_empty:(h.version = 0) ~root:inst'.Generic.root
+        (List.map fst entries);
       let c =
         store_commit t ~parent:(Some h.id) ~index_root:inst'.Generic.root
           ~message ~version:(h.version + 1)
@@ -127,7 +160,8 @@ let commit_bulk t ~branch ~message entries =
       Hashtbl.replace t.heads branch c;
       c)
 
-let get t ~branch key = (index t branch).Generic.lookup key
+let get t ~branch key = Generic.get (index t branch) key
+let get_many t ~branch keys = Generic.get_many (index t branch) keys
 let put t ~branch key value = commit t ~branch ~message:"put" [ Kv.Put (key, value) ]
 
 let diff_branches t a b =

@@ -56,6 +56,18 @@ val commit_bulk :
     it degrades to a plain put-batch so existing records are kept. *)
 
 val get : t -> branch:string -> Kv.key -> Kv.value option
+(** Point lookup at a branch head, through the full read path: the
+    version's negative-lookup filter (when one is registered) short-
+    circuits definite misses, and the lookup is timed into the tiered
+    [read.lookup.hit]/[read.lookup.miss] telemetry. *)
+
+val get_many : t -> branch:string -> Kv.key list -> (Kv.key * Kv.value option) list
+(** Batched point lookups at a branch head: filter-rejected keys are
+    answered [None] without touching the index, the survivors walk the
+    tree once sharing decoded prefix nodes.  One result pair per input
+    key, in input order; equivalent to [List.map (fun k -> (k, get t
+    ~branch k))]. *)
+
 val put : t -> branch:string -> Kv.key -> Kv.value -> commit
 
 val diff_branches : t -> string -> string -> Kv.diff_entry list

@@ -20,8 +20,12 @@ type t = {
 
 let create ~capacity =
   if capacity < 0 then invalid_arg "Lru.create: capacity must be non-negative";
+  (* The table never holds more than [capacity] entries, and Hashtbl only
+     resizes past twice its initial size — so pre-sizing to [capacity]
+     already guarantees zero growth churn; the former [2 * capacity]
+     doubled the bucket array's footprint for nothing. *)
   { capacity;
-    tbl = Hash.Table.create (max 1 (2 * capacity));
+    tbl = Hash.Table.create (max 1 capacity);
     first = None;
     last = None;
     evictions = Atomic.make 0;

@@ -73,6 +73,25 @@ let decode bytes =
   else
     Internal (Array.init (Wire.Reader.varint r) (fun _ -> Wire.Reader.hash r))
 
+type Siri_readpath.Node_cache.repr += Cached of node
+
+(* Read through the store's decoded-node cache.  Decoded arrays are never
+   mutated ([rewrite_path] copies child arrays before updating), so a
+   shared decoding is safe. *)
+let get store h =
+  let cache = Store.cache store in
+  if not (Siri_readpath.Node_cache.enabled cache) then
+    decode (Store.get store h)
+  else
+    match Siri_readpath.Node_cache.find cache h with
+    | Some (Cached node) -> node
+    | _ ->
+        let bytes = Store.get store h in
+        let node = decode bytes in
+        Siri_readpath.Node_cache.insert cache h ~bytes:(String.length bytes)
+          (Cached node);
+        node
+
 let put_bucket store entries = Store.put store (encode_bucket entries)
 
 let put_internal store hashes =
@@ -123,7 +142,7 @@ let bucket_index cfg key = bucket_of_hash cfg (Hash.of_string key)
 let walk t b =
   let d = depth t in
   let rec go h level acc =
-    match decode (Store.get t.store h) with
+    match get t.store h with
     | Bucket entries ->
         assert (level = 0);
         (entries, List.rev acc)
@@ -160,6 +179,62 @@ let bucket_size = Array.length
 
 let lookup t key = scan_bucket (load_bucket t key) key
 let path_length t _key = depth t + 1
+
+(* Batched point lookups: keys are grouped by target bucket and the group
+   set descends the tree once, partitioned by child slot at every
+   internal node — each shared internal node (always including the root)
+   is fetched and decoded once for the whole batch instead of once per
+   key. *)
+let get_many t keys =
+  if keys = [] then []
+  else begin
+    let cfg = t.cfg in
+    let found = Hashtbl.create (List.length keys) in
+    let by_bucket = Hashtbl.create 16 in
+    List.iter
+      (fun k ->
+        let b = bucket_index cfg k in
+        match Hashtbl.find_opt by_bucket b with
+        | Some ks ->
+            if not (List.mem k ks) then Hashtbl.replace by_bucket b (k :: ks)
+        | None -> Hashtbl.add by_bucket b [ k ])
+      keys;
+    let groups =
+      Hashtbl.fold (fun b ks acc -> (b, ks) :: acc) by_bucket []
+      |> List.sort compare
+    in
+    (* [groups] are the buckets living under node [h] at [level]. *)
+    let rec go h level groups =
+      match get t.store h with
+      | Bucket entries ->
+          List.iter
+            (fun (_, ks) ->
+              List.iter
+                (fun k ->
+                  match scan_bucket entries k with
+                  | Some v -> Hashtbl.replace found k v
+                  | None -> ())
+                ks)
+            groups
+      | Internal children ->
+          let slot_of b =
+            let rec div v k = if k = 0 then v else div (v / cfg.fanout) (k - 1) in
+            div b (level - 1) mod cfg.fanout
+          in
+          let by_slot = Array.make (Array.length children) [] in
+          List.iter
+            (fun (b, ks) ->
+              let s = slot_of b in
+              by_slot.(s) <- (b, ks) :: by_slot.(s))
+            groups;
+          Array.iteri
+            (fun s gs ->
+              if gs <> [] then go children.(s) (level - 1) (List.rev gs))
+            by_slot
+    in
+    go t.root (depth t) groups;
+    List.map (fun k -> (k, Hashtbl.find_opt found k)) keys
+  end
 
 (* --- updates ------------------------------------------------------------ *)
 
@@ -277,7 +352,7 @@ let batch_pool pool t ops =
       for l = d downto 1 do
         Array.iter
           (fun j ->
-            match decode (Store.get t.store (Hashtbl.find hash_at (l, j))) with
+            match get t.store (Hashtbl.find hash_at (l, j)) with
             | Internal cs ->
                 Hashtbl.replace children_at (l, j) cs;
                 Array.iter
@@ -293,7 +368,7 @@ let batch_pool pool t ops =
       let leaf_inputs =
         Array.map
           (fun (b, bops) ->
-            match decode (Store.get t.store (Hashtbl.find hash_at (0, b))) with
+            match get t.store (Hashtbl.find hash_at (0, b)) with
             | Bucket entries -> (b, entries, bops)
             | Internal _ -> assert false)
           (Array.of_list groups)
@@ -415,7 +490,7 @@ let of_entries ?pool store cfg entries =
 
 let iter t f =
   let rec go h =
-    match decode (Store.get t.store h) with
+    match get t.store h with
     | Bucket entries -> Array.iter (fun (k, v) -> f k v) entries
     | Internal children -> Array.iter go children
   in
@@ -439,7 +514,7 @@ let diff t1 t2 =
   let rec go h1 h2 acc =
     if Hash.equal h1 h2 then acc
     else
-      match (decode (Store.get t1.store h1), decode (Store.get t2.store h2)) with
+      match (get t1.store h1, get t2.store h2) with
       | Bucket e1, Bucket e2 ->
           List.rev_append
             (Kv.diff_sorted (Array.to_list e1) (Array.to_list e2))
@@ -535,6 +610,7 @@ let rec generic ?pool t =
     store = t.store;
     root = t.root;
     lookup = (fun k -> probe t "mbt.lookup" (fun () -> lookup t k));
+    get_many = (fun ks -> probe t "mbt.get_many" (fun () -> get_many t ks));
     path_length = path_length t;
     batch =
       (fun ops -> generic ?pool (probe t "mbt.batch" (fun () -> batch ?pool t ops)));

@@ -35,6 +35,14 @@ val bucket_index : config -> Kv.key -> int
 (** hash(key) mod B — which bucket a key lives in. *)
 
 val lookup : t -> Kv.key -> Kv.value option
+
+val get_many : t -> Kv.key list -> (Kv.key * Kv.value option) list
+(** Batched point lookups in one walk: keys are grouped by bucket and the
+    group set descends level by level, so shared internal nodes (always
+    including the root) are decoded once per batch.  One result pair per
+    input key, in input order; equivalent to
+    [List.map (fun k -> (k, lookup t k))]. *)
+
 val path_length : t -> Kv.key -> int
 
 (** Lookup split into its two phases so that benchmarks can time them

@@ -4,6 +4,7 @@ module Store = Siri_store.Store
 module Nibbles = Siri_codec.Nibbles
 module Wire = Siri_codec.Wire
 module Telemetry = Siri_telemetry.Telemetry
+module Node_cache = Siri_readpath.Node_cache
 
 type t = { store : Store.t; root : Hash.t }
 
@@ -11,6 +12,8 @@ type node =
   | Leaf of Nibbles.t * Kv.value
   | Ext of Nibbles.t * Hash.t
   | Branch of Hash.t array * Kv.value option
+
+type Node_cache.repr += Cached of node
 
 let empty store = { store; root = Hash.null }
 let of_root store root = { store; root }
@@ -84,35 +87,121 @@ let node_children = function
 let put store node =
   Store.put store ~children:(node_children node) (encode node)
 
-let get store h = decode (Store.get store h)
+(* Read through the store's decoded-node cache.  Cached nodes are never
+   mutated: every write path copies a Branch's child array before
+   updating it, and Leaf/Ext payloads are immutable strings, so handing
+   out the same decoded node repeatedly is safe. *)
+let get store h =
+  let cache = Store.cache store in
+  if not (Node_cache.enabled cache) then decode (Store.get store h)
+  else
+    match Node_cache.find cache h with
+    | Some (Cached node) -> node
+    | _ ->
+        let bytes = Store.get store h in
+        let node = decode bytes in
+        Node_cache.insert cache h ~bytes:(String.length bytes) (Cached node);
+        node
 
 (* --- lookup ------------------------------------------------------------ *)
 
 (* Returns the value and the number of nodes visited. *)
 let lookup_count store root key =
-  let rec go h path visited =
+  (* The key's nibbles are converted once and walked by offset — the
+     traversal allocates nothing per node, so on a warm decoded-node
+     cache a lookup is pure pointer chasing. *)
+  let nibs = Nibbles.of_key key in
+  let total = Nibbles.length nibs in
+  let rec go h off visited =
     if Hash.is_null h then (None, visited)
     else
       match get store h with
       | Leaf (p, v) ->
-          if Nibbles.equal p path then (Some v, visited + 1)
+          if Nibbles.equal_at p nibs ~off then (Some v, visited + 1)
           else (None, visited + 1)
       | Ext (p, child) ->
           let np = Nibbles.length p in
           if
-            Nibbles.length path >= np
-            && Nibbles.common_prefix p path = np
-          then go child (Nibbles.drop path np) (visited + 1)
+            total - off >= np
+            && Nibbles.common_prefix_at p nibs ~off = np
+          then go child (off + np) (visited + 1)
           else (None, visited + 1)
       | Branch (children, value) ->
-          if Nibbles.is_empty path then (value, visited + 1)
-          else
-            go children.(Nibbles.get path 0) (Nibbles.drop path 1) (visited + 1)
+          if off = total then (value, visited + 1)
+          else go children.(Nibbles.get nibs off) (off + 1) (visited + 1)
   in
-  go root (Nibbles.of_key key) 0
+  go root 0 0
 
 let lookup t key = fst (lookup_count t.store t.root key)
 let path_length t key = snd (lookup_count t.store t.root key)
+
+(* --- batched lookup ----------------------------------------------------- *)
+
+(* One walk for the whole batch: the distinct keys are sorted, and at
+   every internal node the still-alive slice is partitioned by next
+   nibble (string order equals nibble order, so each partition is a
+   contiguous sub-slice).  Each node on a shared prefix is fetched and
+   decoded once for all keys below it, instead of once per key. *)
+let get_many t keys =
+  if keys = [] then []
+  else begin
+    let found = Hashtbl.create (List.length keys) in
+    let arr =
+      List.sort_uniq String.compare keys
+      |> List.map (fun k -> (k, Nibbles.of_key k))
+      |> Array.of_list
+    in
+    (* Keys arr[lo..hi-1] agree on their first [depth] nibbles, already
+       consumed on the way to [h]. *)
+    let rec go h lo hi depth =
+      if not (Hash.is_null h) then
+        match get t.store h with
+        | Leaf (p, v) ->
+            for i = lo to hi - 1 do
+              let k, path = arr.(i) in
+              if Nibbles.equal p (Nibbles.drop path depth) then
+                Hashtbl.replace found k v
+            done
+        | Ext (p, child) ->
+            let np = Nibbles.length p in
+            let matches i =
+              let _, path = arr.(i) in
+              Nibbles.length path - depth >= np
+              && Nibbles.common_prefix p (Nibbles.drop path depth) = np
+            in
+            let i = ref lo in
+            while !i < hi && not (matches !i) do incr i done;
+            let j = ref !i in
+            while !j < hi && matches !j do incr j done;
+            if !j > !i then go child !i !j (depth + np)
+        | Branch (children, bvalue) ->
+            let i = ref lo in
+            while !i < hi do
+              let k, path = arr.(!i) in
+              if Nibbles.length path = depth then begin
+                (match bvalue with
+                | Some v -> Hashtbl.replace found k v
+                | None -> ());
+                incr i
+              end
+              else begin
+                let nib = Nibbles.get path depth in
+                let j = ref (!i + 1) in
+                while
+                  !j < hi
+                  && Nibbles.length (snd arr.(!j)) > depth
+                  && Nibbles.get (snd arr.(!j)) depth = nib
+                do
+                  incr j
+                done;
+                go children.(nib) !i !j (depth + 1);
+                i := !j
+              end
+            done
+    in
+    go t.root 0 (Array.length arr) 0;
+    List.map (fun k -> (k, Hashtbl.find_opt found k)) keys
+  end
 
 (* --- insert ------------------------------------------------------------ *)
 
@@ -703,6 +792,7 @@ let rec generic ?pool t =
     store = t.store;
     root = t.root;
     lookup = (fun k -> probe t "mpt.lookup" (fun () -> lookup t k));
+    get_many = (fun ks -> probe t "mpt.get_many" (fun () -> get_many t ks));
     path_length = path_length t;
     batch =
       (fun ops -> generic ?pool (probe t "mpt.batch" (fun () -> batch t ops)));

@@ -21,6 +21,13 @@ val store : t -> Store.t
 val is_empty : t -> bool
 
 val lookup : t -> Kv.key -> Kv.value option
+
+val get_many : t -> Kv.key list -> (Kv.key * Kv.value option) list
+(** Batched point lookups in one walk: distinct keys are sorted and
+    partitioned by nibble at each branch, so sibling keys share every
+    decoded prefix node.  One result pair per input key, in input order;
+    equivalent to [List.map (fun k -> (k, lookup t k))]. *)
+
 val path_length : t -> Kv.key -> int
 (** Nodes traversed by [lookup] — the tree-height metric of Figure 9. *)
 

@@ -76,7 +76,24 @@ let put store node =
   in
   Store.put store ~children (encode node)
 
-let get store h = decode (Store.get store h)
+type Siri_readpath.Node_cache.repr += Cached of node
+
+(* Read through the store's decoded-node cache.  Decoded arrays are never
+   mutated ([entry_insert]/[array_replace] copy before writing), so a
+   shared decoding is safe. *)
+let get store h =
+  let cache = Store.cache store in
+  if not (Siri_readpath.Node_cache.enabled cache) then
+    decode (Store.get store h)
+  else
+    match Siri_readpath.Node_cache.find cache h with
+    | Some (Cached node) -> node
+    | _ ->
+        let bytes = Store.get store h in
+        let node = decode bytes in
+        Siri_readpath.Node_cache.insert cache h ~bytes:(String.length bytes)
+          (Cached node);
+        node
 
 let max_key = function
   | Leaf entries -> fst entries.(Array.length entries - 1)
@@ -122,6 +139,45 @@ let lookup_count t key =
 
 let lookup t key = fst (lookup_count t key)
 let path_length t key = snd (lookup_count t key)
+
+(* Batched point lookups: one walk for the distinct sorted keys,
+   partitioning the alive slice at each internal node's split keys so
+   shared prefix nodes are decoded once per batch. *)
+let get_many t keys =
+  if keys = [] then []
+  else begin
+    let found = Hashtbl.create (List.length keys) in
+    let arr = Array.of_list (List.sort_uniq String.compare keys) in
+    let rec go h lo hi =
+      match get t.store h with
+      | Leaf entries ->
+          for i = lo to hi - 1 do
+            match find_entry entries arr.(i) with
+            | Some v -> Hashtbl.replace found arr.(i) v
+            | None -> ()
+          done
+      | Internal (_, refs) ->
+          let n = Array.length refs in
+          let i = ref lo in
+          while !i < hi do
+            let c = child_for refs arr.(!i) in
+            if c = n then
+              (* Beyond the last split key; so is every later key. *)
+              i := hi
+            else begin
+              let split = fst refs.(c) in
+              let j = ref (!i + 1) in
+              while !j < hi && String.compare arr.(!j) split <= 0 do
+                incr j
+              done;
+              go (snd refs.(c)) !i !j;
+              i := !j
+            end
+          done
+    in
+    if not (Hash.is_null t.root) then go t.root 0 (Array.length arr);
+    List.map (fun k -> (k, Hashtbl.find_opt found k)) keys
+  end
 
 let height t =
   if Hash.is_null t.root then 0
@@ -501,6 +557,8 @@ let rec generic ?pool t =
     store = t.store;
     root = t.root;
     lookup = (fun k -> probe t "mvmb+-tree.lookup" (fun () -> lookup t k));
+    get_many =
+      (fun ks -> probe t "mvmb+-tree.get_many" (fun () -> get_many t ks));
     path_length = path_length t;
     batch =
       (fun ops ->

@@ -32,6 +32,13 @@ val conf : t -> config
 val height : t -> int
 
 val lookup : t -> Kv.key -> Kv.value option
+
+val get_many : t -> Kv.key list -> (Kv.key * Kv.value option) list
+(** Batched point lookups in one walk: distinct keys are sorted and
+    partitioned at each internal node's split keys, so sibling keys share
+    every decoded prefix node.  One result pair per input key, in input
+    order; equivalent to [List.map (fun k -> (k, lookup t k))]. *)
+
 val path_length : t -> Kv.key -> int
 val insert : t -> Kv.key -> Kv.value -> t
 val remove : t -> Kv.key -> t

@@ -76,6 +76,8 @@ type node =
   | Leaf of (Kv.key * Kv.value) array
   | Internal of int * (Kv.key * Hash.t) array  (* height >= 1, split keys *)
 
+type Siri_readpath.Node_cache.repr += Cached of node
+
 let encode_leaf salt entries =
   let w = Wire.Writer.create ~capacity:1024 () in
   Wire.Writer.u8 w tag_leaf;
@@ -121,7 +123,23 @@ let decode bytes =
             (k, h)) )
   end
 
-let get store h = decode (Store.get store h)
+(* Read through the store's decoded-node cache.  Decoded entry/ref arrays
+   are never mutated (writes rebuild via the streaming rebuilder), so
+   sharing one decoding across lookups is safe.  The salt dropped by
+   [decode] is irrelevant to reads. *)
+let get store h =
+  let cache = Store.cache store in
+  if not (Siri_readpath.Node_cache.enabled cache) then
+    decode (Store.get store h)
+  else
+    match Siri_readpath.Node_cache.find cache h with
+    | Some (Cached node) -> node
+    | _ ->
+        let bytes = Store.get store h in
+        let node = decode bytes in
+        Siri_readpath.Node_cache.insert cache h ~bytes:(String.length bytes)
+          (Cached node);
+        node
 
 (* Serialized form of a record as fed to the rolling hash. *)
 let ser_entry k v =
@@ -516,6 +534,44 @@ let lookup_count t key =
 let lookup t key = fst (lookup_count t key)
 let path_length t key = snd (lookup_count t key)
 
+(* Batched point lookups: distinct sorted keys walk the tree once.  At an
+   internal node the still-alive slice is split at the child separators
+   (keys <= a split key descend into that child), so every shared prefix
+   node is fetched and decoded once for the whole batch. *)
+let get_many t keys =
+  if keys = [] then []
+  else begin
+    let found = Hashtbl.create (List.length keys) in
+    let arr = Array.of_list (List.sort_uniq String.compare keys) in
+    let rec go h lo hi =
+      match get t.store h with
+      | Leaf entries ->
+          for i = lo to hi - 1 do
+            match find_entry entries arr.(i) with
+            | Some v -> Hashtbl.replace found arr.(i) v
+            | None -> ()
+          done
+      | Internal (_, refs) ->
+          let i = ref lo in
+          while !i < hi do
+            match child_for refs arr.(!i) with
+            | None ->
+                (* Beyond the last split key; so is every later key. *)
+                i := hi
+            | Some c ->
+                let split = fst refs.(c) in
+                let j = ref (!i + 1) in
+                while !j < hi && String.compare arr.(!j) split <= 0 do
+                  incr j
+                done;
+                go (snd refs.(c)) !i !j;
+                i := !j
+          done
+    in
+    if not (Hash.is_null t.root) then go t.root 0 (Array.length arr);
+    List.map (fun k -> (k, Hashtbl.find_opt found k)) keys
+  end
+
 let height t =
   if Hash.is_null t.root then 0
   else
@@ -680,6 +736,7 @@ let probe t name f = Telemetry.probe (Store.sink t.store) name f
 
 let rec generic_named ?pool name t =
   let p_lookup = name ^ ".lookup"
+  and p_get_many = name ^ ".get_many"
   and p_batch = name ^ ".batch"
   and p_bulk = name ^ ".bulk_load"
   and p_diff = name ^ ".diff"
@@ -688,6 +745,7 @@ let rec generic_named ?pool name t =
     store = t.store;
     root = t.root;
     lookup = (fun k -> probe t p_lookup (fun () -> lookup t k));
+    get_many = (fun ks -> probe t p_get_many (fun () -> get_many t ks));
     path_length = path_length t;
     batch =
       (fun ops ->

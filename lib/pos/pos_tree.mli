@@ -83,6 +83,13 @@ val height : t -> int
 (** Number of levels (0 for an empty tree, 1 for a single leaf). *)
 
 val lookup : t -> Kv.key -> Kv.value option
+
+val get_many : t -> Kv.key list -> (Kv.key * Kv.value option) list
+(** Batched point lookups in one walk: distinct keys are sorted and
+    partitioned at each internal node's split keys, so sibling keys share
+    every decoded prefix node.  One result pair per input key, in input
+    order; equivalent to [List.map (fun k -> (k, lookup t k))]. *)
+
 val path_length : t -> Kv.key -> int
 
 val insert : t -> Kv.key -> Kv.value -> t

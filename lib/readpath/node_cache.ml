@@ -1,0 +1,84 @@
+module Hash = Siri_crypto.Hash
+module Telemetry = Siri_telemetry.Telemetry
+
+type repr = ..
+
+module Cache = Lru_cache.Make (struct
+  type t = Hash.t
+
+  let equal = Hash.equal
+  let hash = Hash.hash
+end)
+
+type t = {
+  cache : repr Cache.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evicted_seen : int Atomic.t;  (* evictions already mirrored to the sink *)
+  mutable sink : Telemetry.sink;
+}
+
+let default_budget = 64 * 1024 * 1024
+
+let budget_from_env () =
+  match Option.bind (Sys.getenv_opt "SIRI_NODE_CACHE") int_of_string_opt with
+  | Some b -> Some (max 0 b)
+  | None -> None
+
+let create ?budget () =
+  let budget =
+    match budget with
+    | Some b -> max 0 b
+    | None -> ( match budget_from_env () with Some b -> b | None -> 0)
+  in
+  { cache = Cache.create ~budget;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evicted_seen = Atomic.make 0;
+    sink = Telemetry.null }
+
+let enabled t = Cache.budget t.cache > 0
+let budget t = Cache.budget t.cache
+let size t = Cache.size t.cache
+let cost t = Cache.cost t.cache
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses
+let evictions t = Cache.evictions t.cache
+let set_sink t sink = t.sink <- sink
+
+(* Evictions happen inside Lru_cache; surface the delta to the sink at the
+   operation that caused them, keeping [cache.node.evict] exact.  The
+   [evicted_seen] watermark advances even on the null sink, so a sink
+   attached later sees only evictions that happen while attached — the
+   same semantics as every other counter. *)
+let flush_evictions t =
+  let total = Cache.evictions t.cache in
+  let seen = Atomic.get t.evicted_seen in
+  if total > seen then begin
+    Atomic.set t.evicted_seen total;
+    Telemetry.incr t.sink ~by:(total - seen) "cache.node.evict"
+  end
+
+let find t h =
+  match Cache.find t.cache h with
+  | Some _ as r ->
+      Atomic.incr t.hits;
+      Telemetry.incr t.sink "cache.node.hit";
+      r
+  | None ->
+      Atomic.incr t.misses;
+      Telemetry.incr t.sink "cache.node.miss";
+      None
+
+let insert t h ~bytes repr =
+  if Cache.budget t.cache > 0 then begin
+    Cache.insert t.cache h ~cost:bytes repr;
+    flush_evictions t
+  end
+
+let remove t h = ignore (Cache.remove t.cache h : bool)
+let clear t = Cache.clear t.cache
+
+let resize t ~budget =
+  Cache.resize t.cache ~budget;
+  flush_evictions t

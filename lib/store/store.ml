@@ -1,5 +1,7 @@
 open Siri_crypto
 module Telemetry = Siri_telemetry.Telemetry
+module Node_cache = Siri_readpath.Node_cache
+module Bloom = Siri_readpath.Bloom
 
 exception Missing of Hash.t
 exception Transient of Hash.t
@@ -30,9 +32,14 @@ type t = {
   mutable put_observer : (Hash.t -> int -> unit) option;
   mutable read_gate : (Hash.t -> string -> unit) option;
   mutable sink : Telemetry.sink;
+  cache : Node_cache.t;
+  (* Per-version negative-lookup filters, keyed by the exact root hash the
+     filter was built for.  A version without a registered filter simply
+     skips the short-circuit. *)
+  filters : Bloom.t Hash.Table.t;
 }
 
-let create () =
+let create ?cache_bytes () =
   { tbl = Hash.Table.create 4096;
     puts = Atomic.make 0;
     put_bytes = Atomic.make 0;
@@ -41,15 +48,34 @@ let create () =
     get_observer = None;
     put_observer = None;
     read_gate = None;
-    sink = Telemetry.null }
+    sink = Telemetry.null;
+    cache = Node_cache.create ?budget:cache_bytes ();
+    filters = Hash.Table.create 16 }
 
 let add_counter c by = ignore (Atomic.fetch_and_add c by : int)
 
 let set_get_observer t obs = t.get_observer <- obs
 let set_put_observer t obs = t.put_observer <- obs
 let set_read_gate t gate = t.read_gate <- gate
-let set_sink t sink = t.sink <- sink
+
+let set_sink t sink =
+  t.sink <- sink;
+  Node_cache.set_sink t.cache sink
+
 let sink t = t.sink
+let cache t = t.cache
+
+(* --- read-path sidecars ----------------------------------------------------
+
+   Cache coherence argument: nodes are content-addressed, so a cached
+   decoding of hash [h] can only disagree with [get t h] if the stored
+   bytes under [h] changed — which only the tamper primitives below and
+   [gc]/[repair] can do.  Each of those invalidates the affected entries,
+   so for every other operation the cache is coherent by construction. *)
+
+let set_root_filter t root filter = Hash.Table.replace t.filters root filter
+let root_filter t root = Hash.Table.find_opt t.filters root
+let clear_root_filters t = Hash.Table.reset t.filters
 
 let put t ?(children = []) bytes =
   let h = Hash.of_string bytes in
@@ -201,8 +227,18 @@ let gc t ~roots =
     (fun h ->
       let n = Hash.Table.find t.tbl h in
       add_counter t.stored_bytes (-String.length n.bytes);
-      Hash.Table.remove t.tbl h)
+      Hash.Table.remove t.tbl h;
+      Node_cache.remove t.cache h)
     dead;
+  (* Filters for roots that were collected describe versions that no longer
+     exist; drop them so the registry cannot outgrow the store. *)
+  let stale =
+    Hash.Table.fold
+      (fun root _ acc ->
+        if Hash.Table.mem t.tbl root then acc else root :: acc)
+      t.filters []
+  in
+  List.iter (Hash.Table.remove t.filters) stale;
   List.length dead
 
 (* --- persistence ---------------------------------------------------------- *)
@@ -348,8 +384,13 @@ let load_checked ?verify path =
 
 (* --- tamper simulation ----------------------------------------------------- *)
 
+(* Every tamper primitive changes (or removes) the bytes stored under a
+   key while keeping the key — the one way a cached decoding could go
+   stale — so each drops the cache entry for the touched hash. *)
+
 let corrupt t h =
   let n = Hash.Table.find t.tbl h in
+  Node_cache.remove t.cache h;
   if String.length n.bytes = 0 then n.bytes <- "\001"
   else begin
     let b = Bytes.of_string n.bytes in
@@ -359,6 +400,7 @@ let corrupt t h =
 
 let corrupt_at t h ~pos =
   let n = Hash.Table.find t.tbl h in
+  Node_cache.remove t.cache h;
   if String.length n.bytes = 0 then n.bytes <- "\001"
   else begin
     let b = Bytes.of_string n.bytes in
@@ -369,6 +411,7 @@ let corrupt_at t h ~pos =
 
 let truncate_node t h ~keep =
   let n = Hash.Table.find t.tbl h in
+  Node_cache.remove t.cache h;
   let keep = max 0 (min keep (String.length n.bytes)) in
   add_counter t.stored_bytes (-(String.length n.bytes - keep));
   n.bytes <- String.sub n.bytes 0 keep
@@ -377,6 +420,7 @@ let remove_node t h =
   match Hash.Table.find_opt t.tbl h with
   | None -> false
   | Some n ->
+      Node_cache.remove t.cache h;
       add_counter t.stored_bytes (-String.length n.bytes);
       Hash.Table.remove t.tbl h;
       true

@@ -40,7 +40,13 @@ type stats = {
   gets : int;          (** node fetches *)
 }
 
-val create : unit -> t
+val create : ?cache_bytes:int -> unit -> t
+(** [cache_bytes] is the byte budget of the decoded-node cache attached to
+    this store ({!cache}).  When omitted, the [SIRI_NODE_CACHE] environment
+    variable supplies the budget, and if that too is unset the cache is
+    {e disabled} (budget 0) — so fault injection, deployment simulation and
+    telemetry conservation keep exact per-read accounting unless caching is
+    requested explicitly. *)
 
 val put : t -> ?children:Hash.t list -> string -> Hash.t
 (** Store a serialized node; returns its content hash.  [children] lists the
@@ -127,6 +133,42 @@ val set_sink : t -> Siri_telemetry.Telemetry.sink -> unit
 val sink : t -> Siri_telemetry.Telemetry.sink
 (** The attached sink (shared by the index implementations bound to this
     store — their per-operation probes report here). *)
+
+(** {2 Read-path sidecars}
+
+    The decoded-node cache and the per-version negative-lookup filters live
+    on the store because they describe its contents, but they sit {e beside}
+    the node table: a cache hit never calls {!get}, so gated faults,
+    deployment observers and [store.get] telemetry meter only the reads that
+    actually reach storage.
+
+    {b Coherence:} nodes are content-addressed, so a cached decoding of
+    hash [h] can only disagree with [get t h] if the bytes stored under [h]
+    changed.  Exactly four operations can do that — {!corrupt},
+    {!corrupt_at}, {!truncate_node} and {!remove_node} — and each
+    invalidates the cache entry for the hash it touches; {!gc} drops the
+    entries of collected nodes.  Every other operation leaves the mapping
+    [hash -> bytes] intact, so the cache needs no other invalidation. *)
+
+val cache : t -> Siri_readpath.Node_cache.t
+(** The decoded-node cache.  Indexes read through it via their [get_node];
+    callers may {!Siri_readpath.Node_cache.clear} or [resize] it at any
+    time without affecting correctness.  {!set_sink} propagates the sink to
+    the cache, so [cache.node.hit]/[miss]/[evict] are metered alongside the
+    store counters. *)
+
+val set_root_filter : t -> Hash.t -> Siri_readpath.Bloom.t -> unit
+(** Register the negative-lookup filter for the version rooted at the
+    given hash (replacing any previous filter for that exact root).  Built
+    by [Engine] commits and [Generic.load_sorted]; consulted by
+    [Generic.get]/[get_many] to short-circuit definite misses. *)
+
+val root_filter : t -> Hash.t -> Siri_readpath.Bloom.t option
+
+val clear_root_filters : t -> unit
+(** Drop all registered filters (every lookup walks the tree again).
+    Filters are in-memory sidecars: they are {e not} persisted by {!save}
+    and are rebuilt by the loading paths that know the key sets. *)
 
 val set_read_gate : t -> (Hash.t -> string -> unit) option -> unit
 (** Install a gate consulted on every {!get} {e before} the bytes are

@@ -68,8 +68,7 @@ let encode_payload ~seq record =
       write_ops w ops);
   Wire.Writer.contents w
 
-let decode_payload bytes =
-  let r = Wire.Reader.of_string bytes in
+let decode_payload_reader r =
   let seq = Wire.Reader.varint r in
   let record =
     match Wire.Reader.u8 r with
@@ -169,12 +168,23 @@ let scan blob =
                  valid_prefix = !pos;
                  clamped_bytes = remaining })
         else begin
+          (* The frame is verified and decoded in place — the checksum is
+             hashed over a slice ([Hash.of_concat_sub]) and the payload is
+             parsed through a windowed reader ([Reader.of_substring]), so
+             scanning a journal allocates no per-frame payload copies. *)
           let digest = Hash.of_raw (String.sub blob (!pos + 4) Hash.size) in
-          let payload = String.sub blob (!pos + header_len) len in
-          if not (Hash.equal (Hash.of_concat len_bytes payload) digest)
+          let payload_off = !pos + header_len in
+          if
+            not
+              (Hash.equal
+                 (Hash.of_concat_sub len_bytes blob ~off:payload_off ~len)
+                 digest)
           then stop (Error (`Tampered !pos))
           else
-            match decode_payload payload with
+            match
+              decode_payload_reader
+                (Wire.Reader.of_substring blob ~off:payload_off ~len)
+            with
             | seq, record ->
                 entries := (seq, record) :: !entries;
                 pos := !pos + header_len + len;

@@ -50,6 +50,22 @@ let test_eviction_order () =
   done;
   Alcotest.(check int) "hits do not evict" before (Lru.evictions c)
 
+let test_eviction_order_deep () =
+  (* Fill to capacity, touch the first key, insert one more: the evicted
+     entry must be the second-oldest, not the (refreshed) first. *)
+  let c = Lru.create ~capacity:4 in
+  List.iter (fun i -> ignore (Lru.touch c (h i))) [ 1; 2; 3; 4 ];
+  Alcotest.(check bool) "refresh oldest" true (Lru.touch c (h 1));
+  ignore (Lru.touch c (h 5));
+  Alcotest.(check bool) "refreshed first survives" true (Lru.mem c (h 1));
+  Alcotest.(check bool) "second-oldest evicted" false (Lru.mem c (h 2));
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) (Printf.sprintf "%d resident" i) true
+        (Lru.mem c (h i)))
+    [ 3; 4; 5 ];
+  Alcotest.(check int) "exactly one eviction" 1 (Lru.evictions c)
+
 let test_mem_does_not_refresh () =
   let c = Lru.create ~capacity:2 in
   ignore (Lru.touch c (h 1));
@@ -86,6 +102,7 @@ let () =
           Alcotest.test_case "capacity 0" `Quick test_capacity_zero;
           Alcotest.test_case "capacity 1" `Quick test_capacity_one;
           Alcotest.test_case "eviction order" `Quick test_eviction_order;
+          Alcotest.test_case "eviction order (deep)" `Quick test_eviction_order_deep;
           Alcotest.test_case "mem does not refresh" `Quick test_mem_does_not_refresh;
           Alcotest.test_case "clear keeps evictions" `Quick test_clear_keeps_evictions;
           Alcotest.test_case "telemetry agreement" `Quick test_telemetry_agreement ]

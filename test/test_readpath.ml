@@ -1,0 +1,349 @@
+(* Read-path layer: decoded-node cache equivalence across all five index
+   kinds, batched multi-get vs one-at-a-time lookups, Bloom-filter
+   soundness (zero false negatives), the generalized cost-budget LRU, the
+   SIRI_NODE_CACHE override, and cache invalidation under tampering. *)
+
+open Siri_core
+module Store = Siri_store.Store
+module Node_cache = Siri_readpath.Node_cache
+module Bloom = Siri_readpath.Bloom
+module Mpt = Siri_mpt.Mpt
+module Mbt = Siri_mbt.Mbt
+module Pos = Siri_pos.Pos_tree
+module Mvbt = Siri_mvbt.Mvbt
+module Prolly = Siri_prolly.Prolly
+module Engine = Siri_forkbase.Engine
+module Telemetry = Siri_telemetry.Telemetry
+
+(* Small node parameters so a few dozen records already build real trees. *)
+let makers ~cache_bytes () =
+  let s () = Store.create ~cache_bytes () in
+  [ Mpt.generic (Mpt.empty (s ()));
+    Mbt.generic (Mbt.empty (s ()) (Mbt.config ~capacity:32 ~fanout:4 ()));
+    Pos.generic (Pos.empty (s ()) (Pos.config ~leaf_target:256 ()));
+    Mvbt.generic
+      (Mvbt.empty (s ()) (Mvbt.config ~leaf_capacity:4 ~internal_capacity:5 ()));
+    Prolly.generic (Prolly.empty (s ())) ]
+
+let op_gen =
+  QCheck.Gen.(
+    list_size (0 -- 80)
+      (map2
+         (fun del (k, v) -> if del then Kv.Del k else Kv.Put (k, v))
+         (frequency [ (1, return true); (3, return false) ])
+         (pair
+            (string_size ~gen:(char_range 'a' 'e') (1 -- 4))
+            (string_size (0 -- 10)))))
+
+(* Same alphabet as the op keys, so query lists mix hits and misses. *)
+let keys_gen =
+  QCheck.Gen.(list_size (0 -- 60) (string_size ~gen:(char_range 'a' 'f') (1 -- 4)))
+
+(* --- cached == uncached ---------------------------------------------------- *)
+
+let qcheck_cache_transparent =
+  QCheck.Test.make
+    ~name:"cached lookups agree with uncached, every kind" ~count:50
+    (QCheck.make QCheck.Gen.(pair op_gen keys_gen))
+    (fun (ops, queries) ->
+      List.for_all2
+        (fun plain cached ->
+          let p = plain.Generic.batch ops
+          and c = cached.Generic.batch ops in
+          (* Caching must not perturb commits either. *)
+          Siri_crypto.Hash.equal p.Generic.root c.Generic.root
+          && List.for_all
+               (fun k ->
+                 (* Twice: the second pass reads back what the first pass
+                    put into the cache. *)
+                 p.Generic.lookup k = c.Generic.lookup k
+                 && p.Generic.lookup k = c.Generic.lookup k)
+               queries)
+        (makers ~cache_bytes:0 ())
+        (makers ~cache_bytes:Node_cache.default_budget ()))
+
+(* A tiny budget forces constant eviction; answers must not change. *)
+let qcheck_cache_thrashing =
+  QCheck.Test.make ~name:"thrashing cache still answers correctly" ~count:30
+    (QCheck.make QCheck.Gen.(pair op_gen keys_gen))
+    (fun (ops, queries) ->
+      List.for_all2
+        (fun plain small ->
+          let p = plain.Generic.batch ops
+          and s = small.Generic.batch ops in
+          List.for_all (fun k -> p.Generic.lookup k = s.Generic.lookup k) queries)
+        (makers ~cache_bytes:0 ())
+        (makers ~cache_bytes:512 ()))
+
+(* --- get_many == map lookup ------------------------------------------------ *)
+
+let qcheck_get_many =
+  QCheck.Test.make
+    ~name:"get_many agrees with one-at-a-time lookup, every kind" ~count:50
+    (QCheck.make QCheck.Gen.(pair op_gen keys_gen))
+    (fun (ops, queries) ->
+      List.for_all
+        (fun inst ->
+          let t = inst.Generic.batch ops in
+          t.Generic.get_many queries
+          = List.map (fun k -> (k, t.Generic.lookup k)) queries)
+        (makers ~cache_bytes:Node_cache.default_budget ()))
+
+let qcheck_get_many_filtered =
+  QCheck.Test.make
+    ~name:"filtered Generic.get/get_many agree with raw lookups" ~count:50
+    (QCheck.make QCheck.Gen.(pair keys_gen keys_gen))
+    (fun (put_keys, queries) ->
+      let entries =
+        List.map (fun k -> (k, "v" ^ k)) (List.sort_uniq compare put_keys)
+      in
+      List.for_all
+        (fun inst ->
+          (* load_sorted registers the root's Bloom filter, so these go
+             through the negative-lookup short-circuit. *)
+          let t = Generic.load_sorted inst entries in
+          Generic.get_many t queries
+          = List.map (fun k -> (k, t.Generic.lookup k)) queries
+          && List.for_all
+               (fun k -> Generic.get t k = t.Generic.lookup k)
+               queries)
+        (makers ~cache_bytes:0 ()))
+
+(* --- Bloom filter ---------------------------------------------------------- *)
+
+let qcheck_bloom_no_false_negative =
+  QCheck.Test.make ~name:"bloom: zero false negatives" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (0 -- 200) (string_size (0 -- 30))))
+    (fun keys ->
+      let f = Bloom.of_keys keys in
+      List.for_all (fun k -> Bloom.mem f k) keys)
+
+let qcheck_bloom_copy_extends =
+  QCheck.Test.make ~name:"bloom: copy + add keeps all old and new keys"
+    ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (0 -- 50) (string_size (0 -- 10)))
+           (list_size (0 -- 50) (string_size (0 -- 10)))))
+    (fun (old_keys, new_keys) ->
+      let f = Bloom.of_keys old_keys in
+      let g = Bloom.copy f in
+      Bloom.add_all g new_keys;
+      List.for_all (Bloom.mem g) old_keys
+      && List.for_all (Bloom.mem g) new_keys)
+
+let test_bloom_false_positive_rate () =
+  let n = 10_000 in
+  let f = Bloom.of_keys (List.init n (Printf.sprintf "member-%d")) in
+  let fp = ref 0 in
+  for i = 0 to n - 1 do
+    if Bloom.mem f (Printf.sprintf "absent-%d" i) then incr fp
+  done;
+  let rate = float_of_int !fp /. float_of_int n in
+  (* ~0.8% expected at 10 bits/key; 3% leaves slack, zero means broken. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "fp rate %.4f within (0, 0.03)" rate)
+    true
+    (rate < 0.03);
+  Alcotest.(check bool) "filter actually discriminates" true (!fp < n / 2)
+
+(* --- Lru_cache (cost-budget functor) --------------------------------------- *)
+
+module Slru = Siri_readpath.Lru_cache.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end)
+
+let test_lru_cache_budget () =
+  let c = Slru.create ~budget:100 in
+  Slru.insert c "a" ~cost:40 1;
+  Slru.insert c "b" ~cost:40 2;
+  Slru.insert c "c" ~cost:40 3;
+  (* 120 > 100: the least recent entry (a) went. *)
+  Alcotest.(check (option int)) "a evicted" None (Slru.find c "a");
+  Alcotest.(check (option int)) "b stays" (Some 2) (Slru.find c "b");
+  Alcotest.(check (option int)) "c stays" (Some 3) (Slru.find c "c");
+  Alcotest.(check int) "one eviction" 1 (Slru.evictions c);
+  Alcotest.(check int) "cost tracked" 80 (Slru.cost c)
+
+let test_lru_cache_recency () =
+  let c = Slru.create ~budget:3 in
+  Slru.insert c "a" ~cost:1 1;
+  Slru.insert c "b" ~cost:1 2;
+  Slru.insert c "c" ~cost:1 3;
+  ignore (Slru.find c "a");
+  Slru.insert c "d" ~cost:1 4;
+  (* a was refreshed, so b (second-oldest) is the victim. *)
+  Alcotest.(check (option int)) "a survives" (Some 1) (Slru.find c "a");
+  Alcotest.(check (option int)) "b evicted" None (Slru.find c "b");
+  Alcotest.(check (option int)) "d resident" (Some 4) (Slru.find c "d")
+
+let test_lru_cache_replace () =
+  let c = Slru.create ~budget:10 in
+  Slru.insert c "a" ~cost:4 1;
+  Slru.insert c "a" ~cost:6 2;
+  Alcotest.(check (option int)) "replaced value" (Some 2) (Slru.find c "a");
+  Alcotest.(check int) "cost is the new cost" 6 (Slru.cost c);
+  Alcotest.(check int) "still one entry" 1 (Slru.size c);
+  (* Oversized replacement drains the cache, including the entry itself. *)
+  Slru.insert c "a" ~cost:11 3;
+  Alcotest.(check int) "drained" 0 (Slru.size c);
+  Alcotest.(check int) "no cost held" 0 (Slru.cost c)
+
+let test_lru_cache_oversized () =
+  let c = Slru.create ~budget:10 in
+  Slru.insert c "big" ~cost:11 1;
+  Alcotest.(check (option int)) "never admitted" None (Slru.find c "big");
+  Alcotest.(check int) "no eviction counted" 0 (Slru.evictions c)
+
+let test_lru_cache_remove_resize_clear () =
+  let c = Slru.create ~budget:10 in
+  List.iter (fun (k, v) -> Slru.insert c k ~cost:2 v)
+    [ ("a", 1); ("b", 2); ("c", 3); ("d", 4); ("e", 5) ];
+  Alcotest.(check bool) "remove hit" true (Slru.remove c "c");
+  Alcotest.(check bool) "remove miss" false (Slru.remove c "zz");
+  Alcotest.(check int) "cost after remove" 8 (Slru.cost c);
+  Alcotest.(check int) "removals are not evictions" 0 (Slru.evictions c);
+  Slru.resize c ~budget:4;
+  Alcotest.(check int) "resize evicts to fit" 4 (Slru.cost c);
+  Alcotest.(check int) "two entries left" 2 (Slru.size c);
+  (* The two most recent survive. *)
+  Alcotest.(check (option int)) "d survives" (Some 4) (Slru.find c "d");
+  Alcotest.(check (option int)) "e survives" (Some 5) (Slru.find c "e");
+  Slru.clear c;
+  Alcotest.(check int) "clear empties" 0 (Slru.size c);
+  Slru.insert c "x" ~cost:1 9;
+  Alcotest.(check (option int)) "usable after clear" (Some 9) (Slru.find c "x")
+
+(* --- SIRI_NODE_CACHE override ---------------------------------------------- *)
+
+let test_env_override () =
+  let with_env v f =
+    Unix.putenv "SIRI_NODE_CACHE" v;
+    Fun.protect ~finally:(fun () -> Unix.putenv "SIRI_NODE_CACHE" "") f
+  in
+  Unix.putenv "SIRI_NODE_CACHE" "";
+  Alcotest.(check (option int)) "empty = unset" None (Node_cache.budget_from_env ());
+  with_env "1048576" (fun () ->
+      Alcotest.(check (option int)) "bytes parsed" (Some 1_048_576)
+        (Node_cache.budget_from_env ());
+      let c = Node_cache.create () in
+      Alcotest.(check int) "create honours env" 1_048_576 (Node_cache.budget c);
+      Alcotest.(check bool) "enabled" true (Node_cache.enabled c));
+  with_env "0" (fun () ->
+      Alcotest.(check (option int)) "0 disables" (Some 0)
+        (Node_cache.budget_from_env ());
+      Alcotest.(check bool) "disabled" false
+        (Node_cache.enabled (Node_cache.create ())));
+  with_env "-7" (fun () ->
+      Alcotest.(check (option int)) "negative clamps to 0" (Some 0)
+        (Node_cache.budget_from_env ()));
+  with_env "64mb" (fun () ->
+      Alcotest.(check (option int)) "junk ignored" None
+        (Node_cache.budget_from_env ()));
+  (* Explicit argument beats the env. *)
+  with_env "999" (fun () ->
+      Alcotest.(check int) "explicit budget wins" 123
+        (Node_cache.budget (Node_cache.create ~budget:123 ())))
+
+(* --- tamper invalidation ---------------------------------------------------- *)
+
+let test_tamper_invalidates_cache () =
+  let store = Store.create ~cache_bytes:Node_cache.default_budget () in
+  let t =
+    List.fold_left
+      (fun t i -> Mpt.insert t (Printf.sprintf "key-%03d" i) "v")
+      (Mpt.empty store)
+      (List.init 50 Fun.id)
+  in
+  (* Warm the cache on the root. *)
+  Alcotest.(check (option string)) "present" (Some "v") (Mpt.lookup t "key-007");
+  Alcotest.(check bool) "root cached" true
+    (Node_cache.hits (Store.cache store) >= 0);
+  ignore (Store.remove_node store (Mpt.root t));
+  (* The removed node must not be served from the cache. *)
+  Alcotest.check_raises "read-through sees the removal" Not_found (fun () ->
+      ignore (Mpt.lookup t "key-007"))
+
+(* --- engine reads ----------------------------------------------------------- *)
+
+let test_engine_reads () =
+  let store = Store.create ~cache_bytes:Node_cache.default_budget () in
+  let eng = Engine.create ~empty_index:(Mpt.generic (Mpt.empty store)) in
+  let entries = List.init 40 (fun i -> (Printf.sprintf "k%02d" i, "v0")) in
+  ignore (Engine.commit_bulk eng ~branch:"master" ~message:"bulk" entries);
+  ignore
+    (Engine.commit eng ~branch:"master" ~message:"delta"
+       [ Kv.Put ("k05", "v1"); Kv.Del ("k06"); Kv.Put ("new", "n") ]);
+  Alcotest.(check (option string)) "updated" (Some "v1")
+    (Engine.get eng ~branch:"master" "k05");
+  Alcotest.(check (option string)) "deleted" None
+    (Engine.get eng ~branch:"master" "k06");
+  Alcotest.(check (option string)) "added" (Some "n")
+    (Engine.get eng ~branch:"master" "new");
+  Alcotest.(check (option string)) "absent" None
+    (Engine.get eng ~branch:"master" "nope");
+  let queries = [ "k01"; "nope"; "k05"; "k06"; "new"; "k01" ] in
+  Alcotest.(check bool) "get_many = map get" true
+    (Engine.get_many eng ~branch:"master" queries
+    = List.map (fun k -> (k, Engine.get eng ~branch:"master" k)) queries);
+  (* The commits propagated a filter to the head root, and an absent key
+     is answered without touching the index. *)
+  let head_root = (Engine.head eng "master").Engine.index_root in
+  Alcotest.(check bool) "filter propagated" true
+    (Option.is_some (Store.root_filter store head_root));
+  let sink = Telemetry.create () in
+  Store.set_sink store sink;
+  ignore (Engine.get eng ~branch:"master" "definitely-absent");
+  Store.set_sink store Telemetry.null;
+  Alcotest.(check int) "filter short-circuits the miss" 1
+    (Telemetry.counter sink "read.filter.skip")
+
+let test_hit_miss_telemetry () =
+  let store = Store.create ~cache_bytes:Node_cache.default_budget () in
+  let inst =
+    Generic.load_sorted
+      (Mpt.generic (Mpt.empty store))
+      (List.init 60 (fun i -> (Printf.sprintf "k%03d" i, "v")))
+  in
+  let sink = Telemetry.create () in
+  Store.set_sink store sink;
+  ignore (Generic.get inst "k010") (* cold: decodes at least one node *);
+  ignore (Generic.get inst "k010") (* warm: pure cache hits *);
+  Store.set_sink store Telemetry.null;
+  Alcotest.(check int) "one miss-tier lookup" 1
+    (Telemetry.counter sink "read.lookup.miss");
+  Alcotest.(check int) "one hit-tier lookup" 1
+    (Telemetry.counter sink "read.lookup.hit");
+  Alcotest.(check bool) "node hits recorded" true
+    (Telemetry.counter sink "cache.node.hit" > 0)
+
+let () =
+  Alcotest.run "readpath"
+    [ ( "equivalence",
+        [ QCheck_alcotest.to_alcotest qcheck_cache_transparent;
+          QCheck_alcotest.to_alcotest qcheck_cache_thrashing;
+          QCheck_alcotest.to_alcotest qcheck_get_many;
+          QCheck_alcotest.to_alcotest qcheck_get_many_filtered ] );
+      ( "bloom",
+        [ QCheck_alcotest.to_alcotest qcheck_bloom_no_false_negative;
+          QCheck_alcotest.to_alcotest qcheck_bloom_copy_extends;
+          Alcotest.test_case "false positive rate" `Quick
+            test_bloom_false_positive_rate ] );
+      ( "lru cache",
+        [ Alcotest.test_case "byte budget" `Quick test_lru_cache_budget;
+          Alcotest.test_case "recency" `Quick test_lru_cache_recency;
+          Alcotest.test_case "replace" `Quick test_lru_cache_replace;
+          Alcotest.test_case "oversized" `Quick test_lru_cache_oversized;
+          Alcotest.test_case "remove/resize/clear" `Quick
+            test_lru_cache_remove_resize_clear ] );
+      ( "integration",
+        [ Alcotest.test_case "env override" `Quick test_env_override;
+          Alcotest.test_case "tamper invalidation" `Quick
+            test_tamper_invalidates_cache;
+          Alcotest.test_case "engine reads" `Quick test_engine_reads;
+          Alcotest.test_case "hit/miss telemetry" `Quick
+            test_hit_miss_telemetry ] ) ]
