@@ -16,11 +16,16 @@
 #   make read    — run the read-path suite twice, with the decoded-node
 #                  cache forced off and to its 64 MiB default via
 #                  SIRI_NODE_CACHE: cached and uncached answers must agree.
+#   make pack    — run the pack-backend crash simulator on its own:
+#                  every-byte-offset truncation of segments, offset index
+#                  and journal, seeded bit-flip storms, compaction
+#                  kill-points, and the rebuilt-index ≡ persisted-index
+#                  property, under the same pinned seed.
 
 DUNE ?= dune
 QCHECK_SEED ?= 20260806
 
-.PHONY: all build test smoke crash par read check bench clean
+.PHONY: all build test smoke crash par read pack check bench clean
 
 all: build
 
@@ -44,7 +49,10 @@ read: build
 	SIRI_NODE_CACHE=0 QCHECK_SEED=$(QCHECK_SEED) $(DUNE) exec test/test_readpath.exe
 	SIRI_NODE_CACHE=67108864 QCHECK_SEED=$(QCHECK_SEED) $(DUNE) exec test/test_readpath.exe
 
-check: build test smoke crash par read
+pack: build
+	QCHECK_SEED=$(QCHECK_SEED) $(DUNE) exec test/test_pack.exe
+
+check: build test smoke crash par read pack
 	@echo "check: OK"
 
 bench:

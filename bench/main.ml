@@ -33,6 +33,7 @@ let experiments =
     ("eta-dag", "extension: dedup of branching version DAGs", Theory.eta_dag);
     ("proofs", "extension: point & range proof sizes", Fig_proofs.run);
     ("wal", "extension: WAL commit & recovery throughput", Fig_wal.run);
+    ("pack", "extension: pack-file backend vs snapshot (reopen & cold reads)", Fig_pack.run);
     ("parallel", "extension: domain sweep of the parallel commit pipeline", Fig_parallel.run);
     ("readpath", "extension: decoded-node cache, batched get, Bloom filters", Fig_readpath.run);
     ("batch", "ablation: write batch size vs throughput", Fig_throughput.batch_throughput);

@@ -482,6 +482,47 @@ let snapshot_cmd =
        ~doc:"Build an index from a TSV file and save the node store to SNAPSHOT.")
     Term.(const run $ index_arg $ file_arg 0 "FILE" $ out_arg)
 
+module Pack = Siri_pack.Pack
+
+let scrub_backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("store", `Store); ("pack", `Pack) ]) `Store
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "What TARGET is: $(b,store) (default), a saved node-store \
+           snapshot file, or $(b,pack), a log-structured pack directory.")
+
+let scrub_pack dir =
+  match Pack.open_ dir with
+  | Error (`Tampered msg) ->
+      Printf.eprintf "scrub: %s\n" msg;
+      2
+  | Ok (p, r) ->
+      let corrupt = Pack.scrub p in
+      Printf.printf "segments   : %d\n" (List.length (Pack.segment_ids p));
+      Printf.printf "records    : %d\n" (Pack.count p);
+      Printf.printf "bytes      : %s\n" (Table.fmt_bytes (Pack.stored_bytes p));
+      Printf.printf "clamped    : %d byte%s of torn tail\n" r.Pack.clamped_bytes
+        (if r.Pack.clamped_bytes = 1 then "" else "s");
+      if r.Pack.index_rebuilt then print_endline "index      : rebuilt from segments";
+      List.iter
+        (fun h -> Printf.printf "corrupt    : %s\n" (Hash.to_hex h))
+        corrupt;
+      Pack.close p;
+      if corrupt <> [] then begin
+        print_endline "=> unrecoverable corruption found";
+        2
+      end
+      else if r.Pack.clamped_bytes > 0 then begin
+        print_endline "=> recovered (torn segment tail clamped)";
+        1
+      end
+      else begin
+        print_endline "=> pack is intact";
+        0
+      end
+
 let scrub_cmd =
   let strict =
     Arg.(
@@ -489,32 +530,158 @@ let scrub_cmd =
       & info [ "strict" ]
         ~doc:
           "Verify digests while loading and reject the file outright on any \
-           damage, instead of best-effort loading followed by a scrub report.")
+           damage, instead of best-effort loading followed by a scrub report \
+           ($(b,--backend store) only).")
   in
-  let run strict path =
-    match Store.load_checked ~verify:strict path with
-    | Error (`Malformed msg) ->
-        Printf.eprintf "scrub: %s\n" msg;
-        2
-    | Ok store ->
-        let report = Store.scrub store in
-        Format.printf "%a" Store.pp_scrub_report report;
-        if Store.scrub_clean report then begin
-          print_endline "=> store is intact";
-          0
-        end
-        else begin
-          print_endline "=> integrity violations found";
-          1
-        end
+  let run strict backend path =
+    match backend with
+    | `Pack -> scrub_pack path
+    | `Store -> (
+        match Store.load_checked ~verify:strict path with
+        | Error (`Malformed msg) ->
+            Printf.eprintf "scrub: %s\n" msg;
+            2
+        | Ok store ->
+            let report = Store.scrub store in
+            Format.printf "%a" Store.pp_scrub_report report;
+            if Store.scrub_clean report then begin
+              print_endline "=> store is intact";
+              0
+            end
+            else begin
+              print_endline "=> integrity violations found";
+              1
+            end)
+  in
+  let target_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET")
   in
   Cmd.v
     (Cmd.info "scrub"
        ~doc:
-         "Audit a saved node store: re-hash every payload against its digest \
-          and check that every declared child resolves.  Exits 1 on \
-          integrity violations, 2 if the file is unreadable.")
-    Term.(const run $ strict $ file_arg 0 "SNAPSHOT")
+         "Audit stored nodes: re-hash every payload against its digest.  \
+          $(b,--backend store) audits a snapshot file (exit 1 on integrity \
+          violations, 2 if unreadable).  $(b,--backend pack) audits a pack \
+          directory (exit 1 when only a torn segment tail was clamped, 2 on \
+          unrecoverable damage: corrupt manifest, missing segment or \
+          mid-segment checksum mismatch).")
+    Term.(const run $ strict $ scrub_backend_arg $ target_arg)
+
+(* --- pack: build / migrate / compact ------------------------------------------ *)
+
+let pack_summary p =
+  Printf.printf "records  : %d\n" (Pack.count p);
+  Printf.printf "segments : %s\n"
+    (String.concat ", "
+       (List.map Siri_pack.Segment.filename (Pack.segment_ids p)));
+  Printf.printf "bytes    : %s\n" (Table.fmt_bytes (Pack.stored_bytes p))
+
+let pack_cmd =
+  let from_snapshot =
+    Arg.(
+      value & flag
+      & info [ "from-snapshot" ]
+          ~doc:
+            "Treat SRC as a saved node-store snapshot instead of a TSV \
+             dataset and migrate every node into the pack — the snapshot \
+             format stays readable precisely so existing stores can move \
+             to the pack backend.")
+  in
+  let out_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"DIR")
+  in
+  let run kind from_snapshot src dir =
+    match Pack.open_ dir with
+    | Error (`Tampered msg) ->
+        Printf.eprintf "pack: %s\n" msg;
+        2
+    | Ok (p, _) ->
+        if from_snapshot then begin
+          let loaded = Store.load src in
+          let batch = ref [] in
+          Store.iter_nodes loaded (fun bytes children ->
+              batch := (Hash.of_string bytes, bytes, children) :: !batch);
+          Pack.append p (List.rev !batch)
+        end
+        else begin
+          (* Write-through build: every fresh node the index creates goes
+             straight to the pack. *)
+          let store = Store.create () in
+          Pack.attach p store;
+          let inst = Generic.of_entries (make kind store) (read_tsv src) in
+          Printf.printf "root     : %s\n" (Hash.to_hex inst.Generic.root)
+        end;
+        pack_summary p;
+        Pack.close p;
+        0
+  in
+  Cmd.v
+    (Cmd.info "pack"
+       ~doc:
+         "Build a log-structured pack directory from a TSV dataset (or, \
+          with $(b,--from-snapshot), migrate a saved node store into one).")
+    Term.(const run $ index_arg $ from_snapshot $ file_arg 0 "SRC" $ out_arg)
+
+let compact_cmd =
+  let roots =
+    Arg.(
+      value & opt_all string []
+      & info [ "root" ] ~docv:"HASH"
+          ~doc:
+            "Hex hash of a live root; repeatable.  Everything reachable \
+             from the given roots survives, the rest is dropped.  With no \
+             roots the pack is left untouched.")
+  in
+  let run roots dir =
+    match Pack.open_ dir with
+    | Error (`Tampered msg) ->
+        Printf.eprintf "compact: %s\n" msg;
+        2
+    | Ok (p, _) -> (
+        match List.map Hash.of_hex roots with
+        | exception Invalid_argument _ ->
+            Printf.eprintf "compact: malformed --root hash\n";
+            Pack.close p;
+            2
+        | [] ->
+            print_endline "no roots given; nothing dropped";
+            pack_summary p;
+            Pack.close p;
+            0
+        | roots -> (
+            match List.find_opt (fun h -> not (Pack.mem p h)) roots with
+            | Some h ->
+                Printf.eprintf "compact: root %s not in pack\n" (Hash.to_hex h);
+                Pack.close p;
+                2
+            | None ->
+                (* Reachability closure through the pack's child lists. *)
+                let live = ref Hash.Set.empty in
+                let rec walk h =
+                  if (not (Hash.Set.mem h !live)) && Pack.mem p h then begin
+                    live := Hash.Set.add h !live;
+                    match Pack.get p h with
+                    | Some (_, children) -> List.iter walk children
+                    | None -> ()
+                  end
+                in
+                List.iter walk roots;
+                let dropped = Pack.compact p ~live:!live in
+                Printf.printf "dropped  : %d record%s\n" (List.length dropped)
+                  (if List.length dropped = 1 then "" else "s");
+                pack_summary p;
+                Pack.close p;
+                0))
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:
+         "Compact a pack directory: rewrite the records reachable from the \
+          given $(b,--root) hashes into fresh segments, atomically flip the \
+          manifest, and delete the old segments.")
+    Term.(
+      const run $ roots
+      $ Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"))
 
 (* --- durability: recover / checkpoint ---------------------------------------- *)
 
@@ -525,11 +692,22 @@ module Durable = Siri_wal.Durable
 let dir_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR")
 
+let durable_backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("snapshot", `Snapshot); ("pack", `Pack) ]) `Snapshot
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Checkpoint backend the directory was created with: \
+           $(b,snapshot) (default) or $(b,pack).")
+
 (* Shared by recover and checkpoint: open (recovering), print the report,
    optionally checkpoint, and exit with the established convention —
    0 clean, 1 recovered-with-clamp, 2 unrecoverable. *)
-let durable_run ~checkpoint kind dir =
-  match Durable.open_ ~dir ~empty_index:(make kind (Store.create ())) () with
+let durable_run ~checkpoint kind backend dir =
+  match
+    Durable.open_ ~backend ~dir ~empty_index:(make kind (Store.create ())) ()
+  with
   | Error e ->
       Format.eprintf "recover: %a@." Wal.pp_error e;
       2
@@ -574,7 +752,9 @@ let recover_cmd =
           replay the commit journal, clamp any torn tail.  Exits 0 when the \
           journal was clean, 1 when a torn tail was clamped, 2 when the \
           directory is unrecoverable (corrupt journal or snapshot).")
-    Term.(const (durable_run ~checkpoint:false) $ index_arg $ dir_arg)
+    Term.(
+      const (durable_run ~checkpoint:false)
+      $ index_arg $ durable_backend_arg $ dir_arg)
 
 let checkpoint_cmd =
   Cmd.v
@@ -583,7 +763,9 @@ let checkpoint_cmd =
          "Recover a durable engine directory, then checkpoint it: write the \
           next-generation snapshot, atomically publish the manifest and \
           truncate the journal.  Same exit codes as $(b,recover).")
-    Term.(const (durable_run ~checkpoint:true) $ index_arg $ dir_arg)
+    Term.(
+      const (durable_run ~checkpoint:true)
+      $ index_arg $ durable_backend_arg $ dir_arg)
 
 let gen_cmd =
   let count =
@@ -607,5 +789,5 @@ let () =
   exit
     (Cmd.eval' (Cmd.group info
        [ stats_cmd; get_cmd; prove_cmd; range_cmd; diff_cmd; merge_cmd;
-         properties_cmd; snapshot_cmd; scrub_cmd; recover_cmd; checkpoint_cmd;
-         gen_cmd ]))
+         properties_cmd; snapshot_cmd; scrub_cmd; pack_cmd; compact_cmd;
+         recover_cmd; checkpoint_cmd; gen_cmd ]))

@@ -2,6 +2,7 @@ module Hash = Siri_crypto.Hash
 module Store = Siri_store.Store
 module Rng = Siri_core.Rng
 module Wire = Siri_codec.Wire
+module Telemetry = Siri_telemetry.Telemetry
 
 (* --- typed error domain ----------------------------------------------------- *)
 
@@ -32,13 +33,32 @@ let protect f =
   | exception Failure msg -> Error (`Malformed msg)
   | exception Invalid_argument msg -> Error (`Malformed msg)
 
-let retrying ?(attempts = 3) f =
-  let rec go n =
+(* The one retry loop in the system: every transient-fault consumer (the
+   forkbase Remote's flaky link, the pack segment reader, the engine's
+   [*_checked] accessors) funnels through here, so retry accounting and
+   backoff behave identically everywhere. *)
+let with_retry ?(attempts = 3) ?(backoff_s = 0.) ?sleep ?(sink = Telemetry.null)
+    f =
+  let attempts = max 1 attempts in
+  let sleep =
+    match sleep with
+    | Some s -> s
+    | None -> fun d -> if d > 0. then Unix.sleepf d
+  in
+  let rec go i =
     match protect f with
-    | Error (`Transient _) when n > 1 -> go (n - 1)
+    | Error (`Transient _) when i + 1 < attempts ->
+        Telemetry.incr sink "retry.attempt";
+        sleep (backoff_s *. float_of_int (1 lsl i));
+        go (i + 1)
+    | Error (`Transient _) as r ->
+        Telemetry.incr sink "retry.give_up";
+        r
     | r -> r
   in
-  go (max 1 attempts)
+  go 0
+
+let retrying ?attempts f = with_retry ?attempts f
 
 (* --- verified accessors ------------------------------------------------------ *)
 
@@ -157,6 +177,56 @@ let flip_blob ~seed ~rate blob =
     end
   done;
   (Bytes.unsafe_to_string b, List.rev !offsets)
+
+(* --- segment I/O gates -------------------------------------------------------- *)
+
+(* Raw-read fault injection for file-backed storage (pack segments): the
+   gate sits between the pread and the checksum verification, so an
+   injected bit flip or short read must be caught by the frame digest and
+   surface as [`Tampered], while transients exercise the retry path. *)
+
+type io_gate = {
+  io_plan : plan;
+  io_rng : Rng.t;
+  mutable io_transients : int;
+  mutable io_flips : int;
+  mutable io_truncations : int;
+}
+
+let io_gate plan =
+  { io_plan = plan;
+    io_rng = Rng.create plan.seed;
+    io_transients = 0;
+    io_flips = 0;
+    io_truncations = 0 }
+
+let gate_read g h bytes =
+  let p = g.io_plan in
+  let r = Rng.float g.io_rng in
+  if p.transient > 0. && r < p.transient then begin
+    g.io_transients <- g.io_transients + 1;
+    raise (Store.Transient h)
+  end
+  else if r < p.transient +. p.bit_flip then begin
+    g.io_flips <- g.io_flips + 1;
+    if String.length bytes = 0 then bytes
+    else begin
+      let b = Bytes.of_string bytes in
+      let i = Rng.int g.io_rng (Bytes.length b) in
+      let bit = Rng.int g.io_rng 8 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      Bytes.unsafe_to_string b
+    end
+  end
+  else if r < p.transient +. p.bit_flip +. p.truncate then begin
+    g.io_truncations <- g.io_truncations + 1;
+    String.sub bytes 0 (String.length bytes / 2)
+  end
+  else bytes
+
+let io_transients g = g.io_transients
+let io_flips g = g.io_flips
+let io_truncations g = g.io_truncations
 
 let disarm a = Store.set_read_gate a.target None
 let store a = a.target

@@ -46,10 +46,27 @@ val protect : (unit -> 'a) -> ('a, error) result
     ([Not_found], [Wire.Reader.Truncated], [Failure], [Invalid_argument])
     into {!type-error}.  Any other exception propagates. *)
 
+val with_retry :
+  ?attempts:int ->
+  ?backoff_s:float ->
+  ?sleep:(float -> unit) ->
+  ?sink:Siri_telemetry.Telemetry.sink ->
+  (unit -> 'a) ->
+  ('a, error) result
+(** The one retry loop in the system.  Like {!protect}, but a [`Transient]
+    failure is retried up to [attempts] times total (default 3, clamped to
+    at least 1), sleeping [backoff_s * 2^i] before retry [i+1] (default
+    backoff [0.], i.e. immediate).  [sleep] overrides the wall-clock sleep —
+    deployment simulations pass a function that charges simulated seconds
+    instead.  Each retry increments the [retry.attempt] counter on [sink]
+    and a final surrender increments [retry.give_up] (default sink:
+    {!Siri_telemetry.Telemetry.null}).  Non-transient results return
+    immediately. *)
+
 val retrying :
   ?attempts:int -> (unit -> 'a) -> ('a, error) result
-(** Like {!protect}, but a [`Transient] failure is retried up to [attempts]
-    times (default 3) before being surfaced. *)
+(** [with_retry ?attempts] with defaults — kept as the short name for call
+    sites that need no backoff or telemetry. *)
 
 (** {1 Verified store accessors} *)
 
@@ -104,6 +121,33 @@ val flip_blob : seed:int -> rate:float -> string -> string * int list
     damaged copy and the hit offsets in increasing order.  Deterministic
     in [seed] — the same blob and seed reproduce the same damage, so a
     crash-simulation failure replays exactly. *)
+
+(** {1 Segment I/O gates}
+
+    Raw-read fault injection for file-backed storage (pack segments).  An
+    {!io_gate} reuses the {!plan} rates but applies them to raw byte reads
+    rather than store nodes: [transient] raises {!Store.Transient} (to be
+    absorbed by {!with_retry}), [bit_flip] flips one seeded-random bit in
+    the returned bytes, [truncate] halves them.  The gate sits {e between}
+    the [pread] and the checksum verification, so injected damage must be
+    caught by the frame digest and surface as [`Tampered] — never as a
+    wrong read. *)
+
+type io_gate
+
+val io_gate : plan -> io_gate
+(** Fresh gate state seeded from [plan.seed]; draws are deterministic in
+    the read sequence. *)
+
+val gate_read : io_gate -> Hash.t -> string -> string
+(** [gate_read g h bytes] passes [bytes] through the gate: returns them
+    unchanged, damaged (flip/truncate), or raises [Store.Transient h]. *)
+
+val io_transients : io_gate -> int
+val io_flips : io_gate -> int
+
+val io_truncations : io_gate -> int
+(** Injection counters, in the order transient / bit-flip / truncation. *)
 
 val disarm : armed -> unit
 (** Remove the read gate.  Persistent corruptions remain (use

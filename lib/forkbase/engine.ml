@@ -332,30 +332,23 @@ let commit_txn txn ~message =
 
 let heads_path path = path ^ ".heads"
 
-let save ?sync t path =
-  Store.save ?sync t.store path;
-  Store.write_file_atomic ?sync (heads_path path) (fun oc ->
+let save_heads ?sync t path =
+  Store.write_file_atomic ?sync path (fun oc ->
       Hashtbl.iter
         (fun name c -> Printf.fprintf oc "%s\t%s\n" name (Hash.to_hex c.id))
         t.heads)
 
-let load ~empty_index path =
-  (* Graft the loaded nodes into the caller's (fresh) store so that the
-     index kind's closures — which are bound to that store — resolve
-     against them, then restore the branch heads. *)
-  let loaded = Store.load path in
-  let target = empty_index.Generic.store in
-  Store.iter_nodes loaded (fun bytes children ->
-      ignore (Store.put target ~children bytes));
-  Store.reset_counters target;
-  let t =
-    { store = target;
-      heads = Hashtbl.create 8;
-      reopen = empty_index.Generic.reopen }
-  in
-  ignore (Store.cleanup_stale_tmp (heads_path path) : int);
+let save ?sync t path =
+  Store.save ?sync t.store path;
+  save_heads ?sync t (heads_path path)
+
+let load_heads t path =
+  (* Restore branch heads from the TSV at [path], resolving each commit
+     through the engine's store (which may fall through to a cold
+     backend).  Returns the skipped (ghost) branch names. *)
+  ignore (Store.cleanup_stale_tmp path : int);
   let skipped = ref [] in
-  let ic = open_in (heads_path path) in
+  let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
@@ -384,6 +377,23 @@ let load ~empty_index path =
     failwith
       (if !skipped = [] then "Engine.load: no branches"
        else "Engine.load: every head references a commit absent from the store");
+  List.rev !skipped
+
+let load ~empty_index path =
+  (* Graft the loaded nodes into the caller's (fresh) store so that the
+     index kind's closures — which are bound to that store — resolve
+     against them, then restore the branch heads. *)
+  let loaded = Store.load path in
+  let target = empty_index.Generic.store in
+  Store.iter_nodes loaded (fun bytes children ->
+      ignore (Store.put target ~children bytes));
+  Store.reset_counters target;
+  let t =
+    { store = target;
+      heads = Hashtbl.create 8;
+      reopen = empty_index.Generic.reopen }
+  in
+  ignore (load_heads t (heads_path path) : string list);
   t
 
 let load_checked ~empty_index path =

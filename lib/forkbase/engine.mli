@@ -147,6 +147,18 @@ val load_checked :
     [Invalid_argument], [Wire.Reader.Truncated]) folded into a typed
     error, mirroring {!Siri_store.Store.load_checked}. *)
 
+val save_heads : ?sync:bool -> t -> string -> unit
+(** Just the branch-heads TSV, written atomically at [path] — the
+    {!save} half a pack-backed durable engine still needs when node
+    payloads live in the pack rather than a snapshot file. *)
+
+val load_heads : t -> string -> string list
+(** Restore branch heads from the TSV at [path] into [t], resolving each
+    commit through [t]'s store (falling through to its cold backend when
+    one is attached).  A head whose commit cannot be resolved is clamped
+    (dropped); the clamped branch names are returned.  Raises [Failure]
+    on malformed files or when no head survives. *)
+
 (** {2 Graceful degradation}
 
     Read operations against a store with injected (or real) faults: a

@@ -1,5 +1,7 @@
 module Store = Siri_store.Store
 module Rng = Siri_core.Rng
+module Hash = Siri_crypto.Hash
+module Fault = Siri_fault.Fault
 module Telemetry = Siri_telemetry.Telemetry
 
 type network = { rtt_s : float; bandwidth_bps : float }
@@ -22,25 +24,29 @@ type t = {
 
 let transfer t size = t.net.rtt_s +. (Float.of_int size /. t.net.bandwidth_bps)
 
-(* A request attempt may fail (flaky link); the client retries with
-   exponential backoff.  Every failed attempt still burned a round trip,
-   and the backoff itself is dead air — both are charged to simulated
-   time.  After [max_attempts] failures the client proceeds anyway: the
-   payload does exist server-side, and an unbounded loop at failure rate
-   1.0 would never terminate. *)
+(* A request attempt may fail (flaky link); [Fault.with_retry] retries
+   with exponential backoff, its [sleep] hook charging the dead air to
+   simulated time.  Every failed attempt still burned a round trip,
+   charged in the probe itself.  After [max_attempts] failures the client
+   proceeds anyway: the payload does exist server-side, and an unbounded
+   loop at failure rate 1.0 would never terminate. *)
 let max_attempts = 10
 
 let fetch t size =
-  let rec attempt i =
-    if i < max_attempts && t.failure_rate > 0. && Rng.float t.rng < t.failure_rate
-    then begin
+  let probe () =
+    if t.failure_rate > 0. && Rng.float t.rng < t.failure_rate then begin
       t.retries <- t.retries + 1;
       Telemetry.incr t.sink "remote.retry";
-      t.sim <- t.sim +. t.net.rtt_s +. (t.backoff_s *. Float.of_int (1 lsl i));
-      attempt (i + 1)
+      t.sim <- t.sim +. t.net.rtt_s;
+      raise (Store.Transient Hash.null)
     end
   in
-  attempt 0;
+  (match
+     Fault.with_retry ~attempts:max_attempts ~backoff_s:t.backoff_s
+       ~sleep:(fun d -> t.sim <- t.sim +. d)
+       ~sink:t.sink probe
+   with
+  | Ok () | Error _ -> ());
   t.sim <- t.sim +. transfer t size
 
 let on_get t h size =

@@ -77,6 +77,7 @@ let insert t h ~bytes repr =
   end
 
 let remove t h = ignore (Cache.remove t.cache h : bool)
+let remove_many t hs = List.iter (remove t) hs
 let clear t = Cache.clear t.cache
 
 let resize t ~budget =

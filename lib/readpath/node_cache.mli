@@ -60,6 +60,11 @@ val insert : t -> Siri_crypto.Hash.t -> bytes:int -> repr -> unit
 val remove : t -> Siri_crypto.Hash.t -> unit
 (** Targeted invalidation (tamper simulation, node quarantine). *)
 
+val remove_many : t -> Siri_crypto.Hash.t list -> unit
+(** Batch invalidation — used by [Store.gc] for nodes reclaimed from the
+    cold pack tier, which may be cached here without ever having been in
+    the hot table. *)
+
 val clear : t -> unit
 val resize : t -> budget:int -> unit
 

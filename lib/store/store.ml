@@ -9,6 +9,26 @@ exception Tampered of Hash.t
 
 type node = { mutable bytes : string; children : Hash.t list }
 
+(* A cold storage tier sitting below the in-memory node table.  The store
+   never names a concrete backend (the pack-file implementation lives in
+   [lib/pack] and plugs in through these closures), which keeps the
+   dependency graph acyclic: pack depends on store, not the reverse. *)
+type backend = {
+  backend_name : string;
+  backend_read : Hash.t -> (string * Hash.t list) option;
+      (** Cold read; may raise {!Transient} or {!Tampered}. *)
+  backend_mem : Hash.t -> bool;
+  backend_write : (Hash.t * string * Hash.t list) list -> unit;
+      (** Buffered append of freshly stored nodes (write-through). *)
+  backend_flush : sync:bool -> unit;  (** Group fsync of buffered appends. *)
+  backend_corrupt : unit -> Hash.t list;
+      (** Integrity scan: hashes of records failing verification. *)
+  backend_compact : live:Hash.Set.t -> Hash.t list;
+      (** Drop everything outside [live]; returns the dropped hashes. *)
+  backend_count : unit -> int;
+  backend_bytes : unit -> int;
+}
+
 type stats = {
   puts : int;
   unique_nodes : int;
@@ -37,6 +57,7 @@ type t = {
      filter was built for.  A version without a registered filter simply
      skips the short-circuit. *)
   filters : Bloom.t Hash.Table.t;
+  mutable backend : backend option;
 }
 
 let create ?cache_bytes () =
@@ -50,7 +71,8 @@ let create ?cache_bytes () =
     read_gate = None;
     sink = Telemetry.null;
     cache = Node_cache.create ?budget:cache_bytes ();
-    filters = Hash.Table.create 16 }
+    filters = Hash.Table.create 16;
+    backend = None }
 
 let add_counter c by = ignore (Atomic.fetch_and_add c by : int)
 
@@ -64,6 +86,31 @@ let set_sink t sink =
 
 let sink t = t.sink
 let cache t = t.cache
+
+(* --- cold storage tier ------------------------------------------------------ *)
+
+let set_backend t backend = t.backend <- backend
+let backend_name t = Option.map (fun b -> b.backend_name) t.backend
+
+let flush_backend ?(sync = true) t =
+  match t.backend with Some b -> b.backend_flush ~sync | None -> ()
+
+let write_through t nodes =
+  match t.backend with
+  | None -> ()
+  | Some b -> if nodes <> [] then b.backend_write nodes
+
+(* Drop the in-memory (hot) tier: every node must already be in the backend
+   (write-through guarantees it for nodes stored while attached), so
+   subsequent reads fall through to cold storage.  The decoded-node cache
+   stays — content addressing keeps it coherent across tiers. *)
+let drop_hot t =
+  match t.backend with
+  | None -> invalid_arg "Store.drop_hot: no backend attached"
+  | Some b ->
+      b.backend_flush ~sync:false;
+      Hash.Table.reset t.tbl;
+      Atomic.set t.stored_bytes 0
 
 (* --- read-path sidecars ----------------------------------------------------
 
@@ -85,7 +132,8 @@ let put t ?(children = []) bytes =
   let fresh = not (Hash.Table.mem t.tbl h) in
   if fresh then begin
     Hash.Table.add t.tbl h { bytes; children };
-    add_counter t.stored_bytes len
+    add_counter t.stored_bytes len;
+    write_through t [ (h, bytes, children) ]
   end;
   if Telemetry.enabled t.sink then begin
     Telemetry.incr t.sink "store.put";
@@ -125,6 +173,7 @@ let put_staged t staged =
      duplicate later in the batch sees the earlier node already installed. *)
   let count = ref 0 and total = ref 0 in
   let fresh_count = ref 0 and fresh_bytes = ref 0 in
+  let fresh_nodes = ref [] in
   List.iter
     (fun s ->
       let len = String.length s.node_bytes in
@@ -134,10 +183,13 @@ let put_staged t staged =
         Hash.Table.add t.tbl s.digest
           { bytes = s.node_bytes; children = s.node_children };
         incr fresh_count;
-        fresh_bytes := !fresh_bytes + len
+        fresh_bytes := !fresh_bytes + len;
+        if t.backend <> None then
+          fresh_nodes := (s.digest, s.node_bytes, s.node_children) :: !fresh_nodes
       end;
       match t.put_observer with Some f -> f s.digest len | None -> ())
     staged;
+  write_through t (List.rev !fresh_nodes);
   add_counter t.puts !count;
   add_counter t.put_bytes !total;
   add_counter t.stored_bytes !fresh_bytes;
@@ -155,9 +207,25 @@ let put_batch t items =
   put_staged t staged;
   List.map (fun s -> s.digest) staged
 
+(* Cold lookup beneath the hot table.  [backend_read] raising [Transient]
+   or [Tampered] propagates to the caller exactly like a gated fault. *)
+let cold_read t h =
+  match t.backend with
+  | None -> raise Not_found
+  | Some b -> (
+      match b.backend_read h with
+      | None -> raise Not_found
+      | Some pair ->
+          Telemetry.incr t.sink "store.get.cold";
+          pair)
+
 let get t h =
   add_counter t.gets 1;
-  let bytes = (Hash.Table.find t.tbl h).bytes in
+  let bytes =
+    match Hash.Table.find_opt t.tbl h with
+    | Some node -> node.bytes
+    | None -> fst (cold_read t h)
+  in
   (match t.read_gate with Some gate -> gate h bytes | None -> ());
   (* Telemetry counts successful reads (past the fault gate), at the same
      point the deployment-simulation observer fires — so cache hit/miss
@@ -172,9 +240,20 @@ let get t h =
   bytes
 
 let find t h = match get t h with s -> Some s | exception Not_found -> None
-let mem t h = Hash.Table.mem t.tbl h
-let children t h = (Hash.Table.find t.tbl h).children
-let size_of t h = String.length (Hash.Table.find t.tbl h).bytes
+
+let mem t h =
+  Hash.Table.mem t.tbl h
+  || match t.backend with Some b -> b.backend_mem h | None -> false
+
+let children t h =
+  match Hash.Table.find_opt t.tbl h with
+  | Some node -> node.children
+  | None -> snd (cold_read t h)
+
+let size_of t h =
+  match Hash.Table.find_opt t.tbl h with
+  | Some node -> String.length node.bytes
+  | None -> String.length (fst (cold_read t h))
 
 let iter_nodes t f =
   Hash.Table.iter (fun _ node -> f node.bytes node.children) t.tbl
@@ -193,15 +272,21 @@ let reset_counters t =
 
 let reachable_many t roots =
   let visited = ref Hash.Set.empty in
+  let children_opt h =
+    match Hash.Table.find_opt t.tbl h with
+    | Some node -> Some node.children
+    | None -> (
+        match t.backend with
+        | None -> None
+        | Some b -> Option.map snd (b.backend_read h))
+  in
   let rec walk h =
-    if
-      (not (Hash.is_null h))
-      && (not (Hash.Set.mem h !visited))
-      && Hash.Table.mem t.tbl h
-    then begin
-      visited := Hash.Set.add h !visited;
-      List.iter walk (Hash.Table.find t.tbl h).children
-    end
+    if (not (Hash.is_null h)) && not (Hash.Set.mem h !visited) then
+      match children_opt h with
+      | None -> ()
+      | Some children ->
+          visited := Hash.Set.add h !visited;
+          List.iter walk children
   in
   List.iter walk roots;
   !visited
@@ -213,7 +298,13 @@ let bytes_of_set t set =
     (fun h acc ->
       match Hash.Table.find_opt t.tbl h with
       | Some n -> acc + String.length n.bytes
-      | None -> acc)
+      | None -> (
+          match t.backend with
+          | None -> acc
+          | Some b -> (
+              match b.backend_read h with
+              | Some (bytes, _) -> acc + String.length bytes
+              | None | (exception _) -> acc)))
     set 0
 
 let gc t ~roots =
@@ -230,16 +321,27 @@ let gc t ~roots =
       Hash.Table.remove t.tbl h;
       Node_cache.remove t.cache h)
     dead;
+  (* The backend compacts against the same live set; nodes it drops may be
+     absent from the hot table (after [drop_hot]) but could still sit in the
+     decoded-node cache, so each dropped hash is invalidated there too. *)
+  let backend_dropped =
+    match t.backend with
+    | None -> []
+    | Some b ->
+        let dropped = b.backend_compact ~live in
+        Node_cache.remove_many t.cache dropped;
+        dropped
+  in
   (* Filters for roots that were collected describe versions that no longer
      exist; drop them so the registry cannot outgrow the store. *)
   let stale =
     Hash.Table.fold
-      (fun root _ acc ->
-        if Hash.Table.mem t.tbl root then acc else root :: acc)
+      (fun root _ acc -> if mem t root then acc else root :: acc)
       t.filters []
   in
   List.iter (Hash.Table.remove t.filters) stale;
-  List.length dead
+  Hash.Set.cardinal
+    (Hash.Set.union (Hash.Set.of_list dead) (Hash.Set.of_list backend_dropped))
 
 (* --- persistence ---------------------------------------------------------- *)
 
@@ -279,6 +381,20 @@ let cleanup_stale_tmp path =
           else removed)
         0 names
 
+(* A rename is not durable until the containing directory's entry table is
+   on disk: on ext4 an fsync of the file alone can survive a crash while
+   the rename itself is lost, resurrecting the old name.  Every atomic
+   replacement therefore ends with an fsync of the parent directory.
+   Failures are swallowed — some filesystems refuse fsync on directories,
+   and a failed directory sync only weakens durability, never integrity. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
 let write_file_atomic ?(sync = true) path writer =
   let tmp = fresh_tmp path in
   let oc = open_out_bin tmp in
@@ -291,7 +407,8 @@ let write_file_atomic ?(sync = true) path writer =
      close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  if sync then fsync_dir (Filename.dirname path)
 
 (* Insert a node under an explicit key without re-hashing — the load path
    needs this so that a node whose recorded digest no longer matches its
@@ -460,6 +577,17 @@ let scrub ?roots t =
             dangling := (h, c) :: !dangling)
         node.children)
     t.tbl;
+  (* The cold tier is audited by its own scan (frame checksums plus node
+     re-hash); its findings merge into the same report.  Records present in
+     both tiers are deduplicated by the sort below. *)
+  (match t.backend with
+  | None -> ()
+  | Some b ->
+      List.iter
+        (fun h ->
+          incr scanned;
+          if not (List.mem h !corrupt) then corrupt := h :: !corrupt)
+        (b.backend_corrupt ()));
   let orphaned =
     match roots with
     | None -> []

@@ -178,6 +178,53 @@ val set_read_gate : t -> (Hash.t -> string -> unit) option -> unit
     its key — this is the injection point used by [Siri_fault.Fault].
     Integrity scrubbing ({!scrub}) bypasses the gate. *)
 
+(** {2 Cold storage tier}
+
+    A store may delegate cold storage to a pluggable {!backend} — in
+    practice the log-structured pack-file store ([Siri_pack.Pack]), attached
+    via its [Pack.attach].  With a backend attached the in-memory node table
+    becomes the {e hot} tier: every fresh {!put} is written through to the
+    backend (buffered; {!flush_backend} is the group-fsync point), and a
+    read that misses the table falls through to a cold backend read (metered
+    as [store.get.cold]).  The decoded-node cache ({!cache}) sits above both
+    tiers and needs no extra invalidation — content addressing keeps a
+    cached decoding valid wherever the bytes live.  {!scrub} merges the
+    backend's own integrity scan into its report, and {!gc} compacts the
+    backend against the same live set it sweeps the table with. *)
+
+type backend = {
+  backend_name : string;
+  backend_read : Hash.t -> (string * Hash.t list) option;
+      (** Cold read of payload and children; may raise {!Transient} (the
+          retryable read fault) or {!Tampered} (checksum mismatch). *)
+  backend_mem : Hash.t -> bool;
+  backend_write : (Hash.t * string * Hash.t list) list -> unit;
+      (** Append freshly stored nodes (buffered until [backend_flush]). *)
+  backend_flush : sync:bool -> unit;
+  backend_corrupt : unit -> Hash.t list;
+      (** Integrity scan of cold storage: records failing verification. *)
+  backend_compact : live:Hash.Set.t -> Hash.t list;
+      (** Reclaim everything outside [live]; returns the dropped hashes so
+          the caller can invalidate caches. *)
+  backend_count : unit -> int;
+  backend_bytes : unit -> int;
+}
+
+val set_backend : t -> backend option -> unit
+val backend_name : t -> string option
+
+val flush_backend : ?sync:bool -> t -> unit
+(** Flush buffered write-through appends; with [sync] (the default) this is
+    the backend's group-fsync point — one fsync covers every node stored
+    since the last flush. *)
+
+val drop_hot : t -> unit
+(** Clear the in-memory tier, leaving all reads to the backend — the cold
+    state a process reopening a pack directory starts from, reproduced
+    in-process for tests and cold-read benchmarks.  Flushes buffered appends
+    first.  Raises [Invalid_argument] without a backend (dropping the table
+    would lose data). *)
+
 (** {2 Page sets and reachability} *)
 
 val reachable : t -> Hash.t -> Hash.Set.t
@@ -194,8 +241,10 @@ val bytes_of_set : t -> Hash.Set.t -> int
 (** {2 Garbage collection} *)
 
 val gc : t -> roots:Hash.t list -> int
-(** Drop every node not reachable from [roots]; returns how many nodes were
-    reclaimed. *)
+(** Drop every node not reachable from [roots]; returns how many distinct
+    nodes were reclaimed.  With a backend attached the backend is compacted
+    against the same live set (its reclaimed records count too), and every
+    dropped hash is invalidated in the decoded-node cache. *)
 
 (** {2 Persistence}
 
@@ -220,8 +269,16 @@ val cleanup_stale_tmp : string -> int
 
 val write_file_atomic : ?sync:bool -> string -> (out_channel -> unit) -> unit
 (** The tmp+fsync+rename primitive underlying {!save}, exposed for the
-    other persistence layers (engine heads, WAL manifest) so every file
-    in the system is replaced with the same crash-safe protocol. *)
+    other persistence layers (engine heads, WAL manifest, pack index) so
+    every file in the system is replaced with the same crash-safe protocol.
+    With [sync] the replacement ends with {!fsync_dir} on the parent — a
+    rename alone is not durable on ext4. *)
+
+val fsync_dir : string -> unit
+(** Fsync a directory so a just-created or just-renamed entry inside it
+    survives a crash.  Best-effort: errors (including filesystems that
+    refuse directory fsync) are swallowed — a failed directory sync can
+    weaken durability but never integrity. *)
 
 val load : ?verify:bool -> string -> t
 (** Read a store back.  Raises [Failure] on a malformed, truncated or

@@ -1,6 +1,7 @@
 module Engine = Siri_forkbase.Engine
 module Store = Siri_store.Store
 module Fault = Siri_fault.Fault
+module Pack = Siri_pack.Pack
 module Telemetry = Siri_telemetry.Telemetry
 
 let manifest_magic = "SIRIWALMANIFEST1"
@@ -8,6 +9,10 @@ let manifest_magic = "SIRIWALMANIFEST1"
 let journal_path dir = Filename.concat dir "journal"
 let manifest_path dir = Filename.concat dir "MANIFEST"
 let snapshot_path dir gen = Filename.concat dir (Printf.sprintf "store.%d" gen)
+let heads_path dir gen = snapshot_path dir gen ^ ".heads"
+let pack_dir dir = Filename.concat dir "pack"
+
+type backend = [ `Snapshot | `Pack ]
 
 type recovery = {
   generation : int;
@@ -20,6 +25,8 @@ type t = {
   dir : string;
   sync : bool;
   engine : Engine.t;
+  backend : backend;
+  pack : Pack.t option;
   mutable journal : out_channel option;
   mutable generation : int;
   mutable next_seq : int;
@@ -29,6 +36,8 @@ type t = {
 let recovery t = t.recovered
 let engine t = t.engine
 let dir t = t.dir
+let backend t = t.backend
+let pack t = t.pack
 
 let sink t = Store.sink (Engine.store t.engine)
 
@@ -112,7 +121,7 @@ let apply_record engine = function
          original merge commit: same parent, message, version and ops. *)
       ignore (Engine.commit engine ~branch:into ~message ops : Engine.commit)
 
-let open_ ?(sync = true) ~dir ~empty_index () =
+let open_ ?(sync = true) ?(backend = `Snapshot) ~dir ~empty_index () =
   match
     if Sys.file_exists dir then
       if Sys.is_directory dir then Ok ()
@@ -130,14 +139,37 @@ let open_ ?(sync = true) ~dir ~empty_index () =
       | Error _ as e -> e
       | Ok manifest -> (
           let engine_r =
-            match manifest with
-            | None -> Ok (Engine.create ~empty_index, 0, 0)
-            | Some (generation, seq) -> (
-                match
-                  Engine.load_checked ~empty_index (snapshot_path dir generation)
-                with
-                | Ok engine -> Ok (engine, generation, seq)
-                | Error (`Malformed _) as e -> e)
+            match backend with
+            | `Snapshot -> (
+                match manifest with
+                | None -> Ok (Engine.create ~empty_index, 0, 0, None)
+                | Some (generation, seq) -> (
+                    match
+                      Engine.load_checked ~empty_index
+                        (snapshot_path dir generation)
+                    with
+                    | Ok engine -> Ok (engine, generation, seq, None)
+                    | Error (`Malformed _) as e -> e))
+            | `Pack -> (
+                (* Node payloads live in the pack, so the "snapshot" of a
+                   generation is just its heads file: create a fresh
+                   engine, attach the pack as its cold tier, and resolve
+                   the heads through it. *)
+                let engine = Engine.create ~empty_index in
+                let sink = Store.sink (Engine.store engine) in
+                match Pack.open_ ~sink (pack_dir dir) with
+                | Error (`Tampered msg) -> Error (`Malformed ("pack: " ^ msg))
+                | Ok (p, _) -> (
+                    Pack.attach p (Engine.store engine);
+                    match manifest with
+                    | None -> Ok (engine, 0, 0, Some p)
+                    | Some (generation, seq) -> (
+                        match
+                          Engine.load_heads engine (heads_path dir generation)
+                        with
+                        | (_ : string list) -> Ok (engine, generation, seq, Some p)
+                        | exception Failure msg -> Error (`Malformed msg)
+                        | exception Sys_error msg -> Error (`Malformed msg))))
           in
           (* A crash between manifest publication and old-generation removal
              leaves superseded snapshot files behind; sweep them. *)
@@ -154,7 +186,7 @@ let open_ ?(sync = true) ~dir ~empty_index () =
                 (try Sys.readdir dir with Sys_error _ -> [||]));
           match engine_r with
           | Error _ as e -> e
-          | Ok (engine, generation, snapshot_seq) -> (
+          | Ok (engine, generation, snapshot_seq, pack) -> (
               let sink = Store.sink (Engine.store engine) in
               let jpath = journal_path dir in
               let scan_r =
@@ -209,11 +241,19 @@ let open_ ?(sync = true) ~dir ~empty_index () =
                           (fun acc (seq, _) -> max acc seq)
                           snapshot_seq entries
                       in
+                      (* Replayed nodes were written through to the pack
+                         buffer; push them to the OS — the journal stays
+                         the durability point until the next checkpoint. *)
+                      (match pack with
+                      | Some p -> Pack.flush ~sync:false p
+                      | None -> ());
                       let journal = open_journal_for_append ~sync jpath in
                       Ok
                         { dir;
                           sync;
                           engine;
+                          backend;
+                          pack;
                           journal = Some journal;
                           generation;
                           next_seq = last_seq + 1;
@@ -242,11 +282,19 @@ let append t record =
   Telemetry.incr s "wal.append";
   Telemetry.incr s ~by:(String.length bytes) "wal.append_bytes"
 
+(* Group fsync: the journal append above is the only per-commit fsync.
+   Write-through pack appends are merely pushed to the OS page cache —
+   a power loss loses at most nodes the journal replay regenerates. *)
+let publish_pack t =
+  match t.pack with Some p -> Pack.flush ~sync:false p | None -> ()
+
 let commit t ~branch ~message ops =
   (* Validate before journaling so an invalid branch never taints the log. *)
   ignore (Engine.head t.engine branch : Engine.commit);
   append t (Wal.Commit { branch; message; ops });
-  Engine.commit t.engine ~branch ~message ops
+  let c = Engine.commit t.engine ~branch ~message ops in
+  publish_pack t;
+  c
 
 let fork t ~from name =
   if List.mem name (Engine.branches t.engine) then
@@ -263,7 +311,9 @@ let merge_branches t ~into ~from ~policy =
   | Ok ops ->
       let message = Engine.merge_message ~into ~from in
       append t (Wal.Merge { into; from; message; ops });
-      Ok (Engine.commit t.engine ~branch:into ~message ops)
+      let c = Engine.commit t.engine ~branch:into ~message ops in
+      publish_pack t;
+      Ok c
 
 (* --- checkpoint ----------------------------------------------------------------- *)
 
@@ -279,8 +329,16 @@ let checkpoint t =
   let s = sink t in
   Telemetry.with_span s "wal.checkpoint" @@ fun () ->
   let generation = t.generation + 1 in
-  (* 1. Snapshot (fsynced, atomically renamed file by file). *)
-  Engine.save ~sync:t.sync t.engine (snapshot_path t.dir generation);
+  (* 1. Capture the state of this generation (fsynced, atomically renamed
+     file by file).  Snapshot backend: full store + heads files.  Pack
+     backend: the nodes are already in the pack — make them and the
+     offset index durable, then write just the heads file. *)
+  (match t.pack with
+  | None -> Engine.save ~sync:t.sync t.engine (snapshot_path t.dir generation)
+  | Some p ->
+      Pack.flush ~sync:t.sync p;
+      Pack.sync_index p;
+      Engine.save_heads ~sync:t.sync t.engine (heads_path t.dir generation));
   (* 2. Commit point: one atomic manifest replacement naming both the
      snapshot generation and the last journal sequence it captures. *)
   write_manifest ~sync:t.sync t.dir ~generation ~seq:(t.next_seq - 1);
@@ -309,6 +367,11 @@ let checkpoint t =
   Telemetry.incr s "wal.checkpoint"
 
 let close t =
+  (match t.pack with
+  | Some p ->
+      Pack.flush ~sync:t.sync p;
+      Pack.sync_index p
+  | None -> ());
   match t.journal with
   | None -> ()
   | Some oc ->

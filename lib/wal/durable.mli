@@ -39,6 +39,17 @@ module Engine = Siri_forkbase.Engine
 
 type t
 
+type backend = [ `Snapshot | `Pack ]
+(** Where checkpointed node payloads live.  [`Snapshot] (the default)
+    writes a full [store.<gen>] file per checkpoint.  [`Pack] keeps the
+    nodes in a log-structured {!Siri_pack.Pack} directory ([<dir>/pack])
+    written through on every commit: a checkpoint then only needs to
+    fsync the pack, persist its offset index and write the tiny heads
+    file — no O(data) snapshot rewrite.  Commits stay group-fsynced:
+    the journal append is the single per-commit fsync, pack appends are
+    only pushed to the OS (replay regenerates anything lost).  A
+    directory must be reopened with the backend it was created with. *)
+
 type recovery = {
   generation : int;  (** snapshot generation loaded; 0 = none *)
   replayed : int;  (** journal records re-applied *)
@@ -48,6 +59,7 @@ type recovery = {
 
 val open_ :
   ?sync:bool ->
+  ?backend:backend ->
   dir:string ->
   empty_index:Generic.t ->
   unit ->
@@ -69,8 +81,19 @@ val engine : t -> Engine.t
     {!fork} and {!merge_branches} instead. *)
 
 val dir : t -> string
+
+val backend : t -> backend
+
+val pack : t -> Siri_pack.Pack.t option
+(** The attached pack, when opened with [~backend:`Pack] — for scrub,
+    compaction and fault-gate wiring. *)
+
 val journal_path : string -> string
 (** [journal_path dir] — where the journal of a durable directory lives
+    (for the crash simulator). *)
+
+val pack_dir : string -> string
+(** [pack_dir dir] — where the pack of a [`Pack]-backend directory lives
     (for the crash simulator). *)
 
 val journal_bytes : t -> int

@@ -92,23 +92,12 @@ let decode_payload_reader r =
 
 (* --- framing ----------------------------------------------------------------- *)
 
-let u32_be n =
-  let b = Bytes.create 4 in
-  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xFF));
-  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xFF));
-  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xFF));
-  Bytes.set b 3 (Char.chr (n land 0xFF));
-  Bytes.unsafe_to_string b
+(* The journal shares its frame layout with the pack-file segments
+   ([Siri_codec.Frame]): 4 length bytes, 32 checksum bytes, payload. *)
 
-let frame payload =
-  let len = u32_be (String.length payload) in
-  let digest = Hash.to_raw (Hash.of_concat len payload) in
-  len ^ digest ^ payload
+module Frame = Siri_codec.Frame
 
-let encode_record ~seq record = frame (encode_payload ~seq record)
-
-(* Frame header: 4 length bytes + 32 checksum bytes. *)
-let header_len = 4 + Hash.size
+let encode_record ~seq record = Frame.encode (encode_payload ~seq record)
 
 type scan_result = {
   entries : (int * record) list;
@@ -134,68 +123,40 @@ let scan blob =
     let pos = ref mlen in
     let stop r = result := Some r in
     while !result = None do
-      let remaining = total - !pos in
-      if remaining = 0 then
-        stop
-          (Ok
-             { entries = List.rev !entries;
-               ends = List.rev !ends;
-               valid_prefix = !pos;
-               clamped_bytes = 0 })
-      else if remaining < header_len then
-        (* Torn mid-header. *)
-        stop
-          (Ok
-             { entries = List.rev !entries;
-               ends = List.rev !ends;
-               valid_prefix = !pos;
-               clamped_bytes = remaining })
-      else begin
-        let len_bytes = String.sub blob !pos 4 in
-        let len =
-          (Char.code len_bytes.[0] lsl 24)
-          lor (Char.code len_bytes.[1] lsl 16)
-          lor (Char.code len_bytes.[2] lsl 8)
-          lor Char.code len_bytes.[3]
-        in
-        if remaining - header_len < len then
-          (* Torn mid-payload (or a length flip on the final record —
-             indistinguishable from a torn write; see the interface). *)
+      (* Frames are verified and decoded in place — the checksum is hashed
+         over slices ([Frame.step]) and the payload parsed through a
+         windowed reader ([Reader.of_substring]), so scanning a journal
+         allocates no per-frame payload copies. *)
+      match Frame.step blob ~pos:!pos with
+      | Frame.End ->
           stop
             (Ok
                { entries = List.rev !entries;
                  ends = List.rev !ends;
                  valid_prefix = !pos;
-                 clamped_bytes = remaining })
-        else begin
-          (* The frame is verified and decoded in place — the checksum is
-             hashed over a slice ([Hash.of_concat_sub]) and the payload is
-             parsed through a windowed reader ([Reader.of_substring]), so
-             scanning a journal allocates no per-frame payload copies. *)
-          let digest = Hash.of_raw (String.sub blob (!pos + 4) Hash.size) in
-          let payload_off = !pos + header_len in
-          if
-            not
-              (Hash.equal
-                 (Hash.of_concat_sub len_bytes blob ~off:payload_off ~len)
-                 digest)
-          then stop (Error (`Tampered !pos))
-          else
-            match
-              decode_payload_reader
-                (Wire.Reader.of_substring blob ~off:payload_off ~len)
-            with
-            | seq, record ->
-                entries := (seq, record) :: !entries;
-                pos := !pos + header_len + len;
-                ends := !pos :: !ends
-            | exception Wire.Reader.Truncated ->
-                stop
-                  (Error
-                     (`Malformed
-                        (Printf.sprintf "undecodable record at offset %d" !pos)))
-        end
-      end
+                 clamped_bytes = 0 })
+      | Frame.Torn clamped ->
+          stop
+            (Ok
+               { entries = List.rev !entries;
+                 ends = List.rev !ends;
+                 valid_prefix = !pos;
+                 clamped_bytes = clamped })
+      | Frame.Corrupt -> stop (Error (`Tampered !pos))
+      | Frame.Frame { payload_off; payload_len; next } -> (
+          match
+            decode_payload_reader
+              (Wire.Reader.of_substring blob ~off:payload_off ~len:payload_len)
+          with
+          | seq, record ->
+              entries := (seq, record) :: !entries;
+              pos := next;
+              ends := next :: !ends
+          | exception Wire.Reader.Truncated ->
+              stop
+                (Error
+                   (`Malformed
+                      (Printf.sprintf "undecodable record at offset %d" !pos))))
     done;
     Option.get !result
   end
