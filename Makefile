@@ -21,11 +21,17 @@
 #                  and journal, seeded bit-flip storms, compaction
 #                  kill-points, and the rebuilt-index ≡ persisted-index
 #                  property, under the same pinned seed.
+#   make proof   — run the multiproof suites on their own: the differential
+#                  single-proof oracle, the adversarial flip storm, the
+#                  wire-codec every-offset harness, and the proof-cache
+#                  invalidation checks, twice — with the proof cache off
+#                  (default) and forced on via SIRI_PROOF_CACHE — under the
+#                  same pinned seed.
 
 DUNE ?= dune
 QCHECK_SEED ?= 20260806
 
-.PHONY: all build test smoke crash par read pack check bench clean
+.PHONY: all build test smoke crash par read pack proof check bench clean
 
 all: build
 
@@ -52,7 +58,11 @@ read: build
 pack: build
 	QCHECK_SEED=$(QCHECK_SEED) $(DUNE) exec test/test_pack.exe
 
-check: build test smoke crash par read pack
+proof: build
+	QCHECK_SEED=$(QCHECK_SEED) $(DUNE) exec test/test_proof.exe
+	SIRI_PROOF_CACHE=1048576 QCHECK_SEED=$(QCHECK_SEED) $(DUNE) exec test/test_proof.exe
+
+check: build test smoke crash par read pack proof
 	@echo "check: OK"
 
 bench:

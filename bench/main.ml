@@ -32,6 +32,7 @@ let experiments =
     ("eta", "Section 4.2 dedup ratio check", Theory.eta);
     ("eta-dag", "extension: dedup of branching version DAGs", Theory.eta_dag);
     ("proofs", "extension: point & range proof sizes", Fig_proofs.run);
+    ("proof", "extension: batched multiproofs vs k single proofs", Fig_multiproof.run);
     ("wal", "extension: WAL commit & recovery throughput", Fig_wal.run);
     ("pack", "extension: pack-file backend vs snapshot (reopen & cold reads)", Fig_pack.run);
     ("parallel", "extension: domain sweep of the parallel commit pipeline", Fig_parallel.run);

@@ -19,6 +19,8 @@ type t = {
   merge : Kv.merge_policy -> Hash.t -> (t, Kv.conflict list) result;
   prove : Kv.key -> Proof.t;
   verify : root:Hash.t -> Proof.t -> bool;
+  prove_many : Kv.key list -> Multiproof.t;
+  verify_many : root:Hash.t -> Multiproof.t -> bool;
   reopen : Hash.t -> t;
   range : lo:Kv.key option -> hi:Kv.key option -> (Kv.key * Kv.value) list;
 }
@@ -95,6 +97,39 @@ let get_many t ks =
               Telemetry.incr sink "read.filter.skip";
               (k, None))
         ks
+
+(* --- cached multiproof serving ----------------------------------------------
+
+   [prove_many] is the proof-serving front door: identical requests (same
+   version root, same key set) return the memoized multiproof from the
+   store's proof cache instead of re-walking the tree and re-reading every
+   path node.  Multiproofs are immutable values over immutable versions,
+   so the only coherence hazard is the store mutating bytes under a hash —
+   the same tamper/gc primitives that invalidate the decoded-node cache
+   clear the proof cache too.  Note the Bloom filter is deliberately NOT
+   consulted here: a filter miss answers [None] fast but unprovably, while
+   an absence claim in a multiproof must carry its witnessing nodes. *)
+
+module Proof_cache = Siri_readpath.Proof_cache
+
+type Proof_cache.repr += Cached_multiproof of Multiproof.t
+
+let prove_many t keys =
+  let keys = List.sort_uniq String.compare keys in
+  let pc = Store.proof_cache t.store in
+  if not (Proof_cache.enabled pc) then t.prove_many keys
+  else begin
+    let ck = Proof_cache.cache_key ~root:t.root keys in
+    match Proof_cache.find pc ck with
+    | Some (Cached_multiproof mp) -> mp
+    | _ ->
+        let mp = t.prove_many keys in
+        Proof_cache.insert pc ck ~cost:(Multiproof.size_bytes mp)
+          (Cached_multiproof mp);
+        mp
+  end
+
+let verify_many t ~root mp = t.verify_many ~root mp
 
 let page_set t = Store.reachable t.store t.root
 let node_count t = Hash.Set.cardinal (page_set t)

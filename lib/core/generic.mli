@@ -45,6 +45,18 @@ type t = {
   prove : Kv.key -> Proof.t;
   verify : root:Hash.t -> Proof.t -> bool;
       (** store-independent proof check against a trusted root digest *)
+  prove_many : Kv.key list -> Multiproof.t;
+      (** batched proof over a key set in one walk: shared path nodes are
+          carried once ({!Multiproof}); absence claims carry their
+          witnessing nodes.  Keys are sorted and deduplicated.  This is
+          the raw (uncached) closure — prefer the module-level
+          {!prove_many}, which memoizes through the store's proof
+          cache. *)
+  verify_many : root:Hash.t -> Multiproof.t -> bool;
+      (** store-independent batched check: replays the proving walk over
+          the supplied nodes, hash-chained from the trusted root, and
+          compares every claim — equivalent to verifying each key's
+          single proof (qcheck-pinned in [test_proof]). *)
   reopen : Hash.t -> t;
       (** view another version (same index kind, same store) by its root —
           what a checkout of an old commit does *)
@@ -85,6 +97,22 @@ val get : t -> Kv.key -> Kv.value option
 val get_many : t -> Kv.key list -> (Kv.key * Kv.value option) list
 (** Filter-aware [t.get_many]: keys rejected by the filter never enter the
     batch traversal; results stay in input order. *)
+
+(** {2 Cached multiproof serving} *)
+
+type Siri_readpath.Proof_cache.repr += Cached_multiproof of Multiproof.t
+
+val prove_many : t -> Kv.key list -> Multiproof.t
+(** [t.prove_many] through the store's proof cache
+    ({!Siri_store.Store.proof_cache}): a repeated request for the same
+    [(root, sorted key set)] returns the memoized multiproof without
+    touching the tree, metered as [proof.cache.hit]/[miss]/[evict].  With
+    the cache disabled (the default) this is exactly [t.prove_many].
+    Unlike {!get}/{!get_many}, never consults the Bloom filter — absence
+    answers must carry witness nodes, not filter bits. *)
+
+val verify_many : t -> root:Hash.t -> Multiproof.t -> bool
+(** [t.verify_many], for symmetry with {!prove_many}. *)
 
 val page_set : t -> Hash.Set.t
 (** Reachable pages [P(I)] of this version. *)

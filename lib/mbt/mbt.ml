@@ -185,27 +185,29 @@ let path_length t _key = depth t + 1
    internal node — each shared internal node (always including the root)
    is fetched and decoded once for the whole batch instead of once per
    key. *)
-let get_many t keys =
-  if keys = [] then []
-  else begin
-    let cfg = t.cfg in
-    let found = Hashtbl.create (List.length keys) in
-    let by_bucket = Hashtbl.create 16 in
-    List.iter
-      (fun k ->
-        let b = bucket_index cfg k in
-        match Hashtbl.find_opt by_bucket b with
-        | Some ks ->
-            if not (List.mem k ks) then Hashtbl.replace by_bucket b (k :: ks)
-        | None -> Hashtbl.add by_bucket b [ k ])
-      keys;
-    let groups =
-      Hashtbl.fold (fun b ks acc -> (b, ks) :: acc) by_bucket []
-      |> List.sort compare
-    in
-    (* [groups] are the buckets living under node [h] at [level]. *)
+(* Distinct keys grouped by target bucket, groups in ascending bucket
+   order — the canonical shape shared by [get_many], [prove_many] and
+   [verify_many], so proving and verifying partition identically. *)
+let groups_of_keys cfg keys =
+  let by_bucket = Hashtbl.create 16 in
+  List.iter
+    (fun k ->
+      let b = bucket_index cfg k in
+      match Hashtbl.find_opt by_bucket b with
+      | Some ks ->
+          if not (List.mem k ks) then Hashtbl.replace by_bucket b (k :: ks)
+      | None -> Hashtbl.add by_bucket b [ k ])
+    keys;
+  Hashtbl.fold (fun b ks acc -> (b, List.rev ks) :: acc) by_bucket []
+  |> List.sort compare
+
+(* The walk itself, parameterized by node fetch so the same traversal
+   serves lookups (cache-aware [get]), proving ([Multiproof.recorder]) and
+   verifying ([Multiproof.consumer]).  [groups] are the buckets living
+   under node [h] at [level]. *)
+let walk_groups cfg ~fetch root depth groups found =
     let rec go h level groups =
-      match get t.store h with
+      match fetch h with
       | Bucket entries ->
           List.iter
             (fun (_, ks) ->
@@ -232,7 +234,15 @@ let get_many t keys =
               if gs <> [] then go children.(s) (level - 1) (List.rev gs))
             by_slot
     in
-    go t.root (depth t) groups;
+    go root depth groups
+
+let get_many t keys =
+  if keys = [] then []
+  else begin
+    let found = Hashtbl.create (List.length keys) in
+    walk_groups t.cfg ~fetch:(get t.store) t.root (depth t)
+      (groups_of_keys t.cfg keys)
+      found;
     List.map (fun k -> (k, Hashtbl.find_opt found k)) keys
   end
 
@@ -599,6 +609,53 @@ let verify_proof cfg ~root (proof : Proof.t) =
   in
   go root d proof.nodes
 
+(* --- multiproofs ------------------------------------------------------------ *)
+
+(* See the note in Mpt: the batched [walk_groups] with recording/replaying
+   fetches.  The MBT root is never null (an empty tree is a full frame of
+   empty buckets), so absence claims always carry the whole root→bucket
+   path — the bucket that omits the key is the witness. *)
+
+let prove_many t keys =
+  let keys = List.sort_uniq String.compare keys in
+  if keys = [] then { Multiproof.claims = []; nodes = [] }
+  else begin
+    let fetch_bytes, recorded = Multiproof.recorder ~get:(Store.get t.store) in
+    let found = Hashtbl.create (List.length keys) in
+    walk_groups t.cfg
+      ~fetch:(fun h -> decode (fetch_bytes h))
+      t.root (depth t)
+      (groups_of_keys t.cfg keys)
+      found;
+    { Multiproof.claims = List.map (fun k -> (k, Hashtbl.find_opt found k)) keys;
+      nodes = recorded () }
+  end
+
+let verify_many cfg ~root (mp : Multiproof.t) =
+  if not (Multiproof.well_formed mp) then false
+  else if mp.claims = [] then mp.nodes = []
+  else begin
+    let fetch_bytes, finished = Multiproof.consumer mp.nodes in
+    let fetch h =
+      match decode (fetch_bytes h) with
+      | node -> node
+      | exception Multiproof.Rejected -> raise Multiproof.Rejected
+      | exception _ -> raise Multiproof.Rejected
+    in
+    let keys = Multiproof.keys mp in
+    let found = Hashtbl.create (List.length keys) in
+    let depth = Array.length (level_counts cfg) - 1 in
+    match
+      walk_groups cfg ~fetch root depth (groups_of_keys cfg keys) found
+    with
+    | () ->
+        finished ()
+        && List.for_all
+             (fun (k, claimed) -> Hashtbl.find_opt found k = claimed)
+             mp.claims
+    | exception _ -> false
+  end
+
 (* --- generic ----------------------------------------------------------------- *)
 
 (* Telemetry probes: see the note in Mpt.generic — observation only, no
@@ -630,6 +687,8 @@ let rec generic ?pool t =
         | Error cs -> Error cs);
     prove = (fun k -> probe t "mbt.prove" (fun () -> prove t k));
     verify = (fun ~root proof -> verify_proof t.cfg ~root proof);
+    prove_many = (fun ks -> probe t "mbt.prove_many" (fun () -> prove_many t ks));
+    verify_many = (fun ~root mp -> verify_many t.cfg ~root mp);
     reopen = (fun r -> generic ?pool (of_root t.store t.cfg r));
     range =
       (fun ~lo ~hi ->

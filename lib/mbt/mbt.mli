@@ -92,6 +92,17 @@ val merge : t -> t -> policy:Kv.merge_policy -> (t, Kv.conflict list) result
 val prove : t -> Kv.key -> Proof.t
 val verify_proof : config -> root:Hash.t -> Proof.t -> bool
 
+val prove_many : t -> Kv.key list -> Multiproof.t
+(** Batched proof over a key set in one bucket-group walk (see
+    {!Siri_mpt.Mpt.prove_many} for the shared discipline).  The MBT root is
+    never null, so absence claims always carry the root→bucket path — the
+    bucket that omits the key is the witness. *)
+
+val verify_many : config -> root:Hash.t -> Multiproof.t -> bool
+(** Store-independent replay of the proving walk over the supplied
+    deduplicated nodes; needs the [config] to recompute bucket indices
+    and tree depth. *)
+
 val generic : ?pool:Siri_parallel.Pool.t -> t -> Generic.t
 (** Package as a uniform SIRI instance.  With [pool], [batch] and
     [bulk_load] run through the parallel commit pipeline. *)

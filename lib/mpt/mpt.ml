@@ -142,20 +142,16 @@ let path_length t key = snd (lookup_count t.store t.root key)
    nibble (string order equals nibble order, so each partition is a
    contiguous sub-slice).  Each node on a shared prefix is fetched and
    decoded once for all keys below it, instead of once per key. *)
-let get_many t keys =
-  if keys = [] then []
-  else begin
-    let found = Hashtbl.create (List.length keys) in
-    let arr =
-      List.sort_uniq String.compare keys
-      |> List.map (fun k -> (k, Nibbles.of_key k))
-      |> Array.of_list
-    in
+(* The walk itself, parameterized by node fetch so the same traversal
+   serves lookups (cache-aware [get]), proving ([Multiproof.recorder]) and
+   verifying ([Multiproof.consumer]): arr holds the sorted distinct keys
+   with their nibble paths, and [found] collects the hits. *)
+let walk_many ~fetch root arr found =
     (* Keys arr[lo..hi-1] agree on their first [depth] nibbles, already
        consumed on the way to [h]. *)
     let rec go h lo hi depth =
       if not (Hash.is_null h) then
-        match get t.store h with
+        match fetch h with
         | Leaf (p, v) ->
             for i = lo to hi - 1 do
               let k, path = arr.(i) in
@@ -199,7 +195,18 @@ let get_many t keys =
               end
             done
     in
-    go t.root 0 (Array.length arr) 0;
+    go root 0 (Array.length arr) 0
+
+let key_paths keys =
+  Array.of_list (List.map (fun k -> (k, Nibbles.of_key k)) keys)
+
+let get_many t keys =
+  if keys = [] then []
+  else begin
+    let found = Hashtbl.create (List.length keys) in
+    walk_many ~fetch:(get t.store) t.root
+      (key_paths (List.sort_uniq String.compare keys))
+      found;
     List.map (fun k -> (k, Hashtbl.find_opt found k)) keys
   end
 
@@ -779,6 +786,51 @@ let verify_proof ~root (proof : Proof.t) =
     | Ok v -> v = proof.value
     | Error () -> false
 
+(* --- multiproofs ---------------------------------------------------------- *)
+
+(* A multiproof is the batched [walk_many] with recording/replaying node
+   fetches: proving reads raw bytes through a deduplicating recorder, so
+   the node set is exactly the union of the single-proof paths with every
+   shared prefix node carried once; verifying replays the identical walk,
+   consuming the node list in first-visit order with the hash of each
+   node checked against the hash the traversal requested. *)
+
+let prove_many t keys =
+  let keys = List.sort_uniq String.compare keys in
+  if keys = [] || Hash.is_null t.root then
+    { Multiproof.claims = List.map (fun k -> (k, None)) keys; nodes = [] }
+  else begin
+    let fetch_bytes, recorded = Multiproof.recorder ~get:(Store.get t.store) in
+    let found = Hashtbl.create (List.length keys) in
+    walk_many ~fetch:(fun h -> decode (fetch_bytes h)) t.root (key_paths keys)
+      found;
+    { Multiproof.claims = List.map (fun k -> (k, Hashtbl.find_opt found k)) keys;
+      nodes = recorded () }
+  end
+
+let verify_many ~root (mp : Multiproof.t) =
+  if not (Multiproof.well_formed mp) then false
+  else if Hash.is_null root then
+    mp.nodes = [] && List.for_all (fun (_, v) -> v = None) mp.claims
+  else if mp.claims = [] then mp.nodes = []
+  else begin
+    let fetch_bytes, finished = Multiproof.consumer mp.nodes in
+    let fetch h =
+      match decode (fetch_bytes h) with
+      | node -> node
+      | exception Multiproof.Rejected -> raise Multiproof.Rejected
+      | exception _ -> raise Multiproof.Rejected
+    in
+    let found = Hashtbl.create (List.length mp.claims) in
+    match walk_many ~fetch root (key_paths (Multiproof.keys mp)) found with
+    | () ->
+        finished ()
+        && List.for_all
+             (fun (k, claimed) -> Hashtbl.find_opt found k = claimed)
+             mp.claims
+    | exception _ -> false
+  end
+
 (* --- generic packaging --------------------------------------------------- *)
 
 (* Per-operation telemetry probes report to whatever sink is attached to
@@ -812,5 +864,7 @@ let rec generic ?pool t =
         | Error cs -> Error cs);
     prove = (fun k -> probe t "mpt.prove" (fun () -> prove t k));
     verify = (fun ~root proof -> verify_proof ~root proof);
+    prove_many = (fun ks -> probe t "mpt.prove_many" (fun () -> prove_many t ks));
+    verify_many = (fun ~root mp -> verify_many ~root mp);
     reopen = (fun r -> generic ?pool (of_root t.store r));
     range = (fun ~lo ~hi -> range t ~lo ~hi) }

@@ -72,6 +72,20 @@ val verify_proof : root:Hash.t -> Proof.t -> bool
 (** Checks the proof's node chain against the trusted root and replays the
     traversal; accepts both membership and absence proofs. *)
 
+val prove_many : t -> Kv.key list -> Multiproof.t
+(** Batched proof for a key set, built by the [get_many] single walk with
+    recording fetches: the node set is the union of the single-proof
+    paths, each distinct node once, in first-visit order (root first).
+    Keys are sorted and deduplicated; absent keys get [None] claims whose
+    witnessing divergence nodes ride along. *)
+
+val verify_many : root:Hash.t -> Multiproof.t -> bool
+(** Replays the proving walk over the supplied nodes, consuming them in
+    first-visit order with every node re-hashed against the hash the
+    traversal requested; accepts iff the replay terminates with all nodes
+    consumed and every claim equal to what the replay found.  On
+    [Hash.null] roots: accepts exactly node-less all-absence proofs. *)
+
 val generic : ?pool:Siri_parallel.Pool.t -> t -> Generic.t
 (** Package as a uniform SIRI instance.  With [pool], the instance's
     [bulk_load] runs through the parallel {!of_sorted} pipeline. *)

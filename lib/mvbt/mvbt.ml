@@ -143,13 +143,12 @@ let path_length t key = snd (lookup_count t key)
 (* Batched point lookups: one walk for the distinct sorted keys,
    partitioning the alive slice at each internal node's split keys so
    shared prefix nodes are decoded once per batch. *)
-let get_many t keys =
-  if keys = [] then []
-  else begin
-    let found = Hashtbl.create (List.length keys) in
-    let arr = Array.of_list (List.sort_uniq String.compare keys) in
+(* The walk itself, parameterized by node fetch so the same traversal
+   serves lookups (cache-aware [get]), proving ([Multiproof.recorder]) and
+   verifying ([Multiproof.consumer]). *)
+let walk_many ~fetch root arr found =
     let rec go h lo hi =
-      match get t.store h with
+      match fetch h with
       | Leaf entries ->
           for i = lo to hi - 1 do
             match find_entry entries arr.(i) with
@@ -162,7 +161,8 @@ let get_many t keys =
           while !i < hi do
             let c = child_for refs arr.(!i) in
             if c = n then
-              (* Beyond the last split key; so is every later key. *)
+              (* Beyond the last split key; so is every later key: this
+                 node witnesses their absence. *)
               i := hi
             else begin
               let split = fst refs.(c) in
@@ -175,7 +175,15 @@ let get_many t keys =
             end
           done
     in
-    if not (Hash.is_null t.root) then go t.root 0 (Array.length arr);
+    go root 0 (Array.length arr)
+
+let get_many t keys =
+  if keys = [] then []
+  else begin
+    let found = Hashtbl.create (List.length keys) in
+    let arr = Array.of_list (List.sort_uniq String.compare keys) in
+    if not (Hash.is_null t.root) then
+      walk_many ~fetch:(get t.store) t.root arr found;
     List.map (fun k -> (k, Hashtbl.find_opt found k)) keys
   end
 
@@ -548,6 +556,50 @@ let verify_proof ~root (proof : Proof.t) =
     | Ok v -> v = proof.value
     | Error () -> false
 
+(* --- multiproofs ----------------------------------------------------------- *)
+
+(* See the note in Mpt: the batched [walk_many] with recording/replaying
+   fetches. *)
+
+let prove_many t keys =
+  let keys = List.sort_uniq String.compare keys in
+  if keys = [] || Hash.is_null t.root then
+    { Multiproof.claims = List.map (fun k -> (k, None)) keys; nodes = [] }
+  else begin
+    let fetch_bytes, recorded = Multiproof.recorder ~get:(Store.get t.store) in
+    let found = Hashtbl.create (List.length keys) in
+    walk_many
+      ~fetch:(fun h -> decode (fetch_bytes h))
+      t.root (Array.of_list keys) found;
+    { Multiproof.claims = List.map (fun k -> (k, Hashtbl.find_opt found k)) keys;
+      nodes = recorded () }
+  end
+
+let verify_many ~root (mp : Multiproof.t) =
+  if not (Multiproof.well_formed mp) then false
+  else if Hash.is_null root then
+    mp.nodes = [] && List.for_all (fun (_, v) -> v = None) mp.claims
+  else if mp.claims = [] then mp.nodes = []
+  else begin
+    let fetch_bytes, finished = Multiproof.consumer mp.nodes in
+    let fetch h =
+      match decode (fetch_bytes h) with
+      | node -> node
+      | exception Multiproof.Rejected -> raise Multiproof.Rejected
+      | exception _ -> raise Multiproof.Rejected
+    in
+    let found = Hashtbl.create (List.length mp.claims) in
+    match
+      walk_many ~fetch root (Array.of_list (Multiproof.keys mp)) found
+    with
+    | () ->
+        finished ()
+        && List.for_all
+             (fun (k, claimed) -> Hashtbl.find_opt found k = claimed)
+             mp.claims
+    | exception _ -> false
+  end
+
 (* Telemetry probes: see the note in Mpt.generic — observation only, no
    effect on hashing. *)
 let probe t name f = Telemetry.probe (Store.sink t.store) name f
@@ -580,5 +632,8 @@ let rec generic ?pool t =
         | Error cs -> Error cs);
     prove = (fun k -> probe t "mvmb+-tree.prove" (fun () -> prove t k));
     verify = (fun ~root proof -> verify_proof ~root proof);
+    prove_many =
+      (fun ks -> probe t "mvmb+-tree.prove_many" (fun () -> prove_many t ks));
+    verify_many = (fun ~root mp -> verify_many ~root mp);
     reopen = (fun r -> generic ?pool { t with root = r });
     range = (fun ~lo ~hi -> range t ~lo ~hi) }

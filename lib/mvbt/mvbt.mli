@@ -71,6 +71,15 @@ val diff : t -> t -> Kv.diff_entry list
 val merge : t -> t -> policy:Kv.merge_policy -> (t, Kv.conflict list) result
 val prove : t -> Kv.key -> Proof.t
 val verify_proof : root:Hash.t -> Proof.t -> bool
+
+val prove_many : t -> Kv.key list -> Multiproof.t
+(** Batched proof over a key set in one walk (see {!Siri_mpt.Mpt.prove_many}
+    for the shared discipline). *)
+
+val verify_many : root:Hash.t -> Multiproof.t -> bool
+(** Store-independent replay of the proving walk over the supplied
+    deduplicated nodes. *)
+
 val generic : ?pool:Siri_parallel.Pool.t -> t -> Generic.t
 (** Package as a uniform instance.  With [pool], the instance's
     [bulk_load] runs through the parallel {!of_sorted} pipeline. *)

@@ -538,13 +538,12 @@ let path_length t key = snd (lookup_count t key)
    internal node the still-alive slice is split at the child separators
    (keys <= a split key descend into that child), so every shared prefix
    node is fetched and decoded once for the whole batch. *)
-let get_many t keys =
-  if keys = [] then []
-  else begin
-    let found = Hashtbl.create (List.length keys) in
-    let arr = Array.of_list (List.sort_uniq String.compare keys) in
+(* The walk itself, parameterized by node fetch so the same traversal
+   serves lookups (cache-aware [get]), proving ([Multiproof.recorder]) and
+   verifying ([Multiproof.consumer]). *)
+let walk_many ~fetch root arr found =
     let rec go h lo hi =
-      match get t.store h with
+      match fetch h with
       | Leaf entries ->
           for i = lo to hi - 1 do
             match find_entry entries arr.(i) with
@@ -556,7 +555,8 @@ let get_many t keys =
           while !i < hi do
             match child_for refs arr.(!i) with
             | None ->
-                (* Beyond the last split key; so is every later key. *)
+                (* Beyond the last split key; so is every later key: this
+                   node witnesses their absence. *)
                 i := hi
             | Some c ->
                 let split = fst refs.(c) in
@@ -568,7 +568,15 @@ let get_many t keys =
                 i := !j
           done
     in
-    if not (Hash.is_null t.root) then go t.root 0 (Array.length arr);
+    go root 0 (Array.length arr)
+
+let get_many t keys =
+  if keys = [] then []
+  else begin
+    let found = Hashtbl.create (List.length keys) in
+    let arr = Array.of_list (List.sort_uniq String.compare keys) in
+    if not (Hash.is_null t.root) then
+      walk_many ~fetch:(get t.store) t.root arr found;
     List.map (fun k -> (k, Hashtbl.find_opt found k)) keys
   end
 
@@ -714,6 +722,51 @@ let verify_proof ~root (proof : Proof.t) =
     | Ok v -> v = proof.value
     | Error () -> false
 
+(* --- multiproofs ----------------------------------------------------------- *)
+
+(* See the note in Mpt: the batched [walk_many] with recording/replaying
+   fetches — prove and verify traverse identically, so the verifier can
+   consume the deduplicated node list in first-visit order. *)
+
+let prove_many t keys =
+  let keys = List.sort_uniq String.compare keys in
+  if keys = [] || Hash.is_null t.root then
+    { Multiproof.claims = List.map (fun k -> (k, None)) keys; nodes = [] }
+  else begin
+    let fetch_bytes, recorded = Multiproof.recorder ~get:(Store.get t.store) in
+    let found = Hashtbl.create (List.length keys) in
+    walk_many
+      ~fetch:(fun h -> decode (fetch_bytes h))
+      t.root (Array.of_list keys) found;
+    { Multiproof.claims = List.map (fun k -> (k, Hashtbl.find_opt found k)) keys;
+      nodes = recorded () }
+  end
+
+let verify_many ~root (mp : Multiproof.t) =
+  if not (Multiproof.well_formed mp) then false
+  else if Hash.is_null root then
+    mp.nodes = [] && List.for_all (fun (_, v) -> v = None) mp.claims
+  else if mp.claims = [] then mp.nodes = []
+  else begin
+    let fetch_bytes, finished = Multiproof.consumer mp.nodes in
+    let fetch h =
+      match decode (fetch_bytes h) with
+      | node -> node
+      | exception Multiproof.Rejected -> raise Multiproof.Rejected
+      | exception _ -> raise Multiproof.Rejected
+    in
+    let found = Hashtbl.create (List.length mp.claims) in
+    match
+      walk_many ~fetch root (Array.of_list (Multiproof.keys mp)) found
+    with
+    | () ->
+        finished ()
+        && List.for_all
+             (fun (k, claimed) -> Hashtbl.find_opt found k = claimed)
+             mp.claims
+    | exception _ -> false
+  end
+
 let stats t =
   Tree_stats.collect ~get:(Store.get t.store) ~decode:td_decode_bytes ~root:t.root
 
@@ -740,7 +793,8 @@ let rec generic_named ?pool name t =
   and p_batch = name ^ ".batch"
   and p_bulk = name ^ ".bulk_load"
   and p_diff = name ^ ".diff"
-  and p_prove = name ^ ".prove" in
+  and p_prove = name ^ ".prove"
+  and p_prove_many = name ^ ".prove_many" in
   { Generic.name;
     store = t.store;
     root = t.root;
@@ -764,6 +818,8 @@ let rec generic_named ?pool name t =
         | Error cs -> Error cs);
     prove = (fun k -> probe t p_prove (fun () -> prove t k));
     verify = (fun ~root proof -> verify_proof ~root proof);
+    prove_many = (fun ks -> probe t p_prove_many (fun () -> prove_many t ks));
+    verify_many = (fun ~root mp -> verify_many ~root mp);
     reopen = (fun r -> generic_named ?pool name { t with root = r });
     range = (fun ~lo ~hi -> range t ~lo ~hi) }
 

@@ -134,6 +134,17 @@ val diff : t -> t -> Kv.diff_entry list
 val merge : t -> t -> policy:Kv.merge_policy -> (t, Kv.conflict list) result
 val prove : t -> Kv.key -> Proof.t
 val verify_proof : root:Hash.t -> Proof.t -> bool
+
+val prove_many : t -> Kv.key list -> Multiproof.t
+(** Batched proof over a key set in one walk (see {!Siri_mpt.Mpt.prove_many}
+    for the shared discipline): deduplicated nodes in first-visit order,
+    absence claims witnessed by the node where the search exits. *)
+
+val verify_many : root:Hash.t -> Multiproof.t -> bool
+(** Store-independent replay of the proving walk; accepts iff all nodes
+    are consumed in order, each hashing to the reference the traversal
+    requested, and every claim matches what the replay finds. *)
+
 val generic : ?pool:Siri_parallel.Pool.t -> t -> Generic.t
 (** With [pool], the instance's [bulk_load] runs through the parallel
     {!of_sorted} pipeline. *)

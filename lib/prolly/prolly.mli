@@ -29,5 +29,12 @@ val of_sorted : ?pool:Siri_parallel.Pool.t -> Store.t -> (Kv.key * Kv.value) lis
 (** Parallel bulk build (see {!Siri_pos.Pos_tree.of_sorted}); the root is
     byte-identical to {!of_entries} for any domain count. *)
 
+val prove_many : t -> Kv.key list -> Multiproof.t
+(** Batched proof over a key set in one walk — identical to
+    {!Siri_pos.Pos_tree.prove_many}; the Noms boundary rule only changes
+    how the tree was built, not how it is walked. *)
+
+val verify_many : root:Siri_crypto.Hash.t -> Multiproof.t -> bool
+
 val generic : ?pool:Siri_parallel.Pool.t -> t -> Generic.t
 (** Named ["prolly"] in benchmark output. *)

@@ -1,0 +1,89 @@
+module Hash = Siri_crypto.Hash
+module Telemetry = Siri_telemetry.Telemetry
+
+type repr = ..
+
+module Cache = Lru_cache.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end)
+
+type t = {
+  cache : repr Cache.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evicted_seen : int Atomic.t;  (* evictions already mirrored to the sink *)
+  mutable sink : Telemetry.sink;
+}
+
+let budget_from_env () =
+  match Option.bind (Sys.getenv_opt "SIRI_PROOF_CACHE") int_of_string_opt with
+  | Some b -> Some (max 0 b)
+  | None -> None
+
+let create ?budget () =
+  let budget =
+    match budget with
+    | Some b -> max 0 b
+    | None -> ( match budget_from_env () with Some b -> b | None -> 0)
+  in
+  { cache = Cache.create ~budget;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evicted_seen = Atomic.make 0;
+    sink = Telemetry.null }
+
+let enabled t = Cache.budget t.cache > 0
+let budget t = Cache.budget t.cache
+let size t = Cache.size t.cache
+let cost t = Cache.cost t.cache
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses
+let evictions t = Cache.evictions t.cache
+let set_sink t sink = t.sink <- sink
+
+let cache_key ~root keys =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Hash.to_raw root);
+  List.iter
+    (fun k ->
+      Buffer.add_string b (string_of_int (String.length k));
+      Buffer.add_char b ':';
+      Buffer.add_string b k)
+    keys;
+  Buffer.contents b
+
+(* Same watermark discipline as Node_cache.flush_evictions: surface the
+   eviction delta at the operation that caused it, exactly once. *)
+let flush_evictions t =
+  let total = Cache.evictions t.cache in
+  let seen = Atomic.get t.evicted_seen in
+  if total > seen then begin
+    Atomic.set t.evicted_seen total;
+    Telemetry.incr t.sink ~by:(total - seen) "proof.cache.evict"
+  end
+
+let find t k =
+  match Cache.find t.cache k with
+  | Some _ as r ->
+      Atomic.incr t.hits;
+      Telemetry.incr t.sink "proof.cache.hit";
+      r
+  | None ->
+      Atomic.incr t.misses;
+      Telemetry.incr t.sink "proof.cache.miss";
+      None
+
+let insert t k ~cost repr =
+  if Cache.budget t.cache > 0 then begin
+    Cache.insert t.cache k ~cost repr;
+    flush_evictions t
+  end
+
+let clear t = Cache.clear t.cache
+
+let resize t ~budget =
+  Cache.resize t.cache ~budget;
+  flush_evictions t

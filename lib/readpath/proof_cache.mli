@@ -1,0 +1,55 @@
+(** Memoized multiproofs, keyed by [(version root, sorted key set)].
+
+    Proof serving is read-heavy and repetitive — verifiers poll the same
+    hot key sets against the same published root — so the store carries a
+    budgeted LRU of finished multiproofs beside its decoded-node cache.
+    A hit skips the whole proving walk (every node fetch and decode); a
+    miss costs one extra insert.
+
+    Like {!Node_cache}, the payload type is an extensible variant so this
+    library does not depend on the proof representation above it
+    ([Siri_core.Generic] injects its constructor), and coherence is by
+    construction: multiproofs are pure functions of immutable version
+    roots, so only the store operations that mutate bytes under a hash
+    (tamper primitives, gc) require invalidation — they {!clear} the
+    cache wholesale, since a proof may embed any node.
+
+    Disabled (budget 0) unless a budget is passed or [SIRI_PROOF_CACHE]
+    is set, mirroring the node cache's opt-in discipline. *)
+
+type repr = ..
+(** Cached payloads.  Each consumer adds its own constructor. *)
+
+type t
+
+val create : ?budget:int -> unit -> t
+(** [budget] in bytes ([Multiproof.size_bytes] is the intended cost).
+    Defaults to [SIRI_PROOF_CACHE] when set, else 0 (disabled). *)
+
+val enabled : t -> bool
+val budget : t -> int
+val size : t -> int
+val cost : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+
+val cache_key : root:Siri_crypto.Hash.t -> string list -> string
+(** Canonical cache key for a proof request: the raw root digest followed
+    by the length-prefixed keys (callers pass them sorted — the proving
+    entry points sort anyway).  Length prefixes keep distinct key lists
+    from colliding however the key bytes look. *)
+
+val find : t -> string -> repr option
+(** Counts [proof.cache.hit] / [proof.cache.miss] on the attached sink. *)
+
+val insert : t -> string -> cost:int -> repr -> unit
+(** No-op when disabled.  Evictions surface as [proof.cache.evict]. *)
+
+val clear : t -> unit
+(** Drop everything — the invalidation called by the store's tamper
+    primitives and gc. *)
+
+val resize : t -> budget:int -> unit
+
+val set_sink : t -> Siri_telemetry.Telemetry.sink -> unit

@@ -1,6 +1,7 @@
 open Siri_crypto
 module Telemetry = Siri_telemetry.Telemetry
 module Node_cache = Siri_readpath.Node_cache
+module Proof_cache = Siri_readpath.Proof_cache
 module Bloom = Siri_readpath.Bloom
 
 exception Missing of Hash.t
@@ -53,6 +54,9 @@ type t = {
   mutable read_gate : (Hash.t -> string -> unit) option;
   mutable sink : Telemetry.sink;
   cache : Node_cache.t;
+  (* Memoized multiproofs keyed by (root, key set); cleared wholesale by
+     the tamper primitives and gc, since a proof may embed any node. *)
+  proof_cache : Proof_cache.t;
   (* Per-version negative-lookup filters, keyed by the exact root hash the
      filter was built for.  A version without a registered filter simply
      skips the short-circuit. *)
@@ -60,7 +64,7 @@ type t = {
   mutable backend : backend option;
 }
 
-let create ?cache_bytes () =
+let create ?cache_bytes ?proof_cache_bytes () =
   { tbl = Hash.Table.create 4096;
     puts = Atomic.make 0;
     put_bytes = Atomic.make 0;
@@ -71,6 +75,7 @@ let create ?cache_bytes () =
     read_gate = None;
     sink = Telemetry.null;
     cache = Node_cache.create ?budget:cache_bytes ();
+    proof_cache = Proof_cache.create ?budget:proof_cache_bytes ();
     filters = Hash.Table.create 16;
     backend = None }
 
@@ -82,10 +87,12 @@ let set_read_gate t gate = t.read_gate <- gate
 
 let set_sink t sink =
   t.sink <- sink;
-  Node_cache.set_sink t.cache sink
+  Node_cache.set_sink t.cache sink;
+  Proof_cache.set_sink t.proof_cache sink
 
 let sink t = t.sink
 let cache t = t.cache
+let proof_cache t = t.proof_cache
 
 (* --- cold storage tier ------------------------------------------------------ *)
 
@@ -340,6 +347,8 @@ let gc t ~roots =
       t.filters []
   in
   List.iter (Hash.Table.remove t.filters) stale;
+  (* Any collected node may sit inside a memoized multiproof. *)
+  Proof_cache.clear t.proof_cache;
   Hash.Set.cardinal
     (Hash.Set.union (Hash.Set.of_list dead) (Hash.Set.of_list backend_dropped))
 
@@ -508,6 +517,7 @@ let load_checked ?verify path =
 let corrupt t h =
   let n = Hash.Table.find t.tbl h in
   Node_cache.remove t.cache h;
+  Proof_cache.clear t.proof_cache;
   if String.length n.bytes = 0 then n.bytes <- "\001"
   else begin
     let b = Bytes.of_string n.bytes in
@@ -518,6 +528,7 @@ let corrupt t h =
 let corrupt_at t h ~pos =
   let n = Hash.Table.find t.tbl h in
   Node_cache.remove t.cache h;
+  Proof_cache.clear t.proof_cache;
   if String.length n.bytes = 0 then n.bytes <- "\001"
   else begin
     let b = Bytes.of_string n.bytes in
@@ -529,6 +540,7 @@ let corrupt_at t h ~pos =
 let truncate_node t h ~keep =
   let n = Hash.Table.find t.tbl h in
   Node_cache.remove t.cache h;
+  Proof_cache.clear t.proof_cache;
   let keep = max 0 (min keep (String.length n.bytes)) in
   add_counter t.stored_bytes (-(String.length n.bytes - keep));
   n.bytes <- String.sub n.bytes 0 keep
@@ -538,6 +550,7 @@ let remove_node t h =
   | None -> false
   | Some n ->
       Node_cache.remove t.cache h;
+      Proof_cache.clear t.proof_cache;
       add_counter t.stored_bytes (-String.length n.bytes);
       Hash.Table.remove t.tbl h;
       true

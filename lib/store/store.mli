@@ -40,13 +40,15 @@ type stats = {
   gets : int;          (** node fetches *)
 }
 
-val create : ?cache_bytes:int -> unit -> t
+val create : ?cache_bytes:int -> ?proof_cache_bytes:int -> unit -> t
 (** [cache_bytes] is the byte budget of the decoded-node cache attached to
     this store ({!cache}).  When omitted, the [SIRI_NODE_CACHE] environment
     variable supplies the budget, and if that too is unset the cache is
     {e disabled} (budget 0) — so fault injection, deployment simulation and
     telemetry conservation keep exact per-read accounting unless caching is
-    requested explicitly. *)
+    requested explicitly.  [proof_cache_bytes] is the same opt-in for the
+    multiproof cache ({!proof_cache}), with [SIRI_PROOF_CACHE] as its
+    environment fallback. *)
 
 val put : t -> ?children:Hash.t list -> string -> Hash.t
 (** Store a serialized node; returns its content hash.  [children] lists the
@@ -156,6 +158,14 @@ val cache : t -> Siri_readpath.Node_cache.t
     time without affecting correctness.  {!set_sink} propagates the sink to
     the cache, so [cache.node.hit]/[miss]/[evict] are metered alongside the
     store counters. *)
+
+val proof_cache : t -> Siri_readpath.Proof_cache.t
+(** The multiproof cache ([Siri_core.Generic.prove_many] reads through
+    it).  Coherence follows the decoded-node cache's discipline, scaled to
+    proofs: a multiproof may embed {e any} node, so the four byte-mutating
+    tamper primitives and {!gc} clear this cache wholesale instead of
+    invalidating per hash.  {!set_sink} propagates the sink, metering
+    [proof.cache.hit]/[miss]/[evict]. *)
 
 val set_root_filter : t -> Hash.t -> Siri_readpath.Bloom.t -> unit
 (** Register the negative-lookup filter for the version rooted at the
