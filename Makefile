@@ -27,11 +27,20 @@
 #                  invalidation checks, twice — with the proof cache off
 #                  (default) and forced on via SIRI_PROOF_CACHE — under the
 #                  same pinned seed.
+#   make serve   — run the server suite with the crash-kill harness scaled
+#                  up: SIRI_SERVE_ROUNDS=25 SIGKILLs the real siri_serve
+#                  binary at 25 seeded points per backend (50 total) under
+#                  concurrent client traffic, asserting every acked commit
+#                  survives recovery, every unacked one is atomically
+#                  present-or-absent, and no phantom commits appear.
+#   make quick   — tier-1 without the slow cases: everything alcotest marks
+#                  `Slow (the SIGKILL storms and the qcheck property tests)
+#                  is skipped via ALCOTEST_QUICK_TESTS.
 
 DUNE ?= dune
 QCHECK_SEED ?= 20260806
 
-.PHONY: all build test smoke crash par read pack proof check bench clean
+.PHONY: all build test quick smoke crash par read pack proof serve check bench clean
 
 all: build
 
@@ -40,6 +49,9 @@ build:
 
 test:
 	$(DUNE) runtest
+
+quick:
+	ALCOTEST_QUICK_TESTS=1 $(DUNE) runtest --force
 
 smoke: build
 	$(DUNE) exec bin/siri_cli.exe -- stats --records 1000 --ops 500
@@ -62,7 +74,10 @@ proof: build
 	QCHECK_SEED=$(QCHECK_SEED) $(DUNE) exec test/test_proof.exe
 	SIRI_PROOF_CACHE=1048576 QCHECK_SEED=$(QCHECK_SEED) $(DUNE) exec test/test_proof.exe
 
-check: build test smoke crash par read pack proof
+serve: build
+	SIRI_SERVE_ROUNDS=25 QCHECK_SEED=$(QCHECK_SEED) $(DUNE) exec test/test_server.exe
+
+check: build test smoke crash par read pack proof serve
 	@echo "check: OK"
 
 bench:

@@ -37,6 +37,7 @@ let experiments =
     ("pack", "extension: pack-file backend vs snapshot (reopen & cold reads)", Fig_pack.run);
     ("parallel", "extension: domain sweep of the parallel commit pipeline", Fig_parallel.run);
     ("readpath", "extension: decoded-node cache, batched get, Bloom filters", Fig_readpath.run);
+    ("server", "extension: multi-client server, group vs single commit", Fig_server.run);
     ("batch", "ablation: write batch size vs throughput", Fig_throughput.batch_throughput);
     ("micro", "Bechamel per-op microbenchmarks", Micro.run);
     ("params", "print the Table 1/2 notation and parameter values", fun () ->

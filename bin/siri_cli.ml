@@ -880,6 +880,183 @@ let checkpoint_cmd =
       const (durable_run ~checkpoint:true)
       $ index_arg $ durable_backend_arg $ dir_arg)
 
+(* --- connect: client mode against a running siri_serve ----------------------- *)
+
+module Server = Siri_server.Server
+module Client = Siri_server.Client
+
+let connect_cmd =
+  let unix_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "unix" ] ~docv:"PATH" ~doc:"Server Unix-domain socket.")
+  in
+  let tcp_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT" ~doc:"Server TCP loopback port.")
+  in
+  let branch =
+    Arg.(
+      value & opt string "master"
+      & info [ "branch" ] ~docv:"BRANCH" ~doc:"Branch to operate on.")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-request deadline; the server refuses late work with a \
+                timeout instead of serving it stale.")
+  in
+  let get_key =
+    Arg.(value & opt (some string) None & info [ "get" ] ~docv:"KEY")
+  in
+  let prove_key =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prove" ] ~docv:"KEY"
+          ~doc:"Fetch a multiproof for KEY and verify it client-side \
+                against the server's root.")
+  in
+  let puts =
+    Arg.(
+      value & opt_all string []
+      & info [ "put" ] ~docv:"KEY=VALUE"
+          ~doc:"Commit KEY=VALUE (repeatable; one idempotent group-commit \
+                request).")
+  in
+  let do_head = Arg.(value & flag & info [ "head" ] ~doc:"Print the branch head.") in
+  let do_stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the server's telemetry sink as JSON — the \
+                $(b,server.req.*), $(b,server.commit.*) counters and \
+                latency histograms land here.")
+  in
+  let run index unix_path tcp_port branch deadline_ms get_key prove_key puts
+      do_head do_stats =
+    let addr =
+      match (unix_path, tcp_port) with
+      | Some p, _ -> Some (`Unix p)
+      | None, Some p -> Some (`Tcp p)
+      | None, None -> None
+    in
+    match addr with
+    | None ->
+        prerr_endline "connect: need --unix PATH or --tcp PORT";
+        2
+    | Some addr -> (
+        match Client.connect ~addr () with
+        | Error e ->
+            Printf.eprintf "connect: %s\n" (Client.error_to_string e);
+            1
+        | Ok c ->
+            let deadline_ms = if deadline_ms <= 0 then None else Some deadline_ms in
+            let fail what e =
+              Printf.eprintf "%s: %s\n" what (Client.error_to_string e);
+              1
+            in
+            let rc =
+              if do_stats then
+                match Client.stats ?deadline_ms c with
+                | Ok json ->
+                    print_endline json;
+                    0
+                | Error e -> fail "stats" e
+              else if do_head then
+                match Client.head ?deadline_ms c ~branch with
+                | Ok (id, root, version) ->
+                    Printf.printf "head    : %s (version %d)\nroot    : %s\n"
+                      (Hash.short id) version (Hash.short root);
+                    0
+                | Error e -> fail "head" e
+              else if puts <> [] then begin
+                let ops =
+                  List.filter_map
+                    (fun kv ->
+                      match String.index_opt kv '=' with
+                      | None ->
+                          Printf.eprintf "connect: skipping %S (want KEY=VALUE)\n" kv;
+                          None
+                      | Some i ->
+                          Some
+                            (Kv.Put
+                               ( String.sub kv 0 i,
+                                 String.sub kv (i + 1)
+                                   (String.length kv - i - 1) )))
+                    puts
+                in
+                match
+                  Client.commit ?deadline_ms c ~branch ~message:"cli" ops
+                with
+                | Ok (id, version, group_size) ->
+                    Printf.printf "commit  : %s (version %d, group of %d)\n"
+                      (Hash.short id) version group_size;
+                    0
+                | Error e -> fail "commit" e
+              end
+              else
+                match get_key with
+                | Some key -> (
+                    match Client.get ?deadline_ms c ~branch key with
+                    | Ok (Some v) ->
+                        print_endline v;
+                        0
+                    | Ok None ->
+                        Printf.eprintf "%s: not found\n" key;
+                        1
+                    | Error e -> fail "get" e)
+                | None -> (
+                    match prove_key with
+                    | Some key -> (
+                        match Client.prove_many ?deadline_ms c ~branch [ key ] with
+                        | Ok (root, proof_bytes) -> (
+                            match Siri_core.Multiproof.decode proof_bytes with
+                            | Error (`Malformed d | `Tampered d) ->
+                                Printf.eprintf "proof undecodable: %s\n" d;
+                                1
+                            | Ok proof ->
+                                let verifier = make index (Store.create ()) in
+                                if Generic.verify_many verifier ~root proof then begin
+                                  List.iter
+                                    (fun (k, v) ->
+                                      Printf.printf "%s\t%s\tverified\n" k
+                                        (match v with
+                                        | Some v -> v
+                                        | None -> "(absent)"))
+                                    proof.Siri_core.Multiproof.claims;
+                                  0
+                                end
+                                else begin
+                                  Printf.eprintf "proof REFUSED against root %s\n"
+                                    (Hash.short root);
+                                  1
+                                end)
+                        | Error e -> fail "prove" e)
+                    | None -> (
+                        match Client.ping ?deadline_ms c with
+                        | Ok () ->
+                            print_endline "pong";
+                            0
+                        | Error e -> fail "ping" e))
+            in
+            Client.close c;
+            rc)
+  in
+  Cmd.v
+    (Cmd.info "connect"
+       ~doc:
+         "Talk to a running $(b,siri_serve): ping (default), $(b,--get), \
+          $(b,--prove) (verified client-side), $(b,--put KEY=VALUE) \
+          (idempotent commit), $(b,--head) or $(b,--stats).")
+    Term.(
+      const run $ index_arg $ unix_path $ tcp_port $ branch $ deadline_ms
+      $ get_key $ prove_key $ puts $ do_head $ do_stats)
+
 let gen_cmd =
   let count =
     Arg.(value & opt int 1000 & info [ "count"; "n" ] ~docv:"N" ~doc:"Records to generate.")
@@ -903,4 +1080,4 @@ let () =
     (Cmd.eval' (Cmd.group info
        [ stats_cmd; get_cmd; prove_cmd; verify_proof_cmd; range_cmd; diff_cmd; merge_cmd;
          properties_cmd; snapshot_cmd; scrub_cmd; pack_cmd; compact_cmd;
-         recover_cmd; checkpoint_cmd; gen_cmd ]))
+         recover_cmd; checkpoint_cmd; connect_cmd; gen_cmd ]))

@@ -1,0 +1,161 @@
+(* siri_serve — serve a durable SIRI engine to multiple clients.
+
+     siri_serve DIR --unix /tmp/siri.sock
+     siri_serve DIR --backend pack --tcp 0      # port printed on READY
+     siri_serve DIR --unix s.sock --tcp 7421    # both listeners
+
+   Opens (recovering) the durable directory, binds the listeners, prints
+   one "READY <addr>" line per listener on stdout (the crash harness and
+   scripts wait for these), then serves until SIGTERM/SIGINT, which shuts
+   down gracefully: queued commits drain, sessions close, journal fsyncs.
+   SIGKILL at any point is the crash the recovery path is built for.
+
+   Exit codes follow the durability convention: 0 clean service, 1 the
+   journal had a torn tail clamped on open (served anyway), 2 the
+   directory is unrecoverable or a listener could not bind. *)
+
+open Cmdliner
+module Store = Siri_store.Store
+module Telemetry = Siri_telemetry.Telemetry
+module Engine = Siri_forkbase.Engine
+module Wal = Siri_wal.Wal
+module Durable = Siri_wal.Durable
+module Server = Siri_server.Server
+
+type index_kind = Pos | Mpt | Mbt | Mvbt | Prolly
+
+let make kind store =
+  match kind with
+  | Pos ->
+      Siri_pos.Pos_tree.generic
+        (Siri_pos.Pos_tree.empty store (Siri_pos.Pos_tree.config ()))
+  | Prolly -> Siri_prolly.Prolly.generic (Siri_prolly.Prolly.empty store)
+  | Mpt -> Siri_mpt.Mpt.generic (Siri_mpt.Mpt.empty store)
+  | Mbt ->
+      Siri_mbt.Mbt.generic
+        (Siri_mbt.Mbt.empty store (Siri_mbt.Mbt.config ~capacity:1024 ~fanout:4 ()))
+  | Mvbt ->
+      Siri_mvbt.Mvbt.generic
+        (Siri_mvbt.Mvbt.empty store (Siri_mvbt.Mvbt.config ()))
+
+let addr_to_string : Server.addr -> string = function
+  | `Unix p -> "unix:" ^ p
+  | `Tcp p -> "tcp:" ^ string_of_int p
+
+let serve dir kind backend unix_path tcp_port sync group_max max_queue
+    session_max =
+  let listen =
+    (match unix_path with Some p -> [ `Unix p ] | None -> [])
+    @ match tcp_port with Some p -> [ `Tcp p ] | None -> []
+  in
+  if listen = [] then begin
+    prerr_endline "siri_serve: need at least one of --unix PATH / --tcp PORT";
+    2
+  end
+  else begin
+    (* The serving store keeps the decoded-node and proof caches off:
+       their LRUs are mutable and sessions read concurrently.  The
+       telemetry sink is thread-safe and uses a wall clock so latency
+       histograms are in seconds. *)
+    let store = Store.create ~cache_bytes:0 ~proof_cache_bytes:0 () in
+    Store.set_sink store (Telemetry.create ~clock:Unix.gettimeofday ());
+    match Durable.open_ ~sync ~backend ~dir ~empty_index:(make kind store) () with
+    | Error e ->
+        Format.eprintf "siri_serve: %a@." Wal.pp_error e;
+        2
+    | Ok durable -> (
+        let r = Durable.recovery durable in
+        let config =
+          { Server.default_config with group_max; max_queue; session_max }
+        in
+        match Server.start ~config ~durable ~listen () with
+        | exception Unix.Unix_error (err, fn, arg) ->
+            Printf.eprintf "siri_serve: %s %s: %s\n" fn arg
+              (Unix.error_message err);
+            Durable.close durable;
+            2
+        | server ->
+            List.iter
+              (fun a -> Printf.printf "READY %s\n" (addr_to_string a))
+              (Server.listening server);
+            flush stdout;
+            let stop_flag = Atomic.make false in
+            let handler = Sys.Signal_handle (fun _ -> Atomic.set stop_flag true) in
+            Sys.set_signal Sys.sigterm handler;
+            Sys.set_signal Sys.sigint handler;
+            (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+             with Invalid_argument _ -> ());
+            while not (Atomic.get stop_flag) do
+              Thread.delay 0.1
+            done;
+            Server.stop server;
+            if r.Durable.clamped_bytes > 0 then 1 else 0)
+  end
+
+let cmd =
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
+  let kind =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("pos", Pos); ("mpt", Mpt); ("mbt", Mbt); ("mvbt", Mvbt);
+               ("prolly", Prolly) ])
+          Pos
+      & info [ "i"; "index" ] ~docv:"INDEX" ~doc:"Index structure.")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt (enum [ ("snapshot", `Snapshot); ("pack", `Pack) ]) `Snapshot
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:"Checkpoint backend: $(b,snapshot) (default) or $(b,pack).")
+  in
+  let unix_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "unix" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket.")
+  in
+  let tcp_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:"Listen on TCP loopback; port 0 picks a free port (printed \
+                on the READY line).")
+  in
+  let sync =
+    Arg.(
+      value & opt bool true
+      & info [ "sync" ] ~docv:"BOOL"
+          ~doc:"fsync the journal on every group commit (default true).")
+  in
+  let group_max =
+    Arg.(
+      value & opt int Server.default_config.Server.group_max
+      & info [ "group-max" ] ~docv:"N"
+          ~doc:"Client write batches folded into one group commit.")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int Server.default_config.Server.max_queue
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:"Pending write batches before refusing with overload.")
+  in
+  let session_max =
+    Arg.(
+      value & opt int Server.default_config.Server.session_max
+      & info [ "session-max" ] ~docv:"N" ~doc:"Concurrent sessions.")
+  in
+  Cmd.v
+    (Cmd.info "siri_serve" ~version:"1.0.0"
+       ~doc:
+         "Serve a durable SIRI engine over checksummed framed sockets: \
+          snapshot-isolated reads, single-writer group commit, graceful \
+          shutdown on SIGTERM.")
+    Term.(
+      const serve $ dir $ kind $ backend $ unix_path $ tcp_port $ sync
+      $ group_max $ max_queue $ session_max)
+
+let () = exit (Cmd.eval' cmd)

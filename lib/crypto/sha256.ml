@@ -165,13 +165,28 @@ let finalize ctx =
 
 (* One-shot digests reuse a per-domain scratch context: no allocation of
    the chaining state, schedule or pad on the hot path, and no sharing
-   between domains, so workers in a pool can hash concurrently. *)
-let scratch = Domain.DLS.new_key init
+   between domains, so workers in a pool can hash concurrently.
+
+   The context is held in a checkout slot, not used in place: systhreads
+   within one domain share DLS state and can be preempted mid-digest (the
+   compression loop allocates), so two threads hashing concurrently on a
+   bare shared context interleave resets and feeds — a digest of neither
+   input.  [Atomic.exchange] hands the context to exactly one thread; a
+   thread that finds the slot empty pays one fresh allocation instead of
+   sharing.  The single-threaded hot path stays allocation-free. *)
+let scratch : ctx option Atomic.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Atomic.make (Some (init ())))
 
 let with_scratch f =
-  let ctx = Domain.DLS.get scratch in
-  reset ctx;
-  f ctx
+  let slot = Domain.DLS.get scratch in
+  let ctx =
+    match Atomic.exchange slot None with
+    | Some ctx -> reset ctx; ctx
+    | None -> init ()
+  in
+  let r = f ctx in
+  Atomic.set slot (Some ctx);
+  r
 
 let digest_string s =
   with_scratch (fun ctx ->

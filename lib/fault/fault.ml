@@ -37,19 +37,31 @@ let protect f =
    forkbase Remote's flaky link, the pack segment reader, the engine's
    [*_checked] accessors) funnels through here, so retry accounting and
    backoff behave identically everywhere. *)
-let with_retry ?(attempts = 3) ?(backoff_s = 0.) ?sleep ?(sink = Telemetry.null)
-    f =
+let with_retry ?(attempts = 3) ?(backoff_s = 0.) ?jitter ?sleep
+    ?(sink = Telemetry.null) f =
   let attempts = max 1 attempts in
   let sleep =
     match sleep with
     | Some s -> s
     | None -> fun d -> if d > 0. then Unix.sleepf d
   in
+  (* Full jitter (AWS-style): each pause is uniform in [0, backoff·2^i)
+     instead of exactly backoff·2^i, so a fleet of clients that failed
+     together does not retry together — the retry storm a recovering
+     server would otherwise face.  Draws come from a seeded splitmix
+     generator, so a test can replay the exact schedule. *)
+  let jitter_rng = Option.map Rng.create jitter in
+  let pause i =
+    let cap = backoff_s *. float_of_int (1 lsl i) in
+    match jitter_rng with
+    | None -> cap
+    | Some rng -> cap *. Rng.float rng
+  in
   let rec go i =
     match protect f with
     | Error (`Transient _) when i + 1 < attempts ->
         Telemetry.incr sink "retry.attempt";
-        sleep (backoff_s *. float_of_int (1 lsl i));
+        sleep (pause i);
         go (i + 1)
     | Error (`Transient _) as r ->
         Telemetry.incr sink "retry.give_up";

@@ -49,6 +49,7 @@ val protect : (unit -> 'a) -> ('a, error) result
 val with_retry :
   ?attempts:int ->
   ?backoff_s:float ->
+  ?jitter:int ->
   ?sleep:(float -> unit) ->
   ?sink:Siri_telemetry.Telemetry.sink ->
   (unit -> 'a) ->
@@ -56,10 +57,15 @@ val with_retry :
 (** The one retry loop in the system.  Like {!protect}, but a [`Transient]
     failure is retried up to [attempts] times total (default 3, clamped to
     at least 1), sleeping [backoff_s * 2^i] before retry [i+1] (default
-    backoff [0.], i.e. immediate).  [sleep] overrides the wall-clock sleep —
-    deployment simulations pass a function that charges simulated seconds
-    instead.  Each retry increments the [retry.attempt] counter on [sink]
-    and a final surrender increments [retry.give_up] (default sink:
+    backoff [0.], i.e. immediate).  With [jitter] (a seed), each pause is
+    instead {e full-jitter}: uniform in [0, backoff_s * 2^i), drawn from a
+    splitmix generator seeded with [jitter] — synchronized clients spread
+    their retries out instead of storming a recovering server in lockstep,
+    and the exact schedule replays deterministically from the seed.
+    [sleep] overrides the wall-clock sleep — deployment simulations pass a
+    function that charges simulated seconds instead.  Each retry
+    increments the [retry.attempt] counter on [sink] and a final surrender
+    increments [retry.give_up] (default sink:
     {!Siri_telemetry.Telemetry.null}).  Non-transient results return
     immediately. *)
 

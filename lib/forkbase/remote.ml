@@ -6,8 +6,14 @@ module Telemetry = Siri_telemetry.Telemetry
 
 type network = { rtt_s : float; bandwidth_bps : float }
 
-let gigabit_lan = { rtt_s = 0.0002; bandwidth_bps = 125_000_000.0 }
-let http_overhead = { rtt_s = 0.001; bandwidth_bps = 125_000_000.0 }
+(* The link parameters live in [Siri_core.Netparams] so the simulation and
+   the real server benchmark share one set of constants. *)
+let of_link (l : Siri_core.Netparams.link) =
+  { rtt_s = l.Siri_core.Netparams.rtt_s;
+    bandwidth_bps = l.Siri_core.Netparams.bandwidth_bps }
+
+let gigabit_lan = of_link Siri_core.Netparams.gigabit_lan
+let http_overhead = of_link Siri_core.Netparams.http_overhead
 
 type t = {
   net : network;

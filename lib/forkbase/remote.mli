@@ -19,11 +19,18 @@ type network = {
   bandwidth_bps : float;  (** payload bytes per second *)
 }
 
+val of_link : Siri_core.Netparams.link -> network
+(** Import a shared {!Siri_core.Netparams} link — the simulation and the
+    real server bench read the same constants, so the two Section 5.6
+    deployment paths cannot silently diverge. *)
+
 val gigabit_lan : network
-(** 0.2 ms RTT, 1 Gb/s — the paper's testbed network. *)
+(** {!Siri_core.Netparams.gigabit_lan}: 0.2 ms RTT, 1 Gb/s — the paper's
+    testbed network. *)
 
 val http_overhead : network
-(** The Noms HTTP setup: 1 ms per request, same bandwidth. *)
+(** {!Siri_core.Netparams.http_overhead}: the Noms HTTP setup, 1 ms per
+    request, same bandwidth. *)
 
 type t
 

@@ -14,6 +14,12 @@ type t = {
   index : Pack_index.entry Hash.Table.t;
   lens : (int, int) Hashtbl.t;  (* live segment id -> valid length *)
   fds : (int, Unix.file_descr) Hashtbl.t;  (* read descriptors, lazy *)
+  read_mutex : Mutex.t;
+      (* Segment reads share one descriptor per segment, positioned with
+         [lseek] — two concurrent readers would race the seek (the wire
+         server serves sessions from multiple threads, and [Unix.read]
+         releases the runtime lock).  The critical section is one seek +
+         one bounded read, so contention stays negligible. *)
   mutable generation : int;
   mutable active : int;
   mutable chan : out_channel;
@@ -130,16 +136,20 @@ let seg_fd t id =
       fd
 
 let pread t id ~off ~len =
-  let fd = seg_fd t id in
-  ignore (Unix.lseek fd off Unix.SEEK_SET : int);
-  let buf = Bytes.create len in
-  let rec go p =
-    if p >= len then len
-    else
-      match Unix.read fd buf p (len - p) with 0 -> p | n -> go (p + n)
-  in
-  let got = go 0 in
-  if got = len then Bytes.unsafe_to_string buf else Bytes.sub_string buf 0 got
+  Mutex.lock t.read_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.read_mutex)
+    (fun () ->
+      let fd = seg_fd t id in
+      ignore (Unix.lseek fd off Unix.SEEK_SET : int);
+      let buf = Bytes.create len in
+      let rec go p =
+        if p >= len then len
+        else
+          match Unix.read fd buf p (len - p) with 0 -> p | n -> go (p + n)
+      in
+      let got = go 0 in
+      if got = len then Bytes.unsafe_to_string buf else Bytes.sub_string buf 0 got)
 
 let flush_buffered t =
   if t.dirty then begin
@@ -507,6 +517,7 @@ let open_ ?(segment_target = 8 * 1024 * 1024) ?(retry_attempts = 3)
                   index;
                   lens;
                   fds = Hashtbl.create 8;
+                  read_mutex = Mutex.create ();
                   generation;
                   active;
                   chan = open_append dir active;

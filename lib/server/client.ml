@@ -1,0 +1,236 @@
+(* See client.mli.  The handle keeps at most one live socket; any
+   transport failure tears it down and raises [Store.Transient] inside
+   the Fault.with_retry thunk, which re-dials with full-jitter backoff.
+   Integrity failures short-circuit out of the retry loop as values. *)
+
+module Hash = Siri_crypto.Hash
+module Kv = Siri_core.Kv
+module Telemetry = Siri_telemetry.Telemetry
+module Fault = Siri_fault.Fault
+module Store = Siri_store.Store
+
+type t = {
+  addr : Server.addr;
+  connect_timeout_s : float;
+  request_timeout_s : float;
+  attempts : int;
+  backoff_s : float;
+  retry_jitter : int option;
+  sink : Telemetry.sink;
+  mutable fd : Unix.file_descr option;
+  mutable dialled_once : bool;
+}
+
+type error =
+  [ `Unavailable of string
+  | `Timeout
+  | `Overload
+  | `Read_only
+  | `Unknown_branch of string
+  | `Tampered of string
+  | `Refused of string
+  | `Unexpected of string ]
+
+let error_to_string : error -> string = function
+  | `Unavailable d -> "unavailable: " ^ d
+  | `Timeout -> "timeout"
+  | `Overload -> "overload"
+  | `Read_only -> "read-only"
+  | `Unknown_branch b -> "unknown branch: " ^ b
+  | `Tampered d -> "tampered: " ^ d
+  | `Refused d -> "refused: " ^ d
+  | `Unexpected d -> "unexpected response: " ^ d
+
+let req_counter = ref 0
+
+let fresh_req_id () =
+  Stdlib.incr req_counter;
+  Printf.sprintf "c%d-%.0f-%d" (Unix.getpid ())
+    (Unix.gettimeofday () *. 1e3)
+    !req_counter
+
+(* --- transport --------------------------------------------------------- *)
+
+let sockaddr_of : Server.addr -> Unix.sockaddr = function
+  | `Unix path -> Unix.ADDR_UNIX path
+  | `Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+let transient () = raise (Store.Transient Hash.null)
+
+(* Non-blocking connect + select so a dead endpoint fails in
+   [connect_timeout_s] instead of the kernel's default. *)
+let dial t =
+  let domain =
+    match t.addr with `Unix _ -> Unix.PF_UNIX | `Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  let fail () =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    transient ()
+  in
+  (try
+     Unix.set_nonblock fd;
+     (try Unix.connect fd (sockaddr_of t.addr) with
+     | Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _)
+       -> (
+         match Unix.select [] [ fd ] [] t.connect_timeout_s with
+         | _, [ _ ], _ -> (
+             match Unix.getsockopt_error fd with
+             | None -> ()
+             | Some e -> raise (Unix.Unix_error (e, "connect", "")))
+         | _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))));
+     Unix.clear_nonblock fd
+   with Unix.Unix_error _ -> fail ());
+  if t.dialled_once then Telemetry.incr t.sink "server.reconnect";
+  t.dialled_once <- true;
+  t.fd <- Some fd;
+  fd
+
+let drop t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+      t.fd <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let live_fd t = match t.fd with Some fd -> fd | None -> dial t
+
+(* One request/response exchange; raises Store.Transient on anything
+   retryable, returns integrity failures as values. *)
+let exchange_exn t payload :
+    (Proto.response, [ `Tampered of string | `Malformed of string ]) result =
+  let fd = live_fd t in
+  Telemetry.incr t.sink "client.req";
+  (match Proto.Io.write_frame fd payload with
+  | Ok () -> ()
+  | Error `Closed ->
+      drop t;
+      transient ());
+  let deadline = Unix.gettimeofday () +. t.request_timeout_s in
+  match Proto.Io.read_frame ~deadline fd with
+  | Ok resp_payload -> (
+      match Proto.decode_response resp_payload with
+      | Ok resp -> Ok resp
+      | Error (`Malformed _ as e) ->
+          drop t;
+          Error e)
+  | Error (`Closed | `Timeout) ->
+      (* a timed-out wait abandons the connection: the reply may still
+         arrive later and would desynchronize request/response pairing *)
+      drop t;
+      transient ()
+  | Error ((`Tampered _ | `Malformed _) as e) ->
+      drop t;
+      Error e
+
+let roundtrip t (req : Proto.request) :
+    (Proto.response, error) result =
+  let payload = Proto.encode_request req in
+  match
+    Fault.with_retry ~attempts:t.attempts ~backoff_s:t.backoff_s
+      ?jitter:t.retry_jitter ~sink:t.sink
+      (fun () -> exchange_exn t payload)
+  with
+  | Ok (Ok resp) -> Ok resp
+  | Ok (Error (`Tampered d)) -> Error (`Tampered d)
+  | Ok (Error (`Malformed d)) -> Error (`Tampered d)
+  | Error (`Transient _) ->
+      Error (`Unavailable "no response after retry budget")
+  | Error e -> Error (`Unavailable (Fault.error_to_string e))
+
+let request t ?(deadline_ms = 0) body = roundtrip t { Proto.deadline_ms; body }
+
+let of_err (code : Proto.error_code) detail branch : error =
+  match code with
+  | Proto.Overload -> `Overload
+  | Proto.Timeout -> `Timeout
+  | Proto.Tampered -> `Tampered detail
+  | Proto.Read_only -> `Read_only
+  | Proto.Bad_request -> `Refused detail
+  | Proto.Unknown_branch ->
+      `Unknown_branch (if detail = "" then branch else detail)
+
+(* --- lifecycle --------------------------------------------------------- *)
+
+let connect ?(connect_timeout_s = 5.0) ?(request_timeout_s = 10.0)
+    ?(attempts = 3) ?(backoff_s = 0.05) ?retry_jitter
+    ?(sink = Telemetry.null) ~addr () =
+  (* A write into a socket whose server died mid-session must surface as
+     EPIPE (mapped to [`Unavailable] and retried) — not kill the process.
+     Set once, process-wide: any program that dials a server has opted
+     into handling disconnects as values. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let t =
+    { addr;
+      connect_timeout_s;
+      request_timeout_s;
+      attempts;
+      backoff_s;
+      retry_jitter;
+      sink;
+      fd = None;
+      dialled_once = false }
+  in
+  match request t Proto.Ping with
+  | Ok Proto.Pong -> Ok t
+  | Ok (Proto.Err { code; detail }) -> Error (of_err code detail "")
+  | Ok _ -> Error (`Unexpected "ping")
+  | Error e -> Error e
+
+let close t = drop t
+
+(* --- typed requests ---------------------------------------------------- *)
+
+let ping ?deadline_ms t =
+  match request t ?deadline_ms Proto.Ping with
+  | Ok Proto.Pong -> Ok ()
+  | Ok (Proto.Err { code; detail }) -> Error (of_err code detail "")
+  | Ok _ -> Error (`Unexpected "ping")
+  | Error e -> Error e
+
+let head ?deadline_ms t ~branch =
+  match request t ?deadline_ms (Proto.Head { branch }) with
+  | Ok (Proto.Head_r { id; root; version }) -> Ok (id, root, version)
+  | Ok (Proto.Err { code; detail }) -> Error (of_err code detail branch)
+  | Ok _ -> Error (`Unexpected "head")
+  | Error e -> Error e
+
+let get ?deadline_ms t ~branch key =
+  match request t ?deadline_ms (Proto.Get { branch; key }) with
+  | Ok (Proto.Value v) -> Ok v
+  | Ok (Proto.Err { code; detail }) -> Error (of_err code detail branch)
+  | Ok _ -> Error (`Unexpected "get")
+  | Error e -> Error e
+
+let get_many ?deadline_ms t ~branch keys =
+  match request t ?deadline_ms (Proto.Get_many { branch; keys }) with
+  | Ok (Proto.Values vs) -> Ok vs
+  | Ok (Proto.Err { code; detail }) -> Error (of_err code detail branch)
+  | Ok _ -> Error (`Unexpected "get_many")
+  | Error e -> Error e
+
+let prove_many ?deadline_ms t ~branch keys =
+  match request t ?deadline_ms (Proto.Prove_many { branch; keys }) with
+  | Ok (Proto.Proof { root; proof }) -> Ok (root, proof)
+  | Ok (Proto.Err { code; detail }) -> Error (of_err code detail branch)
+  | Ok _ -> Error (`Unexpected "prove_many")
+  | Error e -> Error e
+
+let commit ?deadline_ms ?req_id t ~branch ~message ops =
+  let req_id = match req_id with Some id -> id | None -> fresh_req_id () in
+  match
+    request t ?deadline_ms (Proto.Commit { req_id; branch; message; ops })
+  with
+  | Ok (Proto.Committed { commit; version; group_size; _ }) ->
+      Ok (commit, version, group_size)
+  | Ok (Proto.Err { code; detail }) -> Error (of_err code detail branch)
+  | Ok _ -> Error (`Unexpected "commit")
+  | Error e -> Error e
+
+let stats ?deadline_ms t =
+  match request t ?deadline_ms Proto.Stats with
+  | Ok (Proto.Stats_r s) -> Ok s
+  | Ok (Proto.Err { code; detail }) -> Error (of_err code detail "")
+  | Ok _ -> Error (`Unexpected "stats")
+  | Error e -> Error e

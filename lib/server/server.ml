@@ -1,0 +1,646 @@
+(* See server.mli for the design.  Threading model (systhreads, one
+   domain): one accept thread per listener, one session thread per
+   connection, ONE writer thread.  Sessions never mutate the engine —
+   they read off the atomically-published snapshot — so the store's node
+   table has a single writer and many readers, which is the discipline
+   that makes the unguarded Hashtbls safe; the telemetry sink has its own
+   internal mutex, and the pack read path serializes its shared fd. *)
+
+module Hash = Siri_crypto.Hash
+module Kv = Siri_core.Kv
+module Generic = Siri_core.Generic
+module Multiproof = Siri_core.Multiproof
+module Telemetry = Siri_telemetry.Telemetry
+module Engine = Siri_forkbase.Engine
+module Durable = Siri_wal.Durable
+module Fault = Siri_fault.Fault
+
+type addr = [ `Unix of string | `Tcp of int ]
+
+type config = {
+  max_queue : int;
+  group_max : int;
+  idempotency_cap : int;
+  session_max : int;
+}
+
+let default_config =
+  { max_queue = 256; group_max = 64; idempotency_cap = 4096; session_max = 64 }
+
+(* A queued write batch.  The session thread blocks on [cond] until the
+   writer (which always answers every drained batch, including at
+   shutdown drain) fills [resp]. *)
+type pending = {
+  req_id : string;
+  branch : string;
+  client_message : string;
+  ops : Kv.op list;
+  deadline : float;  (* absolute gettimeofday; 0. = none *)
+  pmu : Mutex.t;
+  pcond : Condition.t;
+  mutable resp : Proto.response option;
+}
+
+type snap = { head : Engine.commit; view : Generic.t }
+
+type t = {
+  config : config;
+  durable : Durable.t;
+  tsink : Telemetry.sink;
+  snapshot : (string * snap) list Atomic.t;
+  ro : bool Atomic.t;
+  (* write queue; [running] and [paused] are guarded by [qmu] so the
+     writer's exit condition and enqueue's refusal cannot race. *)
+  qmu : Mutex.t;
+  qcond : Condition.t;
+  queue : pending Queue.t;
+  mutable running : bool;
+  mutable paused : bool;
+  (* idempotency: req_id -> cached Committed response, FIFO-capped *)
+  seen_mu : Mutex.t;
+  seen : (string, Proto.response) Hashtbl.t;
+  seen_order : string Queue.t;
+  (* sessions registry, guarded by [smu] *)
+  smu : Mutex.t;
+  sessions : (int, Unix.file_descr) Hashtbl.t;
+  mutable session_threads : Thread.t list;
+  mutable next_session : int;
+  mutable accept_threads : Thread.t list;
+  mutable writer : Thread.t option;
+  listeners : (addr * Unix.file_descr) list;
+  mutable stopped : bool;  (* guarded by [smu]; stop idempotence *)
+}
+
+let listening t = List.map fst t.listeners
+let sink t = t.tsink
+let read_only t = Atomic.get t.ro
+
+(* --- idempotency table ------------------------------------------------- *)
+
+let seen_find t id =
+  Mutex.lock t.seen_mu;
+  let r = Hashtbl.find_opt t.seen id in
+  Mutex.unlock t.seen_mu;
+  r
+
+let seen_record t id resp =
+  Mutex.lock t.seen_mu;
+  if not (Hashtbl.mem t.seen id) then begin
+    Hashtbl.replace t.seen id resp;
+    Queue.add id t.seen_order;
+    while Queue.length t.seen_order > t.config.idempotency_cap do
+      Hashtbl.remove t.seen (Queue.pop t.seen_order)
+    done
+  end;
+  Mutex.unlock t.seen_mu
+
+let serve_prefix = "serve:"
+
+let ids_of_message msg =
+  (* "serve:id1,id2,…" — the req_id charset excludes ',', so a plain
+     split recovers exactly the ids that were folded into the commit. *)
+  let p = serve_prefix in
+  let pl = String.length p in
+  if String.length msg > pl && String.sub msg 0 pl = p then
+    String.split_on_char ',' (String.sub msg pl (String.length msg - pl))
+    |> List.filter Proto.valid_req_id
+  else []
+
+(* Rebuild the dedup table from the commit history so a client retrying
+   an unacked commit across a server crash still gets at-most-once.  Oldest
+   first so the FIFO cap keeps the newest ids. *)
+let recover_seen t =
+  let eng = Durable.engine t.durable in
+  List.iter
+    (fun branch ->
+      List.rev (Engine.history eng branch)
+      |> List.iter (fun (c : Engine.commit) ->
+             let ids = ids_of_message c.message in
+             let n = List.length ids in
+             List.iter
+               (fun id ->
+                 seen_record t id
+                   (Proto.Committed
+                      { req_id = id;
+                        commit = c.id;
+                        version = c.version;
+                        group_size = n }))
+               ids))
+    (Engine.branches eng)
+
+(* --- snapshot publication ---------------------------------------------- *)
+
+let publish_branch t branch head =
+  let view = Engine.index (Durable.engine t.durable) branch in
+  let rest = List.remove_assoc branch (Atomic.get t.snapshot) in
+  Atomic.set t.snapshot ((branch, { head; view }) :: rest)
+
+let publish_all t =
+  let eng = Durable.engine t.durable in
+  let snaps =
+    List.map
+      (fun b -> (b, { head = Engine.head eng b; view = Engine.index eng b }))
+      (Engine.branches eng)
+  in
+  Atomic.set t.snapshot snaps
+
+(* --- writer: group commit ---------------------------------------------- *)
+
+let reply p resp =
+  Mutex.lock p.pmu;
+  p.resp <- Some resp;
+  Condition.signal p.pcond;
+  Mutex.unlock p.pmu
+
+let err code detail = Proto.Err { code; detail }
+
+let enter_read_only t =
+  if not (Atomic.exchange t.ro true) then
+    Telemetry.incr t.tsink "server.readonly.enter"
+
+(* Fold one branch's batches into a single engine commit and ack them
+   all with the same commit id. *)
+let commit_branch_group t branch (items : pending list) =
+  let ids = List.map (fun p -> p.req_id) items in
+  let message = serve_prefix ^ String.concat "," ids in
+  let ops = List.concat_map (fun p -> p.ops) items in
+  let n = List.length items in
+  match
+    Fault.with_retry ~attempts:3 ~sink:t.tsink (fun () ->
+        Durable.commit t.durable ~branch ~message ops)
+  with
+  | Ok c ->
+      publish_branch t branch c;
+      Telemetry.incr t.tsink "server.commit.groups";
+      Telemetry.incr t.tsink ~by:n "server.commit.acked";
+      Telemetry.observe t.tsink "server.commit.group_size" (float_of_int n);
+      List.iter
+        (fun p ->
+          let resp =
+            Proto.Committed
+              { req_id = p.req_id;
+                commit = c.id;
+                version = c.version;
+                group_size = n }
+          in
+          seen_record t p.req_id resp;
+          reply p resp)
+        items;
+      Ok ()
+  | Error (`Tampered h) ->
+      enter_read_only t;
+      let detail = "commit path: tampered node " ^ Hash.to_hex h in
+      List.iter (fun p -> reply p (err Proto.Tampered detail)) items;
+      Error `Stop_group
+  | Error ((`Missing _ | `Malformed _) as e) ->
+      (* Unknown branches are refused at dispatch against the snapshot, so
+         a missing hash here — even a bare Not_found surfacing as
+         [`Missing Hash.null] from deep inside the index build — means
+         the store lost or mangled a node the head still references.
+         That is an integrity failure, not a client error. *)
+      enter_read_only t;
+      let detail = "commit path: " ^ Fault.error_to_string e in
+      List.iter (fun p -> reply p (err Proto.Tampered detail)) items;
+      Error `Stop_group
+  | Error (`Transient _) ->
+      (* still transient after the retry budget: refuse retryably, keep
+         serving — the fault was not an integrity failure. *)
+      List.iter
+        (fun p -> reply p (err Proto.Overload "transient store failure"))
+        items;
+      Ok ()
+
+let process_group t (batch : pending list) =
+  let now = Unix.gettimeofday () in
+  (* 1. deadline-expired batches are refused, never applied late *)
+  let live, expired =
+    List.partition (fun p -> p.deadline = 0.0 || p.deadline >= now) batch
+  in
+  List.iter
+    (fun p ->
+      Telemetry.incr t.tsink "server.timeout";
+      reply p (err Proto.Timeout "deadline expired before commit"))
+    expired;
+  (* 2. read-only mode refuses everything *)
+  if Atomic.get t.ro then
+    List.iter (fun p -> reply p (err Proto.Read_only "server is read-only")) live
+  else begin
+    (* 3. dedup against history and within the batch *)
+    let fresh = ref [] and dups = ref [] and in_batch = Hashtbl.create 8 in
+    List.iter
+      (fun p ->
+        match seen_find t p.req_id with
+        | Some resp ->
+            Telemetry.incr t.tsink "server.commit.dedup";
+            reply p resp
+        | None ->
+            if Hashtbl.mem in_batch p.req_id then begin
+              Telemetry.incr t.tsink "server.commit.dedup";
+              dups := p :: !dups
+            end
+            else begin
+              Hashtbl.add in_batch p.req_id ();
+              fresh := p :: !fresh
+            end)
+      live;
+    let fresh = List.rev !fresh in
+    (* 4. group by branch, preserving arrival order inside each group *)
+    let groups : (string, pending list ref) Hashtbl.t = Hashtbl.create 4 in
+    let order = ref [] in
+    List.iter
+      (fun p ->
+        match Hashtbl.find_opt groups p.branch with
+        | Some l -> l := p :: !l
+        | None ->
+            Hashtbl.add groups p.branch (ref [ p ]);
+            order := p.branch :: !order)
+      fresh;
+    let rec run = function
+      | [] -> ()
+      | branch :: rest -> (
+          let items = List.rev !(Hashtbl.find groups branch) in
+          match commit_branch_group t branch items with
+          | Ok () -> run rest
+          | Error `Stop_group ->
+              (* integrity failure: everything not yet committed is now
+                 refused read-only *)
+              List.iter
+                (fun b ->
+                  List.iter
+                    (fun p -> reply p (err Proto.Read_only "server is read-only"))
+                    (List.rev !(Hashtbl.find groups b)))
+                rest)
+    in
+    run (List.rev !order);
+    (* 5. in-batch duplicates ride on whatever the first occurrence got *)
+    List.iter
+      (fun p ->
+        let resp =
+          match seen_find t p.req_id with
+          | Some resp -> resp
+          | None -> err Proto.Overload "duplicate of a refused commit"
+        in
+        reply p resp)
+      (List.rev !dups)
+  end
+
+let writer_loop t =
+  let rec loop () =
+    Mutex.lock t.qmu;
+    while t.running && (t.paused || Queue.is_empty t.queue) do
+      Condition.wait t.qcond t.qmu
+    done;
+    if Queue.is_empty t.queue then begin
+      (* only reachable with running = false: drain complete *)
+      Mutex.unlock t.qmu
+    end
+    else begin
+      let batch = ref [] in
+      let n = ref 0 in
+      while (not (Queue.is_empty t.queue)) && !n < t.config.group_max do
+        batch := Queue.pop t.queue :: !batch;
+        Stdlib.incr n
+      done;
+      Mutex.unlock t.qmu;
+      process_group t (List.rev !batch);
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- session read dispatch --------------------------------------------- *)
+
+let snap_of t branch = List.assoc_opt branch (Atomic.get t.snapshot)
+
+let dispatch_read t (body : Proto.req) : Proto.response =
+  match body with
+  | Proto.Ping -> Proto.Pong
+  | Proto.Stats ->
+      Proto.Stats_r (Telemetry.Json.to_string (Telemetry.to_json t.tsink))
+  | Proto.Head { branch } -> (
+      match snap_of t branch with
+      | None -> err Proto.Unknown_branch branch
+      | Some s ->
+          Proto.Head_r
+            { id = s.head.id;
+              root = s.head.index_root;
+              version = s.head.version })
+  | Proto.Get { branch; key } -> (
+      match snap_of t branch with
+      | None -> err Proto.Unknown_branch branch
+      | Some s -> (
+          match Fault.protect (fun () -> Generic.get s.view key) with
+          | Ok v -> Proto.Value v
+          | Error e -> err Proto.Tampered (Fault.error_to_string e)))
+  | Proto.Get_many { branch; keys } -> (
+      match snap_of t branch with
+      | None -> err Proto.Unknown_branch branch
+      | Some s -> (
+          match Fault.protect (fun () -> Generic.get_many s.view keys) with
+          | Ok vs -> Proto.Values vs
+          | Error e -> err Proto.Tampered (Fault.error_to_string e)))
+  | Proto.Prove_many { branch; keys } -> (
+      match snap_of t branch with
+      | None -> err Proto.Unknown_branch branch
+      | Some s -> (
+          match
+            Fault.protect (fun () ->
+                Multiproof.encode (Generic.prove_many s.view keys))
+          with
+          | Ok proof -> Proto.Proof { root = s.head.index_root; proof }
+          | Error e -> err Proto.Tampered (Fault.error_to_string e)))
+  | Proto.Commit _ -> assert false  (* routed to the write path *)
+
+let dispatch_commit t ~deadline ~req_id ~branch ~message ~ops : Proto.response =
+  if not (Proto.valid_req_id req_id) then
+    err Proto.Bad_request "invalid req_id (want [A-Za-z0-9._-]{1,64})"
+  else if Atomic.get t.ro then err Proto.Read_only "server is read-only"
+  else
+    match seen_find t req_id with
+    | Some resp ->
+        Telemetry.incr t.tsink "server.commit.dedup";
+        resp
+    | None -> (
+        match snap_of t branch with
+        | None -> err Proto.Unknown_branch branch
+        | Some _ -> (
+            let p =
+              { req_id;
+                branch;
+                client_message = message;
+                ops;
+                deadline;
+                pmu = Mutex.create ();
+                pcond = Condition.create ();
+                resp = None }
+            in
+            Mutex.lock t.qmu;
+            let verdict =
+              if not t.running then `Stopping
+              else if Queue.length t.queue >= t.config.max_queue then `Full
+              else begin
+                Queue.add p t.queue;
+                Condition.signal t.qcond;
+                `Queued
+              end
+            in
+            Mutex.unlock t.qmu;
+            match verdict with
+            | `Stopping -> err Proto.Overload "server shutting down"
+            | `Full ->
+                Telemetry.incr t.tsink "server.overload";
+                err Proto.Overload "commit queue full"
+            | `Queued ->
+                Mutex.lock p.pmu;
+                while p.resp = None do
+                  Condition.wait p.pcond p.pmu
+                done;
+                Mutex.unlock p.pmu;
+                Option.get p.resp))
+
+let op_name : Proto.req -> string = function
+  | Proto.Ping -> "ping"
+  | Proto.Head _ -> "head"
+  | Proto.Get _ -> "get"
+  | Proto.Get_many _ -> "get_many"
+  | Proto.Prove_many _ -> "prove_many"
+  | Proto.Commit _ -> "commit"
+  | Proto.Stats -> "stats"
+
+let handle_request t (r : Proto.request) : Proto.response =
+  let name = op_name r.body in
+  Telemetry.incr t.tsink ("server.req." ^ name);
+  let t0 = Unix.gettimeofday () in
+  let deadline =
+    if r.deadline_ms <= 0 then 0.0
+    else t0 +. (float_of_int r.deadline_ms /. 1000.0)
+  in
+  let resp =
+    match r.body with
+    | Proto.Commit { req_id; branch; message; ops } ->
+        dispatch_commit t ~deadline ~req_id ~branch ~message ~ops
+    | body ->
+        if deadline > 0.0 && Unix.gettimeofday () > deadline then begin
+          Telemetry.incr t.tsink "server.timeout";
+          err Proto.Timeout "deadline expired"
+        end
+        else dispatch_read t body
+  in
+  Telemetry.observe t.tsink
+    ("server.req." ^ name)
+    (Unix.gettimeofday () -. t0);
+  resp
+
+(* --- session loop ------------------------------------------------------- *)
+
+(* The session thread owns its fd for writing; stop wakes a blocked read
+   with [shutdown] (closing an fd another thread is selecting on does not
+   reliably wake it — shutdown does, as a readable EOF). *)
+let session_loop t sid fd =
+  let send resp =
+    match Proto.Io.write_frame fd (Proto.encode_response resp) with
+    | Ok () -> `Cont
+    | Error `Closed -> `Stop
+  in
+  let rec loop () =
+    match Proto.Io.read_frame fd with
+    | Error `Closed | Error `Timeout -> ()
+    | Error (`Tampered d) ->
+        (* refuse and hang up: a peer that sends damaged frames cannot be
+           resynchronized, and nothing of the frame was parsed. *)
+        Telemetry.incr t.tsink "server.refused.tampered";
+        ignore (send (err Proto.Tampered d))
+    | Error (`Malformed d) ->
+        Telemetry.incr t.tsink "server.refused.malformed";
+        ignore (send (err Proto.Bad_request d))
+    | Ok payload -> (
+        match Proto.decode_request payload with
+        | Error (`Malformed d) ->
+            Telemetry.incr t.tsink "server.refused.malformed";
+            ignore (send (err Proto.Bad_request d))
+        | Ok req -> (
+            let resp =
+              try handle_request t req
+              with e ->
+                (* last-ditch: no exception may kill the session thread
+                   silently or escape to the accept loop *)
+                err Proto.Bad_request (Printexc.to_string e)
+            in
+            match send resp with `Cont -> loop () | `Stop -> ()))
+  in
+  (try loop () with _ -> ());
+  Mutex.lock t.smu;
+  Hashtbl.remove t.sessions sid;
+  Mutex.unlock t.smu;
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let accept_loop t lfd =
+  (* poll so stop() can retire the thread without platform-specific
+     listener-shutdown semantics *)
+  let rec loop () =
+    let keep_going = Mutex.lock t.smu; let r = not t.stopped in Mutex.unlock t.smu; r in
+    if keep_going then begin
+      match Unix.select [ lfd ] [] [] 0.2 with
+      | [], _, _ -> loop ()
+      | _ -> (
+          match Unix.accept lfd with
+          | exception Unix.Unix_error _ -> loop ()
+          | fd, _ ->
+              Mutex.lock t.smu;
+              let over = Hashtbl.length t.sessions >= t.config.session_max in
+              if over || t.stopped then begin
+                Mutex.unlock t.smu;
+                Telemetry.incr t.tsink "server.session.reject";
+                ignore
+                  (Proto.Io.write_frame fd
+                     (Proto.encode_response
+                        (err Proto.Overload "too many sessions")));
+                (try Unix.close fd with Unix.Unix_error _ -> ())
+              end
+              else begin
+                let sid = t.next_session in
+                t.next_session <- sid + 1;
+                Hashtbl.replace t.sessions sid fd;
+                Telemetry.incr t.tsink "server.sessions";
+                let th = Thread.create (fun () -> session_loop t sid fd) () in
+                t.session_threads <- th :: t.session_threads;
+                Mutex.unlock t.smu
+              end;
+              loop ())
+    end
+  in
+  try loop () with _ -> ()
+
+(* --- lifecycle ---------------------------------------------------------- *)
+
+(* A SIGKILLed server leaves its socket file behind and the next bind
+   fails EADDRINUSE.  Probe first: if nothing answers, the file is a
+   corpse and safe to unlink; if something accepts, a live server owns
+   the path and the bind must fail. *)
+let reclaim_stale_unix_socket path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let alive =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) -> false
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if not alive then try Unix.unlink path with Unix.Unix_error _ -> ()
+  end
+
+let bind_addr (a : addr) : addr * Unix.file_descr =
+  match a with
+  | `Unix path ->
+      reclaim_stale_unix_socket path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try
+         Unix.bind fd (Unix.ADDR_UNIX path);
+         Unix.listen fd 64
+       with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+      (`Unix path, fd)
+  | `Tcp port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+         Unix.listen fd 64
+       with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+      let port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      (`Tcp port, fd)
+
+let start ?(config = default_config) ~durable ~listen () =
+  let tsink = Siri_store.Store.sink (Engine.store (Durable.engine durable)) in
+  let listeners = List.map bind_addr listen in
+  let t =
+    { config;
+      durable;
+      tsink;
+      snapshot = Atomic.make [];
+      ro = Atomic.make false;
+      qmu = Mutex.create ();
+      qcond = Condition.create ();
+      queue = Queue.create ();
+      running = true;
+      paused = false;
+      seen_mu = Mutex.create ();
+      seen = Hashtbl.create 256;
+      seen_order = Queue.create ();
+      smu = Mutex.create ();
+      sessions = Hashtbl.create 16;
+      session_threads = [];
+      next_session = 0;
+      accept_threads = [];
+      writer = None;
+      listeners;
+      stopped = false }
+  in
+  publish_all t;
+  recover_seen t;
+  t.writer <- Some (Thread.create writer_loop t);
+  t.accept_threads <-
+    List.map (fun (_, lfd) -> Thread.create (accept_loop t) lfd) listeners;
+  t
+
+let force_read_only t = enter_read_only t
+
+let pause_writer t =
+  Mutex.lock t.qmu;
+  t.paused <- true;
+  Mutex.unlock t.qmu
+
+let resume_writer t =
+  Mutex.lock t.qmu;
+  t.paused <- false;
+  Condition.broadcast t.qcond;
+  Mutex.unlock t.qmu
+
+let queue_length t =
+  Mutex.lock t.qmu;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.qmu;
+  n
+
+let stop t =
+  let first =
+    Mutex.lock t.smu;
+    let f = not t.stopped in
+    t.stopped <- true;
+    Mutex.unlock t.smu;
+    f
+  in
+  if first then begin
+    (* 1. refuse new writes, wake the writer and let it drain the queue *)
+    Mutex.lock t.qmu;
+    t.running <- false;
+    t.paused <- false;
+    Condition.broadcast t.qcond;
+    Mutex.unlock t.qmu;
+    (match t.writer with Some th -> Thread.join th | None -> ());
+    (* 2. retire the accept loops (they poll [stopped]) *)
+    List.iter Thread.join t.accept_threads;
+    List.iter
+      (fun ((a : addr), lfd) ->
+        (try Unix.close lfd with Unix.Unix_error _ -> ());
+        match a with
+        | `Unix path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+        | `Tcp _ -> ())
+      t.listeners;
+    (* 3. wake blocked session reads and join the session threads *)
+    Mutex.lock t.smu;
+    Hashtbl.iter
+      (fun _ fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      t.sessions;
+    let threads = t.session_threads in
+    t.session_threads <- [];
+    Mutex.unlock t.smu;
+    List.iter Thread.join threads;
+    (* 4. flush and close the journal *)
+    Durable.close t.durable
+  end

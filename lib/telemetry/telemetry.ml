@@ -85,6 +85,12 @@ type span = { name : string; start_s : float; stop_s : float; depth : int }
 
 type state = {
   clock : unit -> float;
+  mu : Mutex.t;
+      (* guards [counters] and [histos]: {!incr} and {!observe} are called
+         concurrently by server session threads, and an unguarded Hashtbl
+         resize racing a lookup can corrupt a bucket chain.  Spans stay
+         single-threaded (the depth counter makes {!with_span} inherently
+         so) and are not guarded. *)
   counters : (string, int ref) Hashtbl.t;
   histos : (string, Histo.t) Hashtbl.t;
   max_spans : int;
@@ -92,6 +98,10 @@ type state = {
   mutable nspans : int;
   mutable depth : int;
 }
+
+let locked s f =
+  Mutex.lock s.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.mu) f
 
 type sink = state option
 
@@ -107,6 +117,7 @@ let create ?clock ?(max_spans = 100_000) () =
   let clock = match clock with Some c -> c | None -> tick_clock () in
   Some
     { clock;
+      mu = Mutex.create ();
       counters = Hashtbl.create 64;
       histos = Hashtbl.create 16;
       max_spans;
@@ -120,22 +131,25 @@ let now = function None -> 0.0 | Some s -> s.clock ()
 let incr sink ?(by = 1) name =
   match sink with
   | None -> ()
-  | Some s -> (
-      match Hashtbl.find_opt s.counters name with
-      | Some r -> r := !r + by
-      | None -> Hashtbl.add s.counters name (ref by))
+  | Some s ->
+      locked s (fun () ->
+          match Hashtbl.find_opt s.counters name with
+          | Some r -> r := !r + by
+          | None -> Hashtbl.add s.counters name (ref by))
 
 let counter sink name =
   match sink with
   | None -> 0
-  | Some s -> (
-      match Hashtbl.find_opt s.counters name with Some r -> !r | None -> 0)
+  | Some s ->
+      locked s (fun () ->
+          match Hashtbl.find_opt s.counters name with Some r -> !r | None -> 0)
 
 let counters sink =
   match sink with
   | None -> []
   | Some s ->
-      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) s.counters []
+      locked s (fun () ->
+          Hashtbl.fold (fun k r acc -> (k, !r) :: acc) s.counters [])
       |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let histo_of s name =
@@ -147,16 +161,20 @@ let histo_of s name =
       h
 
 let observe sink name x =
-  match sink with None -> () | Some s -> Histo.add (histo_of s name) x
+  match sink with
+  | None -> ()
+  | Some s -> locked s (fun () -> Histo.add (histo_of s name) x)
 
 let histogram sink name =
-  match sink with None -> None | Some s -> Hashtbl.find_opt s.histos name
+  match sink with
+  | None -> None
+  | Some s -> locked s (fun () -> Hashtbl.find_opt s.histos name)
 
 let histograms sink =
   match sink with
   | None -> []
   | Some s ->
-      Hashtbl.fold (fun k h acc -> (k, h) :: acc) s.histos []
+      locked s (fun () -> Hashtbl.fold (fun k h acc -> (k, h) :: acc) s.histos [])
       |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let quantile sink name p =
@@ -168,9 +186,10 @@ let record_span s span =
     s.nspans <- s.nspans + 1
   end
   else
-    match Hashtbl.find_opt s.counters "telemetry.spans_dropped" with
-    | Some r -> Stdlib.incr r
-    | None -> Hashtbl.add s.counters "telemetry.spans_dropped" (ref 1)
+    locked s (fun () ->
+        match Hashtbl.find_opt s.counters "telemetry.spans_dropped" with
+        | Some r -> Stdlib.incr r
+        | None -> Hashtbl.add s.counters "telemetry.spans_dropped" (ref 1))
 
 let with_span sink name f =
   match sink with
@@ -215,8 +234,9 @@ let reset sink =
   match sink with
   | None -> ()
   | Some s ->
-      Hashtbl.reset s.counters;
-      Hashtbl.reset s.histos;
+      locked s (fun () ->
+          Hashtbl.reset s.counters;
+          Hashtbl.reset s.histos);
       s.spans <- [];
       s.nspans <- 0;
       s.depth <- 0

@@ -34,7 +34,14 @@
     {b Cost.}  The {!null} sink is a [None]-tagged option: every probe on
     it is a single pattern match, so instrumented hot paths stay hot when
     telemetry is off, and attaching a sink never changes any root hash —
-    instrumentation observes, it does not serialize. *)
+    instrumentation observes, it does not serialize.
+
+    {b Threads.}  Counters and histograms ({!incr}, {!observe} and their
+    readers) are guarded by an internal mutex, so concurrent server
+    session threads can meter onto one shared sink.  Spans are {e not}:
+    {!with_span} keeps a nesting-depth cursor that only makes sense on a
+    single thread — multi-threaded callers must stick to {!incr} and
+    {!observe}. *)
 
 type sink
 (** A metrics collector, or the disabled {!null} sink. *)
@@ -117,7 +124,8 @@ type span = {
 
 val with_span : sink -> string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a named scope.  The completed span is recorded on
-    exit (also when the thunk raises — the exception is re-raised). *)
+    exit (also when the thunk raises — the exception is re-raised).
+    Single-threaded only — see the Threads note above. *)
 
 val spans : sink -> span list
 (** Completed spans in completion order (inner spans before the scopes

@@ -1,0 +1,207 @@
+(* Integration: the CLI's documented exit codes, pinned by running the
+   real binaries as subprocesses.  The convention under test:
+
+     0  clean          (recover/checkpoint clean journal, scrub intact,
+                        verify-proof verified)
+     1  degraded       (torn tail clamped, integrity violations found,
+                        proof refused)
+     2  unrecoverable  (mid-journal corruption, malformed/tampered input)
+
+   Scripts and the crash harness branch on these codes, so a drift here
+   is an interface break even though no OCaml API changed. *)
+
+open Siri_core
+module Store = Siri_store.Store
+module Hash = Siri_crypto.Hash
+module Durable = Siri_wal.Durable
+module Telemetry = Siri_telemetry.Telemetry
+
+let dir_counter = ref 0
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let with_dir name f =
+  incr dir_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "siri-cli-%s-%d-%d" name (Unix.getpid ()) !dir_counter)
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let bin_dir () =
+  match Sys.getenv_opt "SIRI_BIN_DIR" with
+  | Some d -> d
+  | None ->
+      if Sys.file_exists "../bin/siri_cli.exe" then "../bin"
+      else "_build/default/bin"
+
+(* Run the CLI, swallowing its output; return the exit code. *)
+let run_cli args =
+  let exe = Filename.concat (bin_dir ()) "siri_cli.exe" in
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process exe
+      (Array.of_list (exe :: args))
+      Unix.stdin null null
+  in
+  Unix.close null;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED code -> code
+  | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) ->
+      Alcotest.failf "siri_cli killed by signal %d" n
+
+let check_exit what expected args =
+  Alcotest.(check int) (what ^ ": " ^ String.concat " " args) expected
+    (run_cli args)
+
+let mk_index store =
+  Siri_pos.Pos_tree.generic
+    (Siri_pos.Pos_tree.empty store (Siri_pos.Pos_tree.config ()))
+
+(* A durable directory with [n] committed batches, cleanly closed. *)
+let seed_durable ?(n = 5) dir =
+  let store = Store.create () in
+  let d =
+    match Durable.open_ ~sync:false ~dir ~empty_index:(mk_index store) () with
+    | Ok d -> d
+    | Error _ -> Alcotest.fail "seed open"
+  in
+  for i = 1 to n do
+    ignore
+      (Durable.commit d ~branch:"master" ~message:(Printf.sprintf "c%d" i)
+         [ Kv.Put (Printf.sprintf "k%d" i, Printf.sprintf "v%d" i) ])
+  done;
+  Durable.close d
+
+let append_bytes path s =
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc s;
+  close_out oc
+
+let flip_byte path off =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.of_string (really_input_string ic n) in
+  close_in ic;
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x41));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let test_recover_exit_codes () =
+  with_dir "recover" @@ fun dir ->
+  let d1 = Filename.concat dir "clean" in
+  seed_durable d1;
+  check_exit "clean journal" 0 [ "recover"; d1 ];
+  (* torn tail: garbage appended after the last good frame is clamped *)
+  let d2 = Filename.concat dir "torn" in
+  seed_durable d2;
+  append_bytes (Durable.journal_path d2) "\x99\x88\x77";
+  check_exit "torn tail clamped" 1 [ "recover"; d2 ];
+  (* the clamp truncates on disk: a second recovery is clean *)
+  check_exit "clean after clamp" 0 [ "recover"; d2 ];
+  (* mid-journal corruption is unrecoverable, not clamp-able.  The flip
+     must land past the first frame's 4-byte length field (a damaged
+     length reads as a torn tail, by design): offset 20 is inside the
+     frame's 32-byte digest, a guaranteed checksum mismatch. *)
+  let d3 = Filename.concat dir "corrupt" in
+  seed_durable d3;
+  flip_byte (Durable.journal_path d3) 20;
+  check_exit "mid-journal corruption" 2 [ "recover"; d3 ]
+
+let test_checkpoint_exit_codes () =
+  with_dir "checkpoint" @@ fun dir ->
+  let d = Filename.concat dir "ck" in
+  seed_durable d;
+  check_exit "checkpoint clean" 0 [ "checkpoint"; d ];
+  (* after the checkpoint the journal is truncated: recover sees clean *)
+  check_exit "recover after checkpoint" 0 [ "recover"; d ];
+  (* the pack backend follows the same convention *)
+  let store = Store.create () in
+  let dp = Filename.concat dir "ckp" in
+  (match
+     Durable.open_ ~sync:false ~backend:`Pack ~dir:dp
+       ~empty_index:(mk_index store) ()
+   with
+  | Ok t ->
+      ignore (Durable.commit t ~branch:"master" ~message:"p" [ Kv.Put ("a", "1") ]);
+      Durable.close t
+  | Error _ -> Alcotest.fail "pack seed");
+  check_exit "pack checkpoint" 0 [ "checkpoint"; "--backend"; "pack"; dp ]
+
+let test_scrub_exit_codes () =
+  with_dir "scrub" @@ fun dir ->
+  (* an intact snapshot: build a store, save, scrub *)
+  let store = Store.create () in
+  let inst = mk_index store in
+  let v =
+    Generic.of_entries inst
+      (List.init 50 (fun i -> (Printf.sprintf "k%03d" i, "v")))
+  in
+  let snap = Filename.concat dir "store" in
+  Store.save ~sync:false store snap;
+  check_exit "intact store" 0 [ "scrub"; snap ];
+  (* silent payload damage (hash kept, bytes changed) -> violations, 1 *)
+  Store.corrupt store v.Generic.root;
+  let bad = Filename.concat dir "bad" in
+  Store.save ~sync:false store bad;
+  check_exit "corrupt node found" 1 [ "scrub"; bad ];
+  (* an unreadable file -> 2 *)
+  let junk = Filename.concat dir "junk" in
+  let oc = open_out_bin junk in
+  output_string oc "not a store file";
+  close_out oc;
+  check_exit "malformed store file" 2 [ "scrub"; junk ]
+
+let test_verify_proof_exit_codes () =
+  with_dir "vproof" @@ fun dir ->
+  let tsv = Filename.concat dir "data.tsv" in
+  let oc = open_out tsv in
+  for i = 1 to 40 do
+    Printf.fprintf oc "key%03d\tvalue%d\n" i i
+  done;
+  close_out oc;
+  let proof = Filename.concat dir "p.bin" in
+  check_exit "prove writes a proof" 0
+    [ "prove"; "-i"; "pos"; tsv; "key007"; "absent-key"; "-o"; proof ];
+  check_exit "proof verifies against data" 0
+    [ "verify-proof"; "-i"; "pos"; proof; "--data"; tsv ];
+  (* refused against the wrong trusted root -> 1 *)
+  check_exit "proof refused against wrong root" 1
+    [ "verify-proof"; "-i"; "pos"; proof; "--root"; String.make 64 '0' ];
+  (* a flipped byte in the encoded proof is tampered/malformed -> 2 *)
+  flip_byte proof ((Unix.stat proof).Unix.st_size / 2);
+  check_exit "tampered proof file" 2
+    [ "verify-proof"; "-i"; "pos"; proof; "--data"; tsv ]
+
+let test_connect_exit_codes () =
+  (* no server listening: connect must fail with a nonzero code, and
+     missing address arguments are a usage error *)
+  with_dir "connect" @@ fun dir ->
+  let sock = Filename.concat dir "nope.sock" in
+  Alcotest.(check bool) "dead socket refused" true
+    (run_cli [ "connect"; "--unix"; sock ] <> 0);
+  check_exit "missing address" 2 [ "connect" ]
+
+let () =
+  Alcotest.run "cli"
+    [ ( "exit codes",
+        [ Alcotest.test_case "recover: 0 clean / 1 clamped / 2 corrupt" `Quick
+            test_recover_exit_codes;
+          Alcotest.test_case "checkpoint: 0 on both backends" `Quick
+            test_checkpoint_exit_codes;
+          Alcotest.test_case "scrub: 0 intact / 1 violations / 2 malformed"
+            `Quick test_scrub_exit_codes;
+          Alcotest.test_case "verify-proof: 0 ok / 1 refused / 2 tampered"
+            `Quick test_verify_proof_exit_codes;
+          Alcotest.test_case "connect: errors are nonzero" `Quick
+            test_connect_exit_codes ] ) ]

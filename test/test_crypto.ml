@@ -114,6 +114,29 @@ let qcheck_hex_roundtrip =
   QCheck.Test.make ~name:"hex roundtrip" ~count:200 QCheck.string (fun s ->
       Hex.decode (Hex.encode s) = s)
 
+(* Concurrent one-shot digests from systhreads sharing one domain: the
+   scratch context must never be shared mid-digest.  (Regression: a
+   domain-local context used in place let a preempted thread's reset and
+   feeds interleave with another's — the server's journal frames then
+   carried digests of neither payload, and a SIGKILL-restart refused the
+   journal as corrupt.) *)
+let test_threaded_digests () =
+  let inputs =
+    Array.init 64 (fun i -> String.make (50 + (137 * i mod 4000)) (Char.chr (33 + (i mod 90))))
+  in
+  let expected = Array.map Sha256.digest_string inputs in
+  let bad = Atomic.make 0 in
+  let worker _ =
+    for round = 0 to 400 do
+      let i = (round * 31) mod Array.length inputs in
+      if not (String.equal (Sha256.digest_string inputs.(i)) expected.(i))
+      then Atomic.incr bad
+    done
+  in
+  let threads = List.init 8 (fun w -> Thread.create worker w) in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "no interleaved digests" 0 (Atomic.get bad)
+
 let () =
   Alcotest.run "crypto"
     [ ( "sha256",
@@ -121,6 +144,8 @@ let () =
           Alcotest.test_case "million 'a'" `Quick test_million_a;
           Alcotest.test_case "streaming chunk sizes" `Quick test_streaming_chunks;
           Alcotest.test_case "padding boundaries" `Quick test_boundary_lengths;
+          Alcotest.test_case "threaded one-shot digests" `Quick
+            test_threaded_digests;
           QCheck_alcotest.to_alcotest qcheck_streaming ] );
       ( "hash",
         [ Alcotest.test_case "basics" `Quick test_hash_basics;

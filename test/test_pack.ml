@@ -432,6 +432,53 @@ let test_with_retry () =
   | Error (`Missing _) -> ()
   | _ -> Alcotest.fail "non-transient must not retry")
 
+let test_with_retry_jitter () =
+  (* Full jitter: with ~jitter:seed each pause is cap * u_i where
+     cap = backoff * 2^i and u_i is the i-th draw of Rng.create seed —
+     so the schedule is exactly reproducible, and every pause stays
+     inside [0, cap), which is what stops a thundering herd of clients
+     from retrying in lockstep. *)
+  let schedule ~seed ~backoff ~attempts =
+    let slept = ref [] in
+    (match
+       Fault.with_retry ~attempts ~backoff_s:backoff ~jitter:seed
+         ~sleep:(fun d -> slept := d :: !slept)
+         (fun () -> raise (Store.Transient Hash.null))
+     with
+    | Error (`Transient _) -> ()
+    | _ -> Alcotest.fail "must give up");
+    List.rev !slept
+  in
+  let got = schedule ~seed:11 ~backoff:0.001 ~attempts:4 in
+  let rng = Rng.create 11 in
+  let expected =
+    List.map (fun i -> 0.001 *. float_of_int (1 lsl i) *. Rng.float rng) [ 0; 1; 2 ]
+  in
+  Alcotest.(check (list (float 1e-12))) "pinned jittered schedule" expected got;
+  List.iteri
+    (fun i d ->
+      let cap = 0.001 *. float_of_int (1 lsl i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "pause %d in [0, cap)" i)
+        true
+        (d >= 0.0 && d < cap))
+    got;
+  (* deterministic: same seed, same schedule *)
+  Alcotest.(check (list (float 1e-12))) "same seed reproduces"
+    got
+    (schedule ~seed:11 ~backoff:0.001 ~attempts:4);
+  (* decorrelated: a different seed gives a different schedule *)
+  Alcotest.(check bool) "different seed differs" true
+    (schedule ~seed:12 ~backoff:0.001 ~attempts:4 <> got);
+  (* no jitter argument: the undithered exponential schedule is unchanged *)
+  let slept = ref [] in
+  ignore
+    (Fault.with_retry ~attempts:3 ~backoff_s:0.01
+       ~sleep:(fun d -> slept := d :: !slept)
+       (fun () -> raise (Store.Transient Hash.null)));
+  Alcotest.(check (list (float 1e-9))) "no-jitter schedule intact"
+    [ 0.01; 0.02 ] (List.rev !slept)
+
 let test_io_gate_transients () =
   with_dir "gate" @@ fun dir ->
   let written = nodes 30 in
@@ -668,6 +715,8 @@ let () =
       ( "retry",
         [ Alcotest.test_case "with_retry semantics + telemetry" `Quick
             test_with_retry;
+          Alcotest.test_case "with_retry full-jitter schedule" `Quick
+            test_with_retry_jitter;
           Alcotest.test_case "io gates: transient/flip/truncate" `Quick
             test_io_gate_transients ] );
       ( "store backend",
