@@ -33,14 +33,22 @@
 #                  concurrent client traffic, asserting every acked commit
 #                  survives recovery, every unacked one is atomically
 #                  present-or-absent, and no phantom commits appear.
+#   make shard   — run the sharded-keyspace suite with the crash harness
+#                  scaled up: SIRI_SHARD_ROUNDS=15 SIGKILLs a committing
+#                  child at 15 seeded points mid-multi-shard-fan-out and
+#                  asserts all-or-clamped recovery — every shard rolls back
+#                  to the same published composite prefix, never a mix of
+#                  shard generations — plus the top-journal truncation sweep
+#                  and the tampered-proof zero-acceptance storm.
 #   make quick   — tier-1 without the slow cases: everything alcotest marks
-#                  `Slow (the SIGKILL storms and the qcheck property tests)
-#                  is skipped via ALCOTEST_QUICK_TESTS.
+#                  `Slow (the SIGKILL storms, the every-offset truncation
+#                  sweeps and the qcheck property tests) is skipped via
+#                  ALCOTEST_QUICK_TESTS.
 
 DUNE ?= dune
 QCHECK_SEED ?= 20260806
 
-.PHONY: all build test quick smoke crash par read pack proof serve check bench clean
+.PHONY: all build test quick smoke crash par read pack proof serve shard check bench clean
 
 all: build
 
@@ -77,7 +85,10 @@ proof: build
 serve: build
 	SIRI_SERVE_ROUNDS=25 QCHECK_SEED=$(QCHECK_SEED) $(DUNE) exec test/test_server.exe
 
-check: build test smoke crash par read pack proof serve
+shard: build
+	SIRI_SHARD_ROUNDS=15 QCHECK_SEED=$(QCHECK_SEED) $(DUNE) exec test/test_shard.exe
+
+check: build test smoke crash par read pack proof serve shard
 	@echo "check: OK"
 
 bench:

@@ -38,6 +38,7 @@ let experiments =
     ("parallel", "extension: domain sweep of the parallel commit pipeline", Fig_parallel.run);
     ("readpath", "extension: decoded-node cache, batched get, Bloom filters", Fig_readpath.run);
     ("server", "extension: multi-client server, group vs single commit", Fig_server.run);
+    ("shard", "extension: sharded keyspace, concurrent commit + composite root", Fig_shard.run);
     ("batch", "ablation: write batch size vs throughput", Fig_throughput.batch_throughput);
     ("micro", "Bechamel per-op microbenchmarks", Micro.run);
     ("params", "print the Table 1/2 notation and parameter values", fun () ->

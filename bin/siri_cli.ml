@@ -20,6 +20,10 @@ module Telemetry = Siri_telemetry.Telemetry
 module Table = Siri_benchkit.Table
 module Ycsb = Siri_workload.Ycsb
 module Pool = Siri_parallel.Pool
+module Partition = Siri_shard.Partition
+module Shard_views = Siri_shard.Views
+module Shard_proof = Siri_shard.Shard_proof
+module Sharded = Siri_shard.Sharded
 
 (* --- index selection ------------------------------------------------------- *)
 
@@ -81,6 +85,40 @@ let file_arg idx docv =
   Arg.(required & pos idx (some file) None & info [] ~docv)
 
 let key_arg idx = Arg.(required & pos idx (some string) None & info [] ~docv:"KEY")
+
+(* --- sharded keyspace plumbing --------------------------------------------- *)
+
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Partition the keyspace across $(docv) shards (one independent \
+           index per shard, one composite Merkle root over all of them).")
+
+let partition_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("hash", Partition.Hash); ("range", Partition.Range) ])
+        Partition.Hash
+    & info [ "partition" ] ~docv:"SCHEME"
+        ~doc:"Partition scheme with --shards: $(b,hash) (default) or $(b,range).")
+
+(* Per-shard in-memory views built from a TSV dataset: each shard gets its
+   own store and index instance holding exactly the records the spec
+   routes to it. *)
+let sharded_views kind spec entries =
+  let buckets = Array.make spec.Partition.shards [] in
+  List.iter
+    (fun ((k, _) as e) ->
+      let i = Partition.shard_of_key spec k in
+      buckets.(i) <- e :: buckets.(i))
+    entries;
+  Array.map
+    (fun part -> Generic.of_entries (make kind (Store.create ())) (List.rev part))
+    buckets
 
 (* --- commands ------------------------------------------------------------------ *)
 
@@ -220,6 +258,22 @@ let stats_workload ?pool ?cache_bytes ~records ~ops ~json () =
   0
 
 let stats_cmd =
+  let run_sharded kind spec path =
+    let entries = read_tsv path in
+    let views = sharded_views kind spec entries in
+    Printf.printf "index      : %s\n" views.(0).Generic.name;
+    Printf.printf "partition  : %s\n" (Partition.to_string spec);
+    Printf.printf "records    : %d\n" (List.length entries);
+    Array.iteri
+      (fun i v ->
+        Printf.printf "shard %-4d : %6d records  root %s\n" i
+          (v.Generic.cardinal ())
+          (Hash.short v.Generic.root))
+      views;
+    Printf.printf "composite  : %s\n"
+      (Hash.to_hex (Shard_views.composite spec views));
+    0
+  in
   let run ~pool kind path =
     let store = Store.create () in
     let inst = Generic.load_sorted (make ~pool kind store) (read_tsv path) in
@@ -302,18 +356,25 @@ let stats_cmd =
              (overrides $(b,SIRI_NODE_CACHE); 0 disables).  Default: the \
              environment variable, else disabled.")
   in
-  let dispatch kind path records ops json domains cache =
-    let pool =
-      match domains with
-      | Some d -> Pool.create ~domains:d ()
-      | None -> Pool.create ()
-    in
-    Fun.protect
-      ~finally:(fun () -> Pool.shutdown pool)
-      (fun () ->
-        match path with
-        | Some path -> run ~pool kind path
-        | None -> stats_workload ~pool ?cache_bytes:cache ~records ~ops ~json ())
+  let dispatch kind shards partition path records ops json domains cache =
+    match (shards, path) with
+    | Some n, Some path -> run_sharded kind (Partition.make partition ~shards:n) path
+    | Some _, None ->
+        prerr_endline "stats: --shards needs a FILE dataset";
+        2
+    | None, _ ->
+        let pool =
+          match domains with
+          | Some d -> Pool.create ~domains:d ()
+          | None -> Pool.create ()
+        in
+        Fun.protect
+          ~finally:(fun () -> Pool.shutdown pool)
+          (fun () ->
+            match path with
+            | Some path -> run ~pool kind path
+            | None ->
+                stats_workload ~pool ?cache_bytes:cache ~records ~ops ~json ())
   in
   Cmd.v
     (Cmd.info "stats"
@@ -323,8 +384,8 @@ let stats_cmd =
           and print per-structure counters, node-cache hit ratios and \
           per-tier p50/p95/p99 latencies.")
     Term.(
-      const dispatch $ index_arg $ file_opt $ records $ ops $ json $ domains
-      $ cache)
+      const dispatch $ index_arg $ shards_arg $ partition_arg $ file_opt
+      $ records $ ops $ json $ domains $ cache)
 
 let get_cmd =
   let run kind path key =
@@ -351,7 +412,41 @@ let prove_cmd =
       & info [ "o"; "out" ] ~docv:"FILE"
           ~doc:"Write the encoded multiproof (Frame-wrapped wire format) to $(docv).")
   in
-  let run kind path keys out =
+  let write_out out encoded =
+    match out with
+    | None -> ()
+    | Some file ->
+        let oc = open_out_bin file in
+        output_string oc encoded;
+        close_out oc;
+        Printf.eprintf "wrote %d bytes to %s\n" (String.length encoded) file
+  in
+  let run_sharded kind spec path keys out =
+    let views = sharded_views kind spec (read_tsv path) in
+    let sp = Shard_proof.prove ~views spec keys in
+    List.iter
+      (fun (k, claim) ->
+        Printf.printf "%-24s : shard %d, %s\n" k
+          (Partition.shard_of_key spec k)
+          (match claim with Some v -> "present, value " ^ v | None -> "absent"))
+      (Shard_proof.claims sp);
+    let encoded = Shard_proof.encode sp in
+    Printf.printf "proof      : %d shard part%s of %d, %d bytes encoded\n"
+      (List.length sp.Shard_proof.parts)
+      (if List.length sp.Shard_proof.parts = 1 then "" else "s")
+      spec.Partition.shards (String.length encoded);
+    let composite = Shard_views.composite spec views in
+    Printf.printf "composite  : %s\n" (Hash.to_hex composite);
+    let verifier = make kind (Store.create ()) in
+    let ok = Shard_proof.verify ~verifier ~composite sp in
+    Printf.printf "verified   : %b\n" ok;
+    write_out out encoded;
+    if ok then 0 else 1
+  in
+  let run kind shards partition path keys out =
+    match shards with
+    | Some n -> run_sharded kind (Partition.make partition ~shards:n) path keys out
+    | None ->
     let _, inst = load kind path in
     let mp = Generic.prove_many inst keys in
     List.iter
@@ -377,13 +472,7 @@ let prove_cmd =
     Printf.printf "root       : %s\n" (Hash.to_hex inst.Generic.root);
     let ok = Generic.verify_many inst ~root:inst.Generic.root mp in
     Printf.printf "verified   : %b\n" ok;
-    (match out with
-    | None -> ()
-    | Some file ->
-        let oc = open_out_bin file in
-        output_string oc encoded;
-        close_out oc;
-        Printf.eprintf "wrote %d bytes to %s\n" (String.length encoded) file);
+    write_out out encoded;
     if ok then 0 else 1
   in
   Cmd.v
@@ -391,8 +480,13 @@ let prove_cmd =
        ~doc:
          "Produce and verify a batched Merkle multiproof (membership and \
           absence) for one or more KEYs, reporting its size against the \
-          equivalent single proofs.")
-    Term.(const run $ index_arg $ file_arg 0 "FILE" $ keys_arg $ out_arg)
+          equivalent single proofs.  With $(b,--shards) the dataset is \
+          partitioned and a two-layer sharded proof (shard multiproofs + \
+          top shard-root vector) is produced and verified against the \
+          composite root.")
+    Term.(
+      const run $ index_arg $ shards_arg $ partition_arg $ file_arg 0 "FILE"
+      $ keys_arg $ out_arg)
 
 let verify_proof_cmd =
   let proof_arg =
@@ -423,7 +517,10 @@ let verify_proof_cmd =
       close_in ic;
       s
     in
-    let root =
+    let blob = read_file proof_file in
+    (* [rebuild] turns --data into the trusted digest for whichever proof
+       shape the blob turned out to be. *)
+    let trusted rebuild =
       match (root_hex, data) with
       | Some hex, None -> (
           match Hash.of_hex hex with
@@ -431,46 +528,82 @@ let verify_proof_cmd =
           | exception Invalid_argument _ ->
               prerr_endline "malformed --root (need 64 hex chars)";
               None)
-      | None, Some path ->
-          let _, inst = load kind path in
-          Some inst.Generic.root
+      | None, Some path -> Some (rebuild path)
       | _ ->
           prerr_endline "exactly one of --root and --data is required";
           None
     in
-    match root with
-    | None -> 2
-    | Some root -> (
-        match Multiproof.decode (read_file proof_file) with
-        | Error (`Malformed why) ->
-            Printf.eprintf "malformed proof: %s\n" why;
-            2
-        | Error (`Tampered why) ->
-            Printf.eprintf "tampered proof: %s\n" why;
-            2
-        | Ok mp ->
-            (* An empty instance carries the per-kind verification logic
-               (and, for MBT, the tree geometry); verification itself never
-               touches the store. *)
-            let inst = make kind (Store.create ()) in
-            let ok = inst.Generic.verify_many ~root mp in
-            Printf.printf "claims   : %d (%d absent)\n"
-              (List.length mp.Multiproof.claims)
-              (List.length
-                 (List.filter (fun (_, v) -> v = None) mp.Multiproof.claims));
-            Printf.printf "nodes    : %d (%d bytes)\n"
-              (List.length mp.Multiproof.nodes)
-              (Multiproof.size_bytes mp);
-            Printf.printf "root     : %s\n" (Hash.to_hex root);
-            Printf.printf "verified : %b\n" ok;
-            if ok then 0 else 1)
+    if Shard_proof.is_encoded blob then
+      match Shard_proof.decode blob with
+      | Error (`Malformed why) ->
+          Printf.eprintf "malformed proof: %s\n" why;
+          2
+      | Error (`Tampered why) ->
+          Printf.eprintf "tampered proof: %s\n" why;
+          2
+      | Ok sp -> (
+          (* --data is partitioned with the proof's own spec: the spec is
+             bound into the composite digest, so a proof lying about it
+             cannot verify anyway. *)
+          let rebuild path =
+            Shard_views.composite sp.Shard_proof.spec
+              (sharded_views kind sp.Shard_proof.spec (read_tsv path))
+          in
+          match trusted rebuild with
+          | None -> 2
+          | Some composite ->
+              let verifier = make kind (Store.create ()) in
+              let ok = Shard_proof.verify ~verifier ~composite sp in
+              let claims = Shard_proof.claims sp in
+              Printf.printf "sharded  : %s, %d of %d shards touched\n"
+                (Partition.to_string sp.Shard_proof.spec)
+                (List.length sp.Shard_proof.parts)
+                sp.Shard_proof.spec.Partition.shards;
+              Printf.printf "claims   : %d (%d absent)\n" (List.length claims)
+                (List.length (List.filter (fun (_, v) -> v = None) claims));
+              Printf.printf "root     : %s\n" (Hash.to_hex composite);
+              Printf.printf "verified : %b\n" ok;
+              if ok then 0 else 1)
+    else
+      let rebuild path =
+        let _, inst = load kind path in
+        inst.Generic.root
+      in
+      match trusted rebuild with
+      | None -> 2
+      | Some root -> (
+          match Multiproof.decode blob with
+          | Error (`Malformed why) ->
+              Printf.eprintf "malformed proof: %s\n" why;
+              2
+          | Error (`Tampered why) ->
+              Printf.eprintf "tampered proof: %s\n" why;
+              2
+          | Ok mp ->
+              (* An empty instance carries the per-kind verification logic
+                 (and, for MBT, the tree geometry); verification itself never
+                 touches the store. *)
+              let inst = make kind (Store.create ()) in
+              let ok = inst.Generic.verify_many ~root mp in
+              Printf.printf "claims   : %d (%d absent)\n"
+                (List.length mp.Multiproof.claims)
+                (List.length
+                   (List.filter (fun (_, v) -> v = None) mp.Multiproof.claims));
+              Printf.printf "nodes    : %d (%d bytes)\n"
+                (List.length mp.Multiproof.nodes)
+                (Multiproof.size_bytes mp);
+              Printf.printf "root     : %s\n" (Hash.to_hex root);
+              Printf.printf "verified : %b\n" ok;
+              if ok then 0 else 1)
   in
   Cmd.v
     (Cmd.info "verify-proof"
        ~doc:
-         "Decode an encoded multiproof and verify it against a trusted root \
-          ($(b,--root) or the root of a rebuilt $(b,--data) index).  Exits 0 \
-          if verified, 1 if refused, 2 if the file is malformed or tampered.")
+         "Decode an encoded proof — flat multiproof or sharded two-layer \
+          proof, detected from the blob — and verify it against a trusted \
+          root ($(b,--root) or the root of a rebuilt $(b,--data) index).  \
+          Exits 0 if verified, 1 if refused, 2 if the file is malformed or \
+          tampered.")
     Term.(const run $ index_arg $ proof_arg $ root_arg $ data_arg)
 
 let diff_cmd =
@@ -703,7 +836,40 @@ let pack_cmd =
   let out_arg =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"DIR")
   in
-  let run kind from_snapshot src dir =
+  let run_sharded kind spec src dir =
+    match
+      Sharded.open_ ~backend:`Pack ~spec ~dir
+        ~empty_index:(fun () -> make kind (Store.create ()))
+        ()
+    with
+    | Error e ->
+        Format.eprintf "pack: %a@." Siri_wal.Wal.pp_error e;
+        2
+    | Ok t ->
+        let ops = List.map (fun (k, v) -> Kv.Put (k, v)) (read_tsv src) in
+        let h = Sharded.commit t ~branch:"master" ~message:"pack" ops in
+        (* Checkpoint so the records land in the per-shard pack segments
+           and the journals truncate — the shape a served directory has. *)
+        Sharded.checkpoint t;
+        Printf.printf "partition : %s\n" (Partition.to_string spec);
+        Array.iteri
+          (fun i r -> Printf.printf "shard %-3d : root %s\n" i (Hash.short r))
+          h.Sharded.roots;
+        Printf.printf "composite : %s (seq %d)\n"
+          (Hash.to_hex h.Sharded.composite)
+          h.Sharded.seq;
+        Sharded.close t;
+        0
+  in
+  let run kind from_snapshot shards partition src dir =
+    match shards with
+    | Some n ->
+        if from_snapshot then begin
+          prerr_endline "pack: --from-snapshot and --shards are exclusive";
+          2
+        end
+        else run_sharded kind (Partition.make partition ~shards:n) src dir
+    | None -> (
     match Pack.open_ dir with
     | Error (`Tampered msg) ->
         Printf.eprintf "pack: %s\n" msg;
@@ -726,14 +892,18 @@ let pack_cmd =
         end;
         pack_summary p;
         Pack.close p;
-        0
+        0)
   in
   Cmd.v
     (Cmd.info "pack"
        ~doc:
          "Build a log-structured pack directory from a TSV dataset (or, \
-          with $(b,--from-snapshot), migrate a saved node store into one).")
-    Term.(const run $ index_arg $ from_snapshot $ file_arg 0 "SRC" $ out_arg)
+          with $(b,--from-snapshot), migrate a saved node store into one).  \
+          With $(b,--shards) the dataset is committed into a sharded \
+          durable directory whose shards each use a pack backend.")
+    Term.(
+      const run $ index_arg $ from_snapshot $ shards_arg $ partition_arg
+      $ file_arg 0 "SRC" $ out_arg)
 
 let compact_cmd =
   let roots =
@@ -814,6 +984,60 @@ let durable_backend_arg =
           "Checkpoint backend the directory was created with: \
            $(b,snapshot) (default) or $(b,pack).")
 
+(* Sharded variant of the recover/checkpoint report: per-shard replay
+   stats plus the top-journal clamp and the rolled-back (published-but-
+   not-sequenced) record count, then the composite head per branch. *)
+let sharded_durable_run ~checkpoint kind backend spec dir =
+  match
+    Sharded.open_ ~backend ?spec ~dir
+      ~empty_index:(fun () -> make kind (Store.create ()))
+      ()
+  with
+  | Error e ->
+      Format.eprintf "recover: %a@." Wal.pp_error e;
+      2
+  | Ok t ->
+      let r = Sharded.recovery t in
+      Printf.printf "partition  : %s\n" (Partition.to_string (Sharded.spec t));
+      Printf.printf "last seq   : %d\n" r.Sharded.last_seq;
+      Printf.printf "top clamp  : %d byte%s of torn tail\n"
+        r.Sharded.top_clamped_bytes
+        (if r.Sharded.top_clamped_bytes = 1 then "" else "s");
+      if r.Sharded.capped > 0 then
+        Printf.printf "rolled back: %d unpublished shard record%s\n"
+          r.Sharded.capped
+          (if r.Sharded.capped = 1 then "" else "s");
+      Array.iteri
+        (fun i sr ->
+          Printf.printf
+            "shard %-4d : generation %d, replayed %d, clamped %d byte%s\n" i
+            sr.Durable.generation sr.Durable.replayed sr.Durable.clamped_bytes
+            (if sr.Durable.clamped_bytes = 1 then "" else "s"))
+        r.Sharded.shards;
+      List.iter
+        (fun b ->
+          let h = Sharded.head t ~branch:b in
+          Printf.printf "branch     : %-12s composite %s (seq %d)\n" b
+            (Hash.short h.Sharded.composite) h.Sharded.seq)
+        (Sharded.branches t);
+      if checkpoint then begin
+        Sharded.checkpoint t;
+        print_endline "checkpoint : all shards checkpointed, top journal compacted"
+      end;
+      Sharded.close t;
+      if
+        r.Sharded.top_clamped_bytes > 0
+        || r.Sharded.capped > 0
+        || Array.exists (fun sr -> sr.Durable.clamped_bytes > 0) r.Sharded.shards
+      then begin
+        print_endline "=> recovered (unpublished tail rolled back)";
+        1
+      end
+      else begin
+        print_endline "=> clean";
+        0
+      end
+
 (* Shared by recover and checkpoint: open (recovering), print the report,
    optionally checkpoint, and exit with the established convention —
    0 clean, 1 recovered-with-clamp, 2 unrecoverable. *)
@@ -857,17 +1081,36 @@ let durable_run ~checkpoint kind backend dir =
         0
       end
 
+(* A sharded directory is self-describing (its SHARDS manifest), so
+   recover/checkpoint auto-detect one; --shards is only needed to create
+   a fresh sharded directory (or to assert the expected count — a
+   mismatch with the manifest is refused). *)
+let durable_dispatch ~checkpoint kind backend shards partition dir =
+  match shards with
+  | Some n ->
+      sharded_durable_run ~checkpoint kind backend
+        (Some (Partition.make partition ~shards:n))
+        dir
+  | None ->
+      if Sys.file_exists (Filename.concat dir "SHARDS") then
+        sharded_durable_run ~checkpoint kind backend None dir
+      else durable_run ~checkpoint kind backend dir
+
 let recover_cmd =
   Cmd.v
     (Cmd.info "recover"
        ~doc:
          "Recover a durable engine directory: load the manifest snapshot, \
-          replay the commit journal, clamp any torn tail.  Exits 0 when the \
-          journal was clean, 1 when a torn tail was clamped, 2 when the \
-          directory is unrecoverable (corrupt journal or snapshot).")
+          replay the commit journal, clamp any torn tail.  Sharded \
+          directories (or $(b,--shards)) replay every shard journal capped \
+          at the last published composite and verify the recomputed \
+          composite root.  Exits 0 when the journal was clean, 1 when a \
+          torn or unpublished tail was rolled back, 2 when the directory \
+          is unrecoverable (corrupt journal, snapshot or composite \
+          mismatch).")
     Term.(
-      const (durable_run ~checkpoint:false)
-      $ index_arg $ durable_backend_arg $ dir_arg)
+      const (durable_dispatch ~checkpoint:false)
+      $ index_arg $ durable_backend_arg $ shards_arg $ partition_arg $ dir_arg)
 
 let checkpoint_cmd =
   Cmd.v
@@ -875,10 +1118,11 @@ let checkpoint_cmd =
        ~doc:
          "Recover a durable engine directory, then checkpoint it: write the \
           next-generation snapshot, atomically publish the manifest and \
-          truncate the journal.  Same exit codes as $(b,recover).")
+          truncate the journal (all shards plus the top journal for a \
+          sharded directory).  Same exit codes as $(b,recover).")
     Term.(
-      const (durable_run ~checkpoint:true)
-      $ index_arg $ durable_backend_arg $ dir_arg)
+      const (durable_dispatch ~checkpoint:true)
+      $ index_arg $ durable_backend_arg $ shards_arg $ partition_arg $ dir_arg)
 
 (* --- connect: client mode against a running siri_serve ----------------------- *)
 
@@ -1015,27 +1259,51 @@ let connect_cmd =
                     | Some key -> (
                         match Client.prove_many ?deadline_ms c ~branch [ key ] with
                         | Ok (root, proof_bytes) -> (
-                            match Siri_core.Multiproof.decode proof_bytes with
-                            | Error (`Malformed d | `Tampered d) ->
-                                Printf.eprintf "proof undecodable: %s\n" d;
-                                1
-                            | Ok proof ->
-                                let verifier = make index (Store.create ()) in
-                                if Generic.verify_many verifier ~root proof then begin
-                                  List.iter
-                                    (fun (k, v) ->
-                                      Printf.printf "%s\t%s\tverified\n" k
-                                        (match v with
-                                        | Some v -> v
-                                        | None -> "(absent)"))
-                                    proof.Siri_core.Multiproof.claims;
-                                  0
-                                end
-                                else begin
-                                  Printf.eprintf "proof REFUSED against root %s\n"
-                                    (Hash.short root);
+                            (* A sharded server answers with a two-layer
+                               proof and the composite as [root]; the
+                               leading payload byte says which arrived. *)
+                            let print_claims claims =
+                              List.iter
+                                (fun (k, v) ->
+                                  Printf.printf "%s\t%s\tverified\n" k
+                                    (match v with
+                                    | Some v -> v
+                                    | None -> "(absent)"))
+                                claims
+                            in
+                            let refused () =
+                              Printf.eprintf "proof REFUSED against root %s\n"
+                                (Hash.short root);
+                              1
+                            in
+                            let verifier = make index (Store.create ()) in
+                            if Shard_proof.is_encoded proof_bytes then
+                              match Shard_proof.decode proof_bytes with
+                              | Error (`Malformed d | `Tampered d) ->
+                                  Printf.eprintf "proof undecodable: %s\n" d;
                                   1
-                                end)
+                              | Ok sp ->
+                                  if
+                                    Shard_proof.verify ~verifier
+                                      ~composite:root sp
+                                  then begin
+                                    print_claims (Shard_proof.claims sp);
+                                    0
+                                  end
+                                  else refused ()
+                            else
+                              match Siri_core.Multiproof.decode proof_bytes with
+                              | Error (`Malformed d | `Tampered d) ->
+                                  Printf.eprintf "proof undecodable: %s\n" d;
+                                  1
+                              | Ok proof ->
+                                  if Generic.verify_many verifier ~root proof
+                                  then begin
+                                    print_claims
+                                      proof.Siri_core.Multiproof.claims;
+                                    0
+                                  end
+                                  else refused ())
                         | Error e -> fail "prove" e)
                     | None -> (
                         match Client.ping ?deadline_ms c with

@@ -20,6 +20,8 @@ module Telemetry = Siri_telemetry.Telemetry
 module Engine = Siri_forkbase.Engine
 module Wal = Siri_wal.Wal
 module Durable = Siri_wal.Durable
+module Partition = Siri_shard.Partition
+module Sharded = Siri_shard.Sharded
 module Server = Siri_server.Server
 
 type index_kind = Pos | Mpt | Mbt | Mvbt | Prolly
@@ -42,8 +44,8 @@ let addr_to_string : Server.addr -> string = function
   | `Unix p -> "unix:" ^ p
   | `Tcp p -> "tcp:" ^ string_of_int p
 
-let serve dir kind backend unix_path tcp_port sync group_max max_queue
-    session_max =
+let serve dir kind backend shards partition unix_path tcp_port sync group_max
+    max_queue session_max =
   let listen =
     (match unix_path with Some p -> [ `Unix p ] | None -> [])
     @ match tcp_port with Some p -> [ `Tcp p ] | None -> []
@@ -53,43 +55,78 @@ let serve dir kind backend unix_path tcp_port sync group_max max_queue
     2
   end
   else begin
-    (* The serving store keeps the decoded-node and proof caches off:
+    (* The serving store(s) keep the decoded-node and proof caches off:
        their LRUs are mutable and sessions read concurrently.  The
        telemetry sink is thread-safe and uses a wall clock so latency
-       histograms are in seconds. *)
-    let store = Store.create ~cache_bytes:0 ~proof_cache_bytes:0 () in
-    Store.set_sink store (Telemetry.create ~clock:Unix.gettimeofday ());
-    match Durable.open_ ~sync ~backend ~dir ~empty_index:(make kind store) () with
-    | Error e ->
-        Format.eprintf "siri_serve: %a@." Wal.pp_error e;
-        2
-    | Ok durable -> (
-        let r = Durable.recovery durable in
-        let config =
-          { Server.default_config with group_max; max_queue; session_max }
-        in
-        match Server.start ~config ~durable ~listen () with
-        | exception Unix.Unix_error (err, fn, arg) ->
-            Printf.eprintf "siri_serve: %s %s: %s\n" fn arg
-              (Unix.error_message err);
-            Durable.close durable;
+       histograms are in seconds; with shards it is shared so server.*
+       and per-shard counters aggregate in one place. *)
+    let tsink = Telemetry.create ~clock:Unix.gettimeofday () in
+    let fresh_index () =
+      let store = Store.create ~cache_bytes:0 ~proof_cache_bytes:0 () in
+      Store.set_sink store tsink;
+      make kind store
+    in
+    let config =
+      { Server.default_config with group_max; max_queue; session_max }
+    in
+    let run_server ~clamped ~start_server ~close_engine =
+      match start_server () with
+      | exception Unix.Unix_error (err, fn, arg) ->
+          Printf.eprintf "siri_serve: %s %s: %s\n" fn arg
+            (Unix.error_message err);
+          close_engine ();
+          2
+      | server ->
+          List.iter
+            (fun a -> Printf.printf "READY %s\n" (addr_to_string a))
+            (Server.listening server);
+          flush stdout;
+          let stop_flag = Atomic.make false in
+          let handler = Sys.Signal_handle (fun _ -> Atomic.set stop_flag true) in
+          Sys.set_signal Sys.sigterm handler;
+          Sys.set_signal Sys.sigint handler;
+          (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+           with Invalid_argument _ -> ());
+          while not (Atomic.get stop_flag) do
+            Thread.delay 0.1
+          done;
+          Server.stop server;
+          if clamped then 1 else 0
+    in
+    match shards with
+    | None -> (
+        match Durable.open_ ~sync ~backend ~dir ~empty_index:(fresh_index ()) () with
+        | Error e ->
+            Format.eprintf "siri_serve: %a@." Wal.pp_error e;
             2
-        | server ->
-            List.iter
-              (fun a -> Printf.printf "READY %s\n" (addr_to_string a))
-              (Server.listening server);
-            flush stdout;
-            let stop_flag = Atomic.make false in
-            let handler = Sys.Signal_handle (fun _ -> Atomic.set stop_flag true) in
-            Sys.set_signal Sys.sigterm handler;
-            Sys.set_signal Sys.sigint handler;
-            (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-             with Invalid_argument _ -> ());
-            while not (Atomic.get stop_flag) do
-              Thread.delay 0.1
-            done;
-            Server.stop server;
-            if r.Durable.clamped_bytes > 0 then 1 else 0)
+        | Ok durable ->
+            let r = Durable.recovery durable in
+            run_server
+              ~clamped:(r.Durable.clamped_bytes > 0)
+              ~start_server:(fun () -> Server.start ~config ~durable ~listen ())
+              ~close_engine:(fun () -> Durable.close durable))
+    | Some n -> (
+        (* One systhread per shard inside the single writer: journal
+           fsyncs overlap, index builds stay on this domain (the store
+           discipline the lock-free snapshot reads rely on). *)
+        let spec = Partition.make partition ~shards:n in
+        match
+          Sharded.open_ ~sync ~backend ~runner:`Threads ~spec ~dir
+            ~empty_index:fresh_index ()
+        with
+        | exception Invalid_argument msg ->
+            Printf.eprintf "siri_serve: %s\n" msg;
+            2
+        | Error e ->
+            Format.eprintf "siri_serve: %a@." Wal.pp_error e;
+            2
+        | Ok sharded ->
+            let r = Sharded.recovery sharded in
+            run_server
+              ~clamped:(r.Sharded.top_clamped_bytes > 0 || r.Sharded.capped > 0)
+              ~start_server:(fun () ->
+                Server.start_sharded ~config ~sharded ~listen ())
+              ~close_engine:(fun () -> Sharded.close sharded))
   end
 
 let cmd =
@@ -110,6 +147,28 @@ let cmd =
       & opt (enum [ ("snapshot", `Snapshot); ("pack", `Pack) ]) `Snapshot
       & info [ "backend" ] ~docv:"BACKEND"
           ~doc:"Checkpoint backend: $(b,snapshot) (default) or $(b,pack).")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Serve a sharded keyspace: partition across $(docv) independent \
+             journaled stores committed concurrently under one composite \
+             Merkle root.  The count is fixed at directory creation and \
+             recorded in the manifest.")
+  in
+  let partition =
+    Arg.(
+      value
+      & opt
+          (enum [ ("hash", Partition.Hash); ("range", Partition.Range) ])
+          Partition.Hash
+      & info [ "partition" ] ~docv:"SCHEME"
+          ~doc:
+            "Partition scheme with --shards: $(b,hash) (default) or \
+             $(b,range).")
   in
   let unix_path =
     Arg.(
@@ -155,7 +214,7 @@ let cmd =
           snapshot-isolated reads, single-writer group commit, graceful \
           shutdown on SIGTERM.")
     Term.(
-      const serve $ dir $ kind $ backend $ unix_path $ tcp_port $ sync
-      $ group_max $ max_queue $ session_max)
+      const serve $ dir $ kind $ backend $ shards $ partition $ unix_path
+      $ tcp_port $ sync $ group_max $ max_queue $ session_max)
 
 let () = exit (Cmd.eval' cmd)

@@ -74,9 +74,22 @@ let recommended ?(cap = 8) () =
   in
   max 1 (min cap base)
 
+(* Widths beyond what the host can actually run in parallel buy queue
+   traffic, not speed (BENCH_parallel.json records 0.32-0.80x at every
+   width > 1 on a 1-core host), so an explicit [~domains] request is
+   clamped to the hardware.  SIRI_DOMAINS stays an explicit override —
+   it replaces the hardware figure entirely, so CI on small hosts can
+   still force real worker domains. *)
+let host_limit () =
+  match Option.bind (Sys.getenv_opt "SIRI_DOMAINS") int_of_string_opt with
+  | Some n -> max 1 n
+  | None -> max 1 (Domain.recommended_domain_count ())
+
 let create ?domains () =
   let width =
-    match domains with Some n -> max 1 n | None -> recommended ()
+    match domains with
+    | Some n -> max 1 (min n (host_limit ()))
+    | None -> recommended ()
   in
   let t =
     { width;

@@ -29,7 +29,12 @@ type t
 val create : ?domains:int -> unit -> t
 (** [create ~domains ()] spawns [domains - 1] worker domains (the caller
     participates as the remaining one).  [domains] defaults to
-    {!recommended}[ ()] and is clamped to at least 1. *)
+    {!recommended}[ ()] and is clamped to at least 1 {e and} to the
+    host's parallel capacity ([Domain.recommended_domain_count ()]): on
+    a 1-core host every request collapses to the sequential fallback, so
+    the PR-4 pipeline no longer loses by default where extra domains
+    cannot help.  Setting [SIRI_DOMAINS] overrides the hardware figure
+    explicitly (benchmarks, CI on small hosts). *)
 
 val domains : t -> int
 (** Parallel width of the pool, including the calling domain; [>= 1]. *)

@@ -13,9 +13,14 @@ module Multiproof = Siri_core.Multiproof
 module Telemetry = Siri_telemetry.Telemetry
 module Engine = Siri_forkbase.Engine
 module Durable = Siri_wal.Durable
+module Sharded = Siri_shard.Sharded
+module Shard_proof = Siri_shard.Shard_proof
+module Shard_views = Siri_shard.Views
 module Fault = Siri_fault.Fault
 
 type addr = [ `Unix of string | `Tcp of int ]
+
+type backend = Plain of Durable.t | Shards of Sharded.t
 
 type config = {
   max_queue : int;
@@ -41,11 +46,21 @@ type pending = {
   mutable resp : Proto.response option;
 }
 
-type snap = { head : Engine.commit; view : Generic.t }
+(* One published branch snapshot.  Plain backend: the head commit's id,
+   index root and version over a single index view.  Sharded backend:
+   the composite root stands in for both id and root, the global
+   sequence number is the version, and reads route across the per-shard
+   views (all immutable — old shard roots stay valid like any other
+   version, so the lock-free read discipline is unchanged). *)
+type view_ =
+  | Mono of Generic.t
+  | Multi of Siri_shard.Partition.t * Generic.t array
+
+type snap = { s_id : Hash.t; s_root : Hash.t; s_version : int; view : view_ }
 
 type t = {
   config : config;
-  durable : Durable.t;
+  backend : backend;
   tsink : Telemetry.sink;
   snapshot : (string * snap) list Atomic.t;
   ro : bool Atomic.t;
@@ -108,9 +123,12 @@ let ids_of_message msg =
 
 (* Rebuild the dedup table from the commit history so a client retrying
    an unacked commit across a server crash still gets at-most-once.  Oldest
-   first so the FIFO cap keeps the newest ids. *)
-let recover_seen t =
-  let eng = Durable.engine t.durable in
+   first so the FIFO cap keeps the newest ids.  Sharded: a group commit
+   lands (with its ids in the message) in every shard it touched, so the
+   union over shard histories recovers every id; the cached ack carries
+   that shard's commit id, which is an honest at-most-once answer even
+   though the original ack named the composite. *)
+let recover_seen_engine t eng =
   List.iter
     (fun branch ->
       List.rev (Engine.history eng branch)
@@ -128,21 +146,45 @@ let recover_seen t =
                ids))
     (Engine.branches eng)
 
+let recover_seen t =
+  match t.backend with
+  | Plain d -> recover_seen_engine t (Durable.engine d)
+  | Shards s ->
+      Array.iter
+        (fun d -> recover_seen_engine t (Durable.engine d))
+        (Sharded.shards s)
+
 (* --- snapshot publication ---------------------------------------------- *)
 
-let publish_branch t branch head =
-  let view = Engine.index (Durable.engine t.durable) branch in
+let snap_of_branch t branch =
+  match t.backend with
+  | Plain d ->
+      let eng = Durable.engine d in
+      let head = Engine.head eng branch in
+      { s_id = head.id;
+        s_root = head.index_root;
+        s_version = head.version;
+        view = Mono (Engine.index eng branch) }
+  | Shards s ->
+      let views = Sharded.views s ~branch in
+      let composite = Shard_views.composite (Sharded.spec s) views in
+      { s_id = composite;
+        s_root = composite;
+        s_version = Sharded.last_seq s;
+        view = Multi (Sharded.spec s, views) }
+
+let backend_branches t =
+  match t.backend with
+  | Plain d -> Engine.branches (Durable.engine d)
+  | Shards s -> Sharded.branches s
+
+let publish_branch t branch =
   let rest = List.remove_assoc branch (Atomic.get t.snapshot) in
-  Atomic.set t.snapshot ((branch, { head; view }) :: rest)
+  Atomic.set t.snapshot ((branch, snap_of_branch t branch) :: rest)
 
 let publish_all t =
-  let eng = Durable.engine t.durable in
-  let snaps =
-    List.map
-      (fun b -> (b, { head = Engine.head eng b; view = Engine.index eng b }))
-      (Engine.branches eng)
-  in
-  Atomic.set t.snapshot snaps
+  Atomic.set t.snapshot
+    (List.map (fun b -> (b, snap_of_branch t b)) (backend_branches t))
 
 (* --- writer: group commit ---------------------------------------------- *)
 
@@ -159,18 +201,32 @@ let enter_read_only t =
     Telemetry.incr t.tsink "server.readonly.enter"
 
 (* Fold one branch's batches into a single engine commit and ack them
-   all with the same commit id. *)
+   all with the same commit id.  Sharded backend: the fold becomes one
+   {!Sharded.commit} — the group's concatenated ops are partitioned per
+   shard and the shard commits run concurrently under this (single)
+   writer, still one composite publication and one ack per batch. *)
+let backend_commit t ~branch ~message ops =
+  match t.backend with
+  | Plain d ->
+      Fault.with_retry ~attempts:3 ~sink:t.tsink (fun () ->
+          let c = Durable.commit d ~branch ~message ops in
+          (c.Engine.id, c.Engine.version))
+  | Shards s ->
+      (* No retry: a failed fan-out may have applied some shards, and
+         replaying the same global sequence number is refused by the
+         shard journals.  The handle is poisoned; degrade below. *)
+      Fault.protect (fun () ->
+          let h = Sharded.commit s ~branch ~message ops in
+          (h.Sharded.composite, h.Sharded.seq))
+
 let commit_branch_group t branch (items : pending list) =
   let ids = List.map (fun p -> p.req_id) items in
   let message = serve_prefix ^ String.concat "," ids in
   let ops = List.concat_map (fun p -> p.ops) items in
   let n = List.length items in
-  match
-    Fault.with_retry ~attempts:3 ~sink:t.tsink (fun () ->
-        Durable.commit t.durable ~branch ~message ops)
-  with
-  | Ok c ->
-      publish_branch t branch c;
+  match backend_commit t ~branch ~message ops with
+  | Ok (commit_id, version) ->
+      publish_branch t branch;
       Telemetry.incr t.tsink "server.commit.groups";
       Telemetry.incr t.tsink ~by:n "server.commit.acked";
       Telemetry.observe t.tsink "server.commit.group_size" (float_of_int n);
@@ -179,8 +235,8 @@ let commit_branch_group t branch (items : pending list) =
           let resp =
             Proto.Committed
               { req_id = p.req_id;
-                commit = c.id;
-                version = c.version;
+                commit = commit_id;
+                version;
                 group_size = n }
           in
           seen_record t p.req_id resp;
@@ -202,13 +258,23 @@ let commit_branch_group t branch (items : pending list) =
       let detail = "commit path: " ^ Fault.error_to_string e in
       List.iter (fun p -> reply p (err Proto.Tampered detail)) items;
       Error `Stop_group
-  | Error (`Transient _) ->
-      (* still transient after the retry budget: refuse retryably, keep
-         serving — the fault was not an integrity failure. *)
-      List.iter
-        (fun p -> reply p (err Proto.Overload "transient store failure"))
-        items;
-      Ok ()
+  | Error (`Transient _ as e) -> (
+      match t.backend with
+      | Plain _ ->
+          (* still transient after the retry budget: refuse retryably,
+             keep serving — the fault was not an integrity failure. *)
+          List.iter
+            (fun p -> reply p (err Proto.Overload "transient store failure"))
+            items;
+          Ok ()
+      | Shards _ ->
+          (* a transient that interrupted the fan-out may have landed on
+             some shards only; the in-memory handle can no longer be
+             trusted to match the published composite *)
+          enter_read_only t;
+          let detail = "sharded commit failed: " ^ Fault.error_to_string e in
+          List.iter (fun p -> reply p (err Proto.Tampered detail)) items;
+          Error `Stop_group)
 
 let process_group t (batch : pending list) =
   let now = Unix.gettimeofday () in
@@ -297,10 +363,27 @@ let writer_loop t =
     else begin
       let batch = ref [] in
       let n = ref 0 in
-      while (not (Queue.is_empty t.queue)) && !n < t.config.group_max do
-        batch := Queue.pop t.queue :: !batch;
-        Stdlib.incr n
-      done;
+      let drain () =
+        while (not (Queue.is_empty t.queue)) && !n < t.config.group_max do
+          batch := Queue.pop t.queue :: !batch;
+          Stdlib.incr n
+        done
+      in
+      drain ();
+      (* Adaptive grouping: a lone batch commits immediately — any
+         grouping delay at queue depth 1 is pure added latency
+         (BENCH_server.json had group mode *behind* single mode at one
+         writer).  Only when the drain itself proves writers are
+         arriving concurrently (2+ batches) is one bounded top-up pass
+         worth it: yield so blocked writers can enqueue, then drain
+         again, growing the fold toward group_max without ever waiting
+         on a timer. *)
+      if !n > 1 && !n < t.config.group_max && t.running then begin
+        Mutex.unlock t.qmu;
+        Thread.yield ();
+        Mutex.lock t.qmu;
+        drain ()
+      end;
       Mutex.unlock t.qmu;
       process_group t (List.rev !batch);
       loop ()
@@ -321,22 +404,29 @@ let dispatch_read t (body : Proto.req) : Proto.response =
       match snap_of t branch with
       | None -> err Proto.Unknown_branch branch
       | Some s ->
-          Proto.Head_r
-            { id = s.head.id;
-              root = s.head.index_root;
-              version = s.head.version })
+          Proto.Head_r { id = s.s_id; root = s.s_root; version = s.s_version })
   | Proto.Get { branch; key } -> (
       match snap_of t branch with
       | None -> err Proto.Unknown_branch branch
       | Some s -> (
-          match Fault.protect (fun () -> Generic.get s.view key) with
+          match
+            Fault.protect (fun () ->
+                match s.view with
+                | Mono v -> Generic.get v key
+                | Multi (spec, views) -> Shard_views.get spec views key)
+          with
           | Ok v -> Proto.Value v
           | Error e -> err Proto.Tampered (Fault.error_to_string e)))
   | Proto.Get_many { branch; keys } -> (
       match snap_of t branch with
       | None -> err Proto.Unknown_branch branch
       | Some s -> (
-          match Fault.protect (fun () -> Generic.get_many s.view keys) with
+          match
+            Fault.protect (fun () ->
+                match s.view with
+                | Mono v -> Generic.get_many v keys
+                | Multi (spec, views) -> Shard_views.get_many spec views keys)
+          with
           | Ok vs -> Proto.Values vs
           | Error e -> err Proto.Tampered (Fault.error_to_string e)))
   | Proto.Prove_many { branch; keys } -> (
@@ -345,9 +435,14 @@ let dispatch_read t (body : Proto.req) : Proto.response =
       | Some s -> (
           match
             Fault.protect (fun () ->
-                Multiproof.encode (Generic.prove_many s.view keys))
+                match s.view with
+                | Mono v -> Multiproof.encode (Generic.prove_many v keys)
+                | Multi (spec, views) ->
+                    (* two-layer proof; [root] in the response is the
+                       composite the client verifies it against *)
+                    Shard_proof.encode (Shard_proof.prove ~views spec keys))
           with
-          | Ok proof -> Proto.Proof { root = s.head.index_root; proof }
+          | Ok proof -> Proto.Proof { root = s.s_root; proof }
           | Error e -> err Proto.Tampered (Fault.error_to_string e)))
   | Proto.Commit _ -> assert false  (* routed to the write path *)
 
@@ -554,12 +649,16 @@ let bind_addr (a : addr) : addr * Unix.file_descr =
       in
       (`Tcp port, fd)
 
-let start ?(config = default_config) ~durable ~listen () =
-  let tsink = Siri_store.Store.sink (Engine.store (Durable.engine durable)) in
+let start_backend ?(config = default_config) ~backend ~listen () =
+  let tsink =
+    match backend with
+    | Plain d -> Siri_store.Store.sink (Engine.store (Durable.engine d))
+    | Shards s -> Sharded.sink s
+  in
   let listeners = List.map bind_addr listen in
   let t =
     { config;
-      durable;
+      backend;
       tsink;
       snapshot = Atomic.make [];
       ro = Atomic.make false;
@@ -586,6 +685,12 @@ let start ?(config = default_config) ~durable ~listen () =
   t.accept_threads <-
     List.map (fun (_, lfd) -> Thread.create (accept_loop t) lfd) listeners;
   t
+
+let start ?config ~durable ~listen () =
+  start_backend ?config ~backend:(Plain durable) ~listen ()
+
+let start_sharded ?config ~sharded ~listen () =
+  start_backend ?config ~backend:(Shards sharded) ~listen ()
 
 let force_read_only t = enter_read_only t
 
@@ -641,6 +746,8 @@ let stop t =
     t.session_threads <- [];
     Mutex.unlock t.smu;
     List.iter Thread.join threads;
-    (* 4. flush and close the journal *)
-    Durable.close t.durable
+    (* 4. flush and close the journal(s) *)
+    match t.backend with
+    | Plain d -> Durable.close d
+    | Shards s -> Sharded.close s
   end

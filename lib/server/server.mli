@@ -69,6 +69,27 @@ val start :
     nothing answers on it; raises [Unix.Unix_error] if a bind fails,
     including when a {e live} server already owns the path. *)
 
+val start_sharded :
+  ?config:config ->
+  sharded:Siri_shard.Sharded.t ->
+  listen:addr list ->
+  unit ->
+  t
+(** Like {!start}, over a sharded keyspace engine.  Group commit batches
+    are partitioned per shard and the shard commits run concurrently
+    under the single writer; [Head] answers the composite root (as both
+    id and root) with the global sequence number as version, and
+    [Prove_many] returns an encoded {!Siri_shard.Shard_proof} (the
+    response's [root] is the composite to verify it against — the
+    leading payload byte distinguishes it from a flat multiproof).  The
+    engine should be opened with [~runner:`Threads]: shard journal
+    writes and fsyncs still overlap, while index builds stay on the one
+    domain whose single-writer/many-reader store discipline the
+    lock-free snapshot reads rely on.  A failed sharded commit cannot be
+    blindly retried (some shards may have applied), so the server
+    degrades to read-only instead — the directory recovers to the
+    published composite prefix on restart. *)
+
 val listening : t -> addr list
 (** The bound addresses, with [`Tcp 0] resolved to the actual port. *)
 

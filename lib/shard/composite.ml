@@ -1,0 +1,43 @@
+module Hash = Siri_crypto.Hash
+
+let arity = 4
+
+let scheme_byte = function Partition.Hash -> '\x00' | Partition.Range -> '\x01'
+
+let leaf spec i r =
+  let b = Buffer.create 64 in
+  Buffer.add_string b "siri.shard.leaf";
+  Buffer.add_char b (scheme_byte spec.Partition.scheme);
+  Buffer.add_string b (string_of_int spec.Partition.shards);
+  Buffer.add_char b '.';
+  Buffer.add_string b (string_of_int i);
+  Buffer.add_char b '.';
+  Buffer.add_string b (Hash.to_raw r);
+  Hash.of_string (Buffer.contents b)
+
+let node children =
+  let b = Buffer.create (16 + (32 * Array.length children)) in
+  Buffer.add_string b "siri.shard.node";
+  Array.iter (fun h -> Buffer.add_string b (Hash.to_raw h)) children;
+  Hash.of_string (Buffer.contents b)
+
+let root spec roots =
+  if Array.length roots <> spec.Partition.shards then
+    invalid_arg
+      (Printf.sprintf "Composite.root: %d roots for %d shards"
+         (Array.length roots) spec.Partition.shards);
+  let level = ref (Array.mapi (fun i r -> leaf spec i r) roots) in
+  while Array.length !level > 1 do
+    let n = Array.length !level in
+    let groups = (n + arity - 1) / arity in
+    level :=
+      Array.init groups (fun g ->
+          node (Array.sub !level (g * arity) (min arity (n - (g * arity)))))
+  done;
+  let b = Buffer.create 48 in
+  Buffer.add_string b "siri.shard.top";
+  Buffer.add_char b (scheme_byte spec.Partition.scheme);
+  Buffer.add_string b (string_of_int spec.Partition.shards);
+  Buffer.add_char b '.';
+  Buffer.add_string b (Hash.to_raw !level.(0));
+  Hash.of_string (Buffer.contents b)

@@ -1,0 +1,24 @@
+(** The composite Merkle root over the [N] shard roots: a small
+    fixed-arity hash tree whose digest commits to {e every} shard root,
+    the partition spec, and each root's position.
+
+    Shard roots are the leaves, in shard order; each leaf digest binds
+    the partition scheme, the shard count and the shard's own index so a
+    root cannot be replayed at another position or under another
+    routing.  Levels of [arity] children are folded until one digest
+    remains, and a final domain-separated wrap distinguishes a composite
+    from any single-shard index root.  [N = 1] is therefore {e not} the
+    unsharded root — a 1-shard deployment still commits to "this is a
+    sharded keyspace with one shard".
+
+    Pure and store-independent: verification recomputes it from the
+    spec and the claimed shard roots alone. *)
+
+module Hash = Siri_crypto.Hash
+
+val arity : int
+(** Fan-in of the internal levels (4). *)
+
+val root : Partition.t -> Hash.t array -> Hash.t
+(** [root spec shard_roots] — [Invalid_argument] unless
+    [Array.length shard_roots = spec.shards]. *)

@@ -1,0 +1,84 @@
+module Kv = Siri_core.Kv
+
+type scheme = Hash | Range
+
+type t = { scheme : scheme; shards : int }
+
+let max_shards = 64
+
+let make scheme ~shards =
+  if shards < 1 || shards > max_shards then
+    invalid_arg
+      (Printf.sprintf "Partition.make: shards %d not in [1, %d]" shards
+         max_shards);
+  { scheme; shards }
+
+(* FNV-1a, 64-bit.  Not cryptographic and does not need to be: shard
+   placement is authenticated by the composite root, not by the router —
+   an adversary relocating a claim is caught by the routing check in
+   {!Shard_proof.verify}, whatever function this is. *)
+let fnv1a key =
+  let h = ref (-3750763034362895579L) (* 0xcbf29ce484222325 *) in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c)))
+             1099511628211L)
+    key;
+  (* Mask after the 63-bit truncation, not before: clearing only the
+     64-bit sign still leaves bit 62 set on half the hashes, which
+     [Int64.to_int] would turn into a negative native int. *)
+  Int64.to_int !h land max_int
+
+let shard_of_key t key =
+  if t.shards = 1 then 0
+  else
+    match t.scheme with
+    | Hash -> fnv1a key mod t.shards
+    | Range ->
+        let byte i = if i < String.length key then Char.code key.[i] else 0 in
+        let b = (byte 0 * 256) + byte 1 in
+        (* 65536 two-byte prefixes scaled into [shards] equal buckets *)
+        b * t.shards / 65536
+
+let split_by t key_of xs =
+  let buckets = Array.make t.shards [] in
+  List.iter
+    (fun x ->
+      let i = shard_of_key t (key_of x) in
+      buckets.(i) <- x :: buckets.(i))
+    xs;
+  let out = ref [] in
+  for i = t.shards - 1 downto 0 do
+    match buckets.(i) with
+    | [] -> ()
+    | xs -> out := (i, List.rev xs) :: !out
+  done;
+  !out
+
+let split_keys t keys = split_by t Fun.id keys
+let split_ops t ops = split_by t Kv.key_of_op ops
+
+let scheme_name = function Hash -> "hash" | Range -> "range"
+
+let to_string t = Printf.sprintf "%s:%d" (scheme_name t.scheme) t.shards
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ scheme; n ] -> (
+      let scheme_r =
+        match scheme with
+        | "hash" -> Ok Hash
+        | "range" -> Ok Range
+        | other -> Error (Printf.sprintf "unknown partition scheme %S" other)
+      in
+      match (scheme_r, int_of_string_opt n) with
+      | Error _ as e, _ -> e
+      | Ok _, None -> Error (Printf.sprintf "bad shard count %S" n)
+      | Ok scheme, Some shards ->
+          if shards < 1 || shards > max_shards then
+            Error (Printf.sprintf "shard count %d not in [1, %d]" shards
+                     max_shards)
+          else Ok { scheme; shards })
+  | _ -> Error (Printf.sprintf "bad partition spec %S (want scheme:count)" s)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

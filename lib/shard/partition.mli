@@ -1,0 +1,49 @@
+(** Keyspace partitioning for the sharded engine: a pure, deterministic
+    routing function from keys to one of [N] shards, fixed when a
+    sharded directory is created and recorded in its manifest.
+
+    Two schemes:
+
+    - {b Hash}: FNV-1a over the key bytes, reduced mod [N].  Spreads any
+      workload uniformly; destroys key locality (a range scan touches
+      every shard).
+    - {b Range}: the key's first two bytes scaled into [N] equal
+      buckets.  Preserves lexicographic locality (prefix-clustered
+      workloads land on one shard) at the cost of skew on non-uniform
+      key distributions.
+
+    The spec is part of the trust base: {!Composite.root} binds the
+    scheme and the shard count into the composite root, so a verifier
+    handed a proof cannot be talked into routing a claim to a different
+    shard than the prover committed to. *)
+
+module Kv = Siri_core.Kv
+
+type scheme = Hash | Range
+
+type t = private { scheme : scheme; shards : int }
+
+val max_shards : int
+(** Upper bound on the shard count (64). *)
+
+val make : scheme -> shards:int -> t
+(** [Invalid_argument] unless [1 <= shards <= max_shards]. *)
+
+val shard_of_key : t -> Kv.key -> int
+(** Deterministic routing; always in [\[0, shards)]. *)
+
+val split_keys : t -> Kv.key list -> (int * Kv.key list) list
+(** Group keys by shard, preserving relative order inside each group;
+    only non-empty groups are returned, in ascending shard order. *)
+
+val split_ops : t -> Kv.op list -> (int * Kv.op list) list
+(** Same, routing each op by its key.  Ops on the same key always land
+    in the same group in their original order, so replaying every group
+    yields the same final state as the unsharded batch. *)
+
+val to_string : t -> string
+(** Manifest form, e.g. ["hash:4"] or ["range:8"]. *)
+
+val of_string : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

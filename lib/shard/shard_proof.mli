@@ -1,0 +1,61 @@
+(** Two-layer authenticated lookups across shards.
+
+    A sharded proof for a key set is:
+
+    - the {b top proof}: the full vector of [N] shard roots — with a
+      handful of shards this {e is} the cheapest Merkle opening, and the
+      verifier recomputes {!Composite.root} over it against the trusted
+      composite digest;
+    - one {b shard multiproof} per touched shard, each an ordinary
+      {!Siri_core.Multiproof.t} verified against that shard's root from
+      the (now trusted) vector.
+
+    Soundness needs one extra check the flat case does not: every claim
+    must live in the shard the {e spec} routes its key to.  Without it a
+    prover could prove a key absent against some empty shard instead of
+    the one that actually holds it.  The spec itself is bound into the
+    composite digest, so the copy carried in the proof is authenticated
+    before it is used for routing. *)
+
+module Kv = Siri_core.Kv
+module Hash = Siri_crypto.Hash
+module Generic = Siri_core.Generic
+module Multiproof = Siri_core.Multiproof
+
+type t = {
+  spec : Partition.t;
+  roots : Hash.t array;  (** all [spec.shards] shard roots, in order *)
+  parts : (int * Multiproof.t) list;
+      (** per touched shard, ascending shard order *)
+}
+
+val prove : views:Generic.t array -> Partition.t -> Kv.key list -> t
+(** Route the key set, then one cached batched proof per touched shard
+    ({!Siri_core.Generic.prove_many}).  Keys are sorted and deduplicated
+    per shard, exactly as in the flat case. *)
+
+val composite : t -> Hash.t
+(** The composite root this proof opens — {!Composite.root} over its
+    claimed shard roots. *)
+
+val claims : t -> (Kv.key * Kv.value option) list
+(** All claims across shards, sorted by key. *)
+
+val verify : verifier:Generic.t -> composite:Hash.t -> t -> bool
+(** Store-independent two-layer check against a trusted composite
+    digest: the recomputed composite must match, every part must verify
+    against its shard root ([verifier] supplies the index kind's
+    [verify_many], e.g. a fresh empty instance), and every claim must
+    route to the shard that carries it.  Any failure — including a
+    malformed part list — is [false], never an exception. *)
+
+val encode : t -> string
+(** One checksummed {!Siri_codec.Frame}; shard multiproofs nest as their
+    own encoded frames.  Distinguishable from a flat multiproof by its
+    leading payload byte, so transports can carry either. *)
+
+val decode : string -> (t, [ `Tampered of string | `Malformed of string ]) result
+
+val is_encoded : string -> bool
+(** Cheap test (frame shape + leading payload byte) that a blob is a
+    sharded proof rather than a flat multiproof. *)

@@ -1,0 +1,468 @@
+(* See sharded.mli for the layout, commit protocol and recovery
+   invariant. *)
+
+module Kv = Siri_core.Kv
+module Hash = Siri_crypto.Hash
+module Generic = Siri_core.Generic
+module Store = Siri_store.Store
+module Engine = Siri_forkbase.Engine
+module Durable = Siri_wal.Durable
+module Wal = Siri_wal.Wal
+module Pool = Siri_parallel.Pool
+module Telemetry = Siri_telemetry.Telemetry
+module Wire = Siri_codec.Wire
+module Frame = Siri_codec.Frame
+
+type runner = [ `Pool | `Threads | `Inline ]
+
+type head = {
+  seq : int;
+  composite : Hash.t;
+  roots : Hash.t array;
+}
+
+type recovery = {
+  last_seq : int;
+  top_clamped_bytes : int;
+  capped : int;
+  shards : Durable.recovery array;
+}
+
+type t = {
+  dir : string;
+  sync : bool;
+  spec : Partition.t;
+  runner : runner;
+  pool : Pool.t option;  (* Some iff runner = `Pool and shards > 1 *)
+  shards : Durable.t array;
+  mutable top : out_channel option;
+  mutable next_seq : int;
+  recovered : recovery;
+}
+
+let manifest_magic = "SIRISHARD1"
+let top_magic = "SIRITOPJ1"
+
+let manifest_path dir = Filename.concat dir "SHARDS"
+let top_path dir = Filename.concat dir "top"
+let shard_dir dir i = Filename.concat dir (Printf.sprintf "shard.%d" i)
+
+let recovery t = t.recovered
+let spec t = t.spec
+let dir t = t.dir
+let shards t = t.shards
+let last_seq t = t.next_seq - 1
+let sink t = Store.sink (Engine.store (Durable.engine t.shards.(0)))
+let branches t = Engine.branches (Durable.engine t.shards.(0))
+
+(* --- the composite journal ---------------------------------------------- *)
+
+type top_entry = {
+  e_seq : int;
+  e_branch : string;
+  e_composite : Hash.t;
+  e_roots : Hash.t array;
+}
+
+let encode_top_entry e =
+  let w = Wire.Writer.create ~capacity:(64 + (32 * Array.length e.e_roots)) () in
+  Wire.Writer.varint w e.e_seq;
+  Wire.Writer.str w e.e_branch;
+  Wire.Writer.hash w e.e_composite;
+  Wire.Writer.varint w (Array.length e.e_roots);
+  Array.iter (fun r -> Wire.Writer.hash w r) e.e_roots;
+  Frame.encode (Wire.Writer.contents w)
+
+let decode_top_payload r =
+  let e_seq = Wire.Reader.varint r in
+  let e_branch = Wire.Reader.str r in
+  let e_composite = Wire.Reader.hash r in
+  let n = Wire.Reader.varint r in
+  if n < 1 || n > Partition.max_shards then
+    Error (`Malformed "top journal: shard count out of range")
+  else begin
+    let e_roots = Array.init n (fun _ -> Wire.Reader.hash r) in
+    if not (Wire.Reader.at_end r) then
+      Error (`Malformed "top journal: trailing bytes in record")
+    else Ok { e_seq; e_branch; e_composite; e_roots }
+  end
+
+(* Longest valid prefix of complete checksummed records, same contract
+   as {!Wal.scan}: a torn tail is clamped, a complete-but-damaged frame
+   is [`Tampered]. *)
+let scan_top bytes =
+  let len = String.length bytes in
+  let mlen = String.length top_magic in
+  if len < mlen || String.sub bytes 0 mlen <> top_magic then
+    Error (`Malformed "top journal: bad magic")
+  else begin
+    let rec step pos acc =
+      match Frame.step bytes ~pos with
+      | Frame.End -> Ok (List.rev acc, pos, 0)
+      | Frame.Torn _ -> Ok (List.rev acc, pos, len - pos)
+      | Frame.Corrupt -> Error (`Tampered pos)
+      | Frame.Frame { payload_off; payload_len; next } -> (
+          match
+            try
+              decode_top_payload
+                (Wire.Reader.of_substring bytes ~off:payload_off
+                   ~len:payload_len)
+            with Wire.Reader.Truncated ->
+              Error (`Malformed "top journal: truncated record payload")
+          with
+          | Error _ as e -> e
+          | Ok e -> step next (e :: acc))
+    in
+    step mlen []
+  end
+
+let fsync_out oc = Unix.fsync (Unix.descr_of_out_channel oc)
+
+let open_top_for_append ~sync path =
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644
+      path
+  in
+  if out_channel_length oc = 0 then begin
+    output_string oc top_magic;
+    flush oc;
+    if sync then fsync_out oc
+  end;
+  oc
+
+(* --- fan-out ------------------------------------------------------------- *)
+
+let run_tasks t fs =
+  match fs with
+  | [] -> ()
+  | [ f ] -> f ()
+  | fs -> (
+      match (t.runner, t.pool) with
+      | `Pool, Some pool -> Pool.run pool (Array.of_list fs)
+      | `Threads, _ ->
+          (* First failure wins; every task still runs to completion so
+             the handle's poisoning is at least quiescent. *)
+          let failure = Atomic.make None in
+          let wrap f () =
+            try f ()
+            with e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+          in
+          let ths = List.map (fun f -> Thread.create (wrap f) ()) fs in
+          List.iter Thread.join ths;
+          (match Atomic.get failure with
+          | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+          | None -> ())
+      | (`Pool | `Inline), _ -> List.iter (fun f -> f ()) fs)
+
+(* --- reads --------------------------------------------------------------- *)
+
+let views t ~branch =
+  Array.map (fun d -> Engine.index (Durable.engine d) branch) t.shards
+
+let shard_roots t branch =
+  Array.map
+    (fun d -> (Engine.head (Durable.engine d) branch).Engine.index_root)
+    t.shards
+
+let head t ~branch =
+  let roots = shard_roots t branch in
+  { seq = last_seq t; composite = Composite.root t.spec roots; roots }
+
+let get t ~branch key =
+  let i = Partition.shard_of_key t.spec key in
+  Engine.get (Durable.engine t.shards.(i)) ~branch key
+
+let get_many t ~branch keys = Views.get_many t.spec (views t ~branch) keys
+
+let prove_many t ~branch keys =
+  Shard_proof.prove ~views:(views t ~branch) t.spec keys
+
+(* --- writes -------------------------------------------------------------- *)
+
+let top_channel t =
+  match t.top with
+  | Some oc -> oc
+  | None -> invalid_arg "Sharded: top journal closed"
+
+let publish t ~seq ~branch =
+  let roots = shard_roots t branch in
+  let composite = Composite.root t.spec roots in
+  let oc = top_channel t in
+  output_string oc
+    (encode_top_entry
+       { e_seq = seq; e_branch = branch; e_composite = composite;
+         e_roots = roots });
+  flush oc;
+  if t.sync then fsync_out oc;
+  Telemetry.incr (sink t) "shard.publish";
+  { seq; composite; roots }
+
+let commit t ~branch ~message ops =
+  (* Validate everywhere before journaling anywhere. *)
+  Array.iter
+    (fun d -> ignore (Engine.head (Durable.engine d) branch : Engine.commit))
+    t.shards;
+  let seq = t.next_seq in
+  let groups =
+    match Partition.split_ops t.spec ops with
+    | [] -> [ (0, []) ]  (* an empty batch is still a journaled commit *)
+    | gs -> gs
+  in
+  let s = sink t in
+  Telemetry.with_span s "shard.commit" @@ fun () ->
+  run_tasks t
+    (List.map
+       (fun (i, ops_i) () ->
+         ignore
+           (Durable.commit ~seq t.shards.(i) ~branch ~message ops_i
+             : Engine.commit))
+       groups);
+  t.next_seq <- seq + 1;
+  Telemetry.incr s "shard.commit";
+  Telemetry.incr s ~by:(List.length groups) "shard.commit.parts";
+  publish t ~seq ~branch
+
+let fork t ~from name =
+  let eng0 = Durable.engine t.shards.(0) in
+  if List.mem name (Engine.branches eng0) then
+    invalid_arg (Printf.sprintf "Sharded.fork: branch %S exists" name);
+  ignore (Engine.head eng0 from : Engine.commit);
+  let seq = t.next_seq in
+  run_tasks t
+    (Array.to_list
+       (Array.map (fun d () -> Durable.fork ~seq d ~from name) t.shards));
+  t.next_seq <- seq + 1;
+  publish t ~seq ~branch:name
+
+let checkpoint t =
+  run_tasks t
+    (Array.to_list (Array.map (fun d () -> Durable.checkpoint d) t.shards));
+  (* Compact the composite journal: the per-branch post-state is all
+     recovery needs, and every shard checkpoint above already captured
+     sequence numbers up to [last_seq t]. *)
+  (match t.top with Some oc -> close_out_noerr oc | None -> ());
+  t.top <- None;
+  let seq = last_seq t in
+  let entries =
+    List.map
+      (fun branch ->
+        let roots = shard_roots t branch in
+        { e_seq = seq; e_branch = branch;
+          e_composite = Composite.root t.spec roots; e_roots = roots })
+      (branches t)
+  in
+  Store.write_file_atomic ~sync:t.sync (top_path t.dir) (fun oc ->
+      output_string oc top_magic;
+      List.iter (fun e -> output_string oc (encode_top_entry e)) entries);
+  t.top <- Some (open_top_for_append ~sync:t.sync (top_path t.dir));
+  Telemetry.incr (sink t) "shard.checkpoint"
+
+let close t =
+  (match t.top with
+  | None -> ()
+  | Some oc ->
+      flush oc;
+      if t.sync then fsync_out oc;
+      close_out_noerr oc;
+      t.top <- None);
+  Array.iter Durable.close t.shards;
+  match t.pool with Some p -> Pool.shutdown p | None -> ()
+
+(* --- open / recover ------------------------------------------------------- *)
+
+let read_manifest dir =
+  let path = manifest_path dir in
+  if not (Sys.file_exists path) then Ok None
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error msg -> Error (`Malformed msg)
+    | content -> (
+        match String.split_on_char '\n' content with
+        | m :: spec_line :: _ when m = manifest_magic -> (
+            match Partition.of_string spec_line with
+            | Ok spec -> Ok (Some spec)
+            | Error msg -> Error (`Malformed ("shard manifest: " ^ msg)))
+        | _ -> Error (`Malformed "shard manifest: bad magic"))
+
+let write_manifest ~sync dir spec =
+  Store.write_file_atomic ~sync (manifest_path dir) (fun oc ->
+      Printf.fprintf oc "%s\n%s\n" manifest_magic (Partition.to_string spec))
+
+let ensure_dir dir =
+  if Sys.file_exists dir then
+    if Sys.is_directory dir then Ok ()
+    else Error (`Malformed (dir ^ ": not a directory"))
+  else
+    match Unix.mkdir dir 0o755 with
+    | () -> Ok ()
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (`Malformed (dir ^ ": " ^ Unix.error_message e))
+
+let array_result_map f arr =
+  let n = Array.length arr in
+  let rec go i acc =
+    if i = n then Ok (Array.of_list (List.rev acc))
+    else match f arr.(i) with Error _ as e -> e | Ok x -> go (i + 1) (x :: acc)
+  in
+  go 0 []
+
+let open_ ?(sync = true) ?(backend = `Snapshot) ?(runner = `Pool) ?spec ~dir
+    ~empty_index () =
+  match ensure_dir dir with
+  | Error _ as e -> e
+  | Ok () -> (
+      match read_manifest dir with
+      | Error _ as e -> e
+      | Ok manifest -> (
+          let spec_r =
+            match (manifest, spec) with
+            | None, None -> Ok (Partition.make Partition.Hash ~shards:4)
+            | None, Some s -> Ok s
+            | Some m, None -> Ok m
+            | Some m, Some s ->
+                if m = s then Ok m
+                else
+                  Error
+                    (`Malformed
+                       (Printf.sprintf
+                          "partition spec %s requested but directory was \
+                           created with %s"
+                          (Partition.to_string s) (Partition.to_string m)))
+          in
+          match spec_r with
+          | Error _ as e -> e
+          | Ok spec -> (
+              if manifest = None then write_manifest ~sync dir spec;
+              (* 1. The composite journal names the last published
+                 sequence number — the cap every shard replays under. *)
+              let tpath = top_path dir in
+              let top_r =
+                if Sys.file_exists tpath then
+                  scan_top (In_channel.with_open_bin tpath In_channel.input_all)
+                else Ok ([], 0, 0)
+              in
+              match top_r with
+              | Error _ as e -> e
+              | Ok (entries, valid_prefix, top_clamped_bytes) -> (
+                  let last =
+                    List.fold_left (fun acc e -> max acc e.e_seq) 0 entries
+                  in
+                  (* 2. Recover every shard, rolled back to the published
+                     prefix. *)
+                  let shard_r =
+                    array_result_map
+                      (fun i ->
+                        match
+                          Durable.open_ ~sync ~backend ~replay_cap:last
+                            ~dir:(shard_dir dir i)
+                            ~empty_index:(empty_index ()) ()
+                        with
+                        | Ok d -> Ok d
+                        | Error (`Malformed msg) ->
+                            Error
+                              (`Malformed
+                                 (Printf.sprintf "shard %d: %s" i msg))
+                        | Error (`Tampered _) as e -> e)
+                      (Array.init spec.Partition.shards Fun.id)
+                  in
+                  match shard_r with
+                  | Error _ as e -> e
+                  | Ok shards -> (
+                      if top_clamped_bytes > 0 then
+                        Unix.truncate tpath valid_prefix;
+                      (* 3. Cross-shard consistency: one branch set, and
+                         per branch the recomputed composite must equal
+                         the last published one. *)
+                      let branch_sets =
+                        Array.map
+                          (fun d ->
+                            List.sort String.compare
+                              (Engine.branches (Durable.engine d)))
+                          shards
+                      in
+                      let consistent =
+                        Array.for_all (fun bs -> bs = branch_sets.(0)) branch_sets
+                      in
+                      if not consistent then
+                        Error (`Malformed "shards disagree on the branch set")
+                      else begin
+                        let published = Hashtbl.create 8 in
+                        List.iter
+                          (fun e -> Hashtbl.replace published e.e_branch e)
+                          entries;
+                        let roots_of branch =
+                          Array.map
+                            (fun d ->
+                              (Engine.head (Durable.engine d) branch)
+                                .Engine.index_root)
+                            shards
+                        in
+                        let mismatch =
+                          List.find_opt
+                            (fun branch ->
+                              match Hashtbl.find_opt published branch with
+                              | None -> false
+                              | Some e ->
+                                  not
+                                    (Hash.equal
+                                       (Composite.root spec (roots_of branch))
+                                       e.e_composite))
+                            branch_sets.(0)
+                        in
+                        let ghost =
+                          Hashtbl.fold
+                            (fun b _ acc ->
+                              if List.mem b branch_sets.(0) then acc
+                              else b :: acc)
+                            published []
+                        in
+                        match (mismatch, ghost) with
+                        | Some branch, _ ->
+                            Error
+                              (`Malformed
+                                 (Printf.sprintf
+                                    "composite root mismatch on branch %S: \
+                                     shard state does not match the \
+                                     published composite"
+                                    branch))
+                        | None, b :: _ ->
+                            Error
+                              (`Malformed
+                                 (Printf.sprintf
+                                    "published branch %S missing from shards"
+                                    b))
+                        | None, [] ->
+                            let pool =
+                              match runner with
+                              | `Pool when spec.Partition.shards > 1 ->
+                                  Some
+                                    (Pool.create
+                                       ~domains:spec.Partition.shards ())
+                              | _ -> None
+                            in
+                            let capped =
+                              Array.fold_left
+                                (fun acc d ->
+                                  acc + (Durable.recovery d).Durable.capped)
+                                0 shards
+                            in
+                            Ok
+                              { dir;
+                                sync;
+                                spec;
+                                runner;
+                                pool;
+                                shards;
+                                top =
+                                  Some (open_top_for_append ~sync tpath);
+                                next_seq = last + 1;
+                                recovered =
+                                  { last_seq = last;
+                                    top_clamped_bytes;
+                                    capped;
+                                    shards =
+                                      Array.map Durable.recovery shards }
+                              }
+                      end)))))

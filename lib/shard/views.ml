@@ -1,0 +1,26 @@
+module Kv = Siri_core.Kv
+module Hash = Siri_crypto.Hash
+module Generic = Siri_core.Generic
+
+let get spec views key = Generic.get views.(Partition.shard_of_key spec key) key
+
+let get_many spec views keys =
+  match Partition.split_keys spec keys with
+  | [] -> []
+  | [ (i, _) ] -> Generic.get_many views.(i) keys
+  | groups ->
+      (* One single-walk batch per touched shard, then reassemble in
+         input order.  Duplicate keys are answered from the same shard,
+         so a per-key table is enough. *)
+      let found = Hashtbl.create (List.length keys) in
+      List.iter
+        (fun (i, ks) ->
+          List.iter
+            (fun (k, v) -> Hashtbl.replace found k v)
+            (Generic.get_many views.(i) ks))
+        groups;
+      List.map (fun k -> (k, Option.join (Hashtbl.find_opt found k))) keys
+
+let roots views = Array.map (fun (v : Generic.t) -> v.Generic.root) views
+
+let composite spec views = Composite.root spec (roots views)

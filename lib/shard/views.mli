@@ -1,0 +1,21 @@
+(** Read helpers over an array of per-shard index views (one
+    {!Siri_core.Generic.t} per shard, in shard order) — shared by the
+    sharded engine, the server's snapshot read path and the CLI.  Pure
+    routing + delegation; all filter/cache tiering comes from the
+    underlying {!Siri_core.Generic} entry points. *)
+
+module Kv = Siri_core.Kv
+module Hash = Siri_crypto.Hash
+module Generic = Siri_core.Generic
+
+val get : Partition.t -> Generic.t array -> Kv.key -> Kv.value option
+
+val get_many :
+  Partition.t -> Generic.t array -> Kv.key list ->
+  (Kv.key * Kv.value option) list
+(** One batched lookup per touched shard; results in input key order. *)
+
+val roots : Generic.t array -> Hash.t array
+
+val composite : Partition.t -> Generic.t array -> Hash.t
+(** {!Composite.root} over {!roots}. *)

@@ -19,6 +19,7 @@ type recovery = {
   replayed : int;
   skipped : int;
   clamped_bytes : int;
+  capped : int;
 }
 
 type t = {
@@ -121,7 +122,7 @@ let apply_record engine = function
          original merge commit: same parent, message, version and ops. *)
       ignore (Engine.commit engine ~branch:into ~message ops : Engine.commit)
 
-let open_ ?(sync = true) ?(backend = `Snapshot) ~dir ~empty_index () =
+let open_ ?(sync = true) ?(backend = `Snapshot) ?replay_cap ~dir ~empty_index () =
   match
     if Sys.file_exists dir then
       if Sys.is_directory dir then Ok ()
@@ -201,7 +202,24 @@ let open_ ?(sync = true) ?(backend = `Snapshot) ~dir ~empty_index () =
               in
               match scan_r with
               | Error _ as e -> e
-              | Ok { Wal.entries; valid_prefix; clamped_bytes; _ } -> (
+              | Ok { Wal.entries; ends; valid_prefix; clamped_bytes } -> (
+                  (* A replay cap is an outer commit point (the sharded
+                     engine's composite journal) saying "nothing past
+                     sequence [cap] was ever published": records beyond
+                     it are unpublished tail, clamped at their exact
+                     frame boundary just like a torn write. *)
+                  let entries, valid_prefix, capped =
+                    match replay_cap with
+                    | None -> (entries, valid_prefix, 0)
+                    | Some cap ->
+                        let rec take kept last_end entries ends =
+                          match (entries, ends) with
+                          | ((seq, _) as e) :: es, off :: offs when seq <= cap
+                            -> take (e :: kept) off es offs
+                          | rest, _ -> (List.rev kept, last_end, List.length rest)
+                        in
+                        take [] (String.length Wal.magic) entries ends
+                  in
                   let replay () =
                     let replayed = ref 0 and skipped = ref 0 in
                     List.iter
@@ -226,13 +244,18 @@ let open_ ?(sync = true) ?(backend = `Snapshot) ~dir ~empty_index () =
                         (`Malformed
                            ("replay failed: " ^ Fault.error_to_string e))
                   | Ok (replayed, skipped) ->
-                      if clamped_bytes > 0 then begin
-                        (* Drop the torn tail on disk so subsequent appends
-                           extend the valid prefix, not the garbage. *)
+                      if clamped_bytes > 0 || capped > 0 then begin
+                        (* Drop the torn (or unpublished) tail on disk so
+                           subsequent appends extend the valid prefix,
+                           not the garbage. *)
                         Unix.truncate jpath valid_prefix;
-                        Telemetry.incr sink "recovery.clamped";
-                        Telemetry.incr sink ~by:clamped_bytes
-                          "recovery.clamped_bytes"
+                        if clamped_bytes > 0 then begin
+                          Telemetry.incr sink "recovery.clamped";
+                          Telemetry.incr sink ~by:clamped_bytes
+                            "recovery.clamped_bytes"
+                        end;
+                        if capped > 0 then
+                          Telemetry.incr sink ~by:capped "recovery.capped"
                       end;
                       Telemetry.incr sink ~by:replayed "recovery.replayed";
                       Telemetry.incr sink ~by:skipped "recovery.skipped";
@@ -258,7 +281,8 @@ let open_ ?(sync = true) ?(backend = `Snapshot) ~dir ~empty_index () =
                           generation;
                           next_seq = last_seq + 1;
                           recovered =
-                            { generation; replayed; skipped; clamped_bytes }
+                            { generation; replayed; skipped; clamped_bytes;
+                              capped }
                         }))))
 
 (* --- journaled writes ---------------------------------------------------------- *)
@@ -268,10 +292,25 @@ let journal_channel t =
   | Some oc -> oc
   | None -> invalid_arg "Durable: journal closed"
 
-let append t record =
+let append ?seq t record =
+  (* An explicit [seq] stamps an externally-allocated (journal-wide
+     monotone) sequence number — the sharded engine numbers every shard
+     journal from one global counter so a composite commit point can
+     clamp all of them consistently.  Going backwards would break the
+     checkpoint-manifest skip rule, so it is a programming error. *)
+  let seq =
+    match seq with
+    | None -> t.next_seq
+    | Some s ->
+        if s < t.next_seq then
+          invalid_arg
+            (Printf.sprintf "Durable: seq %d below journal watermark %d" s
+               t.next_seq);
+        s
+  in
   let oc = journal_channel t in
-  let bytes = Wal.encode_record ~seq:t.next_seq record in
-  t.next_seq <- t.next_seq + 1;
+  let bytes = Wal.encode_record ~seq record in
+  t.next_seq <- seq + 1;
   output_string oc bytes;
   flush oc;
   let s = sink t in
@@ -288,19 +327,19 @@ let append t record =
 let publish_pack t =
   match t.pack with Some p -> Pack.flush ~sync:false p | None -> ()
 
-let commit t ~branch ~message ops =
+let commit ?seq t ~branch ~message ops =
   (* Validate before journaling so an invalid branch never taints the log. *)
   ignore (Engine.head t.engine branch : Engine.commit);
-  append t (Wal.Commit { branch; message; ops });
+  append ?seq t (Wal.Commit { branch; message; ops });
   let c = Engine.commit t.engine ~branch ~message ops in
   publish_pack t;
   c
 
-let fork t ~from name =
+let fork ?seq t ~from name =
   if List.mem name (Engine.branches t.engine) then
     invalid_arg (Printf.sprintf "Engine.fork: branch %S exists" name);
   ignore (Engine.head t.engine from : Engine.commit);
-  append t (Wal.Fork { from; name });
+  append ?seq t (Wal.Fork { from; name });
   Engine.fork t.engine ~from name
 
 let get t ~branch key = Engine.get t.engine ~branch key

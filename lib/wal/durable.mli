@@ -55,11 +55,14 @@ type recovery = {
   replayed : int;  (** journal records re-applied *)
   skipped : int;  (** records already captured by the snapshot *)
   clamped_bytes : int;  (** torn-tail bytes discarded *)
+  capped : int;  (** records dropped by [replay_cap] — journaled here but
+                     never published by the outer commit point *)
 }
 
 val open_ :
   ?sync:bool ->
   ?backend:backend ->
+  ?replay_cap:int ->
   dir:string ->
   empty_index:Generic.t ->
   unit ->
@@ -70,7 +73,15 @@ val open_ :
     {!Siri_forkbase.Engine.load}.  [sync] (default [true]) controls
     [fsync] on every journal append and snapshot write; [false] trades
     power-loss durability for speed (tests, benchmarks).  Stale temp
-    files from interrupted atomic writes are cleaned up. *)
+    files from interrupted atomic writes are cleaned up.
+
+    [replay_cap] is an {e outer} commit point: journal records whose
+    sequence number exceeds it are not replayed and are truncated from
+    the journal at their exact frame boundary (counted in
+    {!recovery.capped}).  The sharded engine passes the last sequence
+    its composite journal published, so a crash between a shard-journal
+    append and the composite commit point rolls the shard back instead
+    of resurrecting an unpublished commit. *)
 
 val recovery : t -> recovery
 (** What {!open_} found. *)
@@ -100,10 +111,14 @@ val journal_bytes : t -> int
 (** Current size of the journal file in bytes. *)
 
 val commit :
-  t -> branch:string -> message:string -> Kv.op list -> Engine.commit
-(** Journal (flush, and [fsync] when [sync]), then apply. *)
+  ?seq:int -> t -> branch:string -> message:string -> Kv.op list ->
+  Engine.commit
+(** Journal (flush, and [fsync] when [sync]), then apply.  [seq] stamps
+    an externally-allocated sequence number (the sharded engine's global
+    commit counter); it must not be below the journal's own watermark —
+    [Invalid_argument] otherwise. *)
 
-val fork : t -> from:string -> string -> unit
+val fork : ?seq:int -> t -> from:string -> string -> unit
 val get : t -> branch:string -> Kv.key -> Kv.value option
 
 val merge_branches :
