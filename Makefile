@@ -40,6 +40,17 @@
 #                  to the same published composite prefix, never a mix of
 #                  shard generations — plus the top-journal truncation sweep
 #                  and the tampered-proof zero-acceptance storm.
+#   make scan    — run the ordered-read + reshard suite with the crash
+#                  harness scaled up: SIRI_SCAN_ROUNDS=25 SIGKILLs a child
+#                  flipping the layout 4 <-> 8 at 25 seeded points per
+#                  backend (50 total) and asserts recovery lands on the old
+#                  or the new generation — never a mix — with every durably
+#                  acked swap preserved and the dataset intact, plus the
+#                  scan-vs-sorted-assoc differential across every ordered
+#                  index kind and the single-shard routing fanout pin.
+#   make bench-sidecars — fail loudly if any committed BENCH_*.json metrics
+#                  sidecar is missing or empty (regenerate with
+#                  `dune exec bench/main.exe -- <id>`).
 #   make quick   — tier-1 without the slow cases: everything alcotest marks
 #                  `Slow (the SIGKILL storms, the every-offset truncation
 #                  sweeps and the qcheck property tests) is skipped via
@@ -48,7 +59,11 @@
 DUNE ?= dune
 QCHECK_SEED ?= 20260806
 
-.PHONY: all build test quick smoke crash par read pack proof serve shard check bench clean
+SIDECARS = BENCH_proof.json BENCH_pack.json BENCH_parallel.json \
+           BENCH_readpath.json BENCH_server.json BENCH_shard.json \
+           BENCH_scan.json
+
+.PHONY: all build test quick smoke crash par read pack proof serve shard scan bench-sidecars check bench clean
 
 all: build
 
@@ -88,7 +103,20 @@ serve: build
 shard: build
 	SIRI_SHARD_ROUNDS=15 QCHECK_SEED=$(QCHECK_SEED) $(DUNE) exec test/test_shard.exe
 
-check: build test smoke crash par read pack proof serve shard
+scan: build
+	SIRI_SCAN_ROUNDS=25 QCHECK_SEED=$(QCHECK_SEED) $(DUNE) exec test/test_scan.exe
+
+bench-sidecars:
+	@missing=0; for f in $(SIDECARS); do \
+	  if [ ! -s $$f ]; then \
+	    echo "MISSING bench sidecar: $$f (regenerate: dune exec bench/main.exe -- $${f#BENCH_})" | sed 's/\.json)/)/'; \
+	    missing=1; \
+	  fi; \
+	done; \
+	if [ $$missing -ne 0 ]; then exit 1; fi; \
+	echo "bench-sidecars: OK"
+
+check: build test smoke crash par read pack proof serve shard scan bench-sidecars
 	@echo "check: OK"
 
 bench:

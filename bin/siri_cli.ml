@@ -24,6 +24,9 @@ module Partition = Siri_shard.Partition
 module Shard_views = Siri_shard.Views
 module Shard_proof = Siri_shard.Shard_proof
 module Sharded = Siri_shard.Sharded
+module Engine = Siri_forkbase.Engine
+module Wal = Siri_wal.Wal
+module Durable = Siri_wal.Durable
 
 (* --- index selection ------------------------------------------------------- *)
 
@@ -86,6 +89,9 @@ let file_arg idx docv =
 
 let key_arg idx = Arg.(required & pos idx (some string) None & info [] ~docv:"KEY")
 
+let dir_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR")
+
 (* --- sharded keyspace plumbing --------------------------------------------- *)
 
 let shards_arg =
@@ -119,6 +125,30 @@ let sharded_views kind spec entries =
   Array.map
     (fun part -> Generic.of_entries (make kind (Store.create ())) (List.rev part))
     buckets
+
+let durable_backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("snapshot", `Snapshot); ("pack", `Pack) ]) `Snapshot
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Checkpoint backend the directory was created with: \
+           $(b,snapshot) (default) or $(b,pack).")
+
+let branch_arg =
+  Arg.(
+    value & opt string "master"
+    & info [ "branch" ] ~docv:"BRANCH" ~doc:"Branch to operate on.")
+
+let is_sharded_dir path =
+  Sys.file_exists path
+  && Sys.is_directory path
+  && Sys.file_exists (Filename.concat path "SHARDS")
+
+let open_sharded_dir kind backend dir =
+  Sharded.open_ ~backend ~dir
+    ~empty_index:(fun () -> make kind (Store.create ()))
+    ()
 
 (* --- commands ------------------------------------------------------------------ *)
 
@@ -356,8 +386,45 @@ let stats_cmd =
              (overrides $(b,SIRI_NODE_CACHE); 0 disables).  Default: the \
              environment variable, else disabled.")
   in
-  let dispatch kind shards partition path records ops json domains cache =
+  (* A sharded durable directory: per-shard size/key-count balance — the
+     figures that decide when an online reshard is worth it. *)
+  let run_durable_dir kind backend branch dir =
+    match open_sharded_dir kind backend dir with
+    | Error e ->
+        Format.eprintf "stats: %a@." Siri_wal.Wal.pp_error e;
+        2
+    | Ok t when not (List.mem branch (Sharded.branches t)) ->
+        Printf.eprintf "stats: unknown branch %s\n" branch;
+        Sharded.close t;
+        2
+    | Ok t ->
+        let h = Sharded.head t ~branch in
+        Printf.printf "partition  : %s\n" (Partition.to_string (Sharded.spec t));
+        Printf.printf "generation : %d\n" (Sharded.generation t);
+        Printf.printf "branch     : %s (seq %d)\n" branch h.Sharded.seq;
+        let stats = Sharded.shard_stats t ~branch in
+        let total = Array.fold_left (fun a s -> a + s.Sharded.keys) 0 stats in
+        Array.iter
+          (fun s ->
+            Printf.printf
+              "shard %-4d : %6d keys (%4.1f%%)  %6d nodes  %9s  root %s\n"
+              s.Sharded.shard s.Sharded.keys
+              (if total = 0 then 0.
+               else 100. *. float_of_int s.Sharded.keys /. float_of_int total)
+              s.Sharded.nodes
+              (Table.fmt_bytes s.Sharded.bytes)
+              (Hash.short s.Sharded.root))
+          stats;
+        Printf.printf "records    : %d\n" total;
+        Printf.printf "composite  : %s\n" (Hash.to_hex h.Sharded.composite);
+        Sharded.close t;
+        0
+  in
+  let dispatch kind backend branch shards partition path records ops json
+      domains cache =
     match (shards, path) with
+    | _, Some path when is_sharded_dir path ->
+        run_durable_dir kind backend branch path
     | Some n, Some path -> run_sharded kind (Partition.make partition ~shards:n) path
     | Some _, None ->
         prerr_endline "stats: --shards needs a FILE dataset";
@@ -379,12 +446,14 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:
-         "Print index statistics for a TSV file, or (without FILE) run a \
+         "Print index statistics for a TSV file, per-shard size/key-count \
+          balance for a sharded durable directory, or (without FILE) run a \
           telemetry-instrumented sample workload over all four structures \
           and print per-structure counters, node-cache hit ratios and \
           per-tier p50/p95/p99 latencies.")
     Term.(
-      const dispatch $ index_arg $ shards_arg $ partition_arg $ file_opt
+      const dispatch $ index_arg $ durable_backend_arg $ branch_arg
+      $ shards_arg $ partition_arg $ file_opt
       $ records $ ops $ json $ domains $ cache)
 
 let get_cmd =
@@ -711,6 +780,177 @@ let range_cmd =
        ~doc:"List records with LO <= key <= HI (either bound may be omitted).")
     Term.(const run $ index_arg $ file_arg 0 "FILE" $ lo $ hi)
 
+let scan_cmd =
+  let lo =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "lo" ] ~docv:"LO" ~doc:"Lower bound (inclusive).")
+  in
+  let hi =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "hi" ] ~docv:"HI" ~doc:"Upper bound (exclusive).")
+  in
+  let limit =
+    Arg.(
+      value & opt int 0
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Stop after $(docv) records (0 = unbounded).")
+  in
+  let count_only =
+    Arg.(
+      value & flag
+      & info [ "count" ]
+          ~doc:"Print only the number of records in range (stops early \
+                under $(b,--limit)).")
+  in
+  let consume count_only limit seq =
+    if count_only then begin
+      let n = ref 0 in
+      (try
+         Seq.iter
+           (fun _ ->
+             incr n;
+             if limit > 0 && !n >= limit then raise Exit)
+           seq
+       with Exit -> ());
+      Printf.printf "%d\n" !n
+    end
+    else begin
+      let n = ref 0 in
+      (try
+         Seq.iter
+           (fun (k, v) ->
+             incr n;
+             Printf.printf "%s\t%s\n" k v;
+             if limit > 0 && !n >= limit then raise Exit)
+           seq
+       with Exit -> ());
+      Printf.eprintf "%d record%s in range\n" !n (if !n = 1 then "" else "s")
+    end;
+    0
+  in
+  let run kind backend branch lo hi limit count_only target =
+    let scan_target () =
+      if is_sharded_dir target then
+        (* sharded durable directory: routed scan across the shards *)
+        match open_sharded_dir kind backend target with
+        | Error e ->
+            Format.eprintf "scan: %a@." Wal.pp_error e;
+            2
+        | Ok t ->
+            Fun.protect
+              ~finally:(fun () -> Sharded.close t)
+              (fun () ->
+                if not (List.mem branch (Sharded.branches t)) then begin
+                  Printf.eprintf "scan: unknown branch %s\n" branch;
+                  2
+                end
+                else consume count_only limit (Sharded.scan ?lo ?hi t ~branch))
+      else if Sys.is_directory target then
+        (* flat durable directory: scan the branch-head index *)
+        match
+          Durable.open_ ~backend ~dir:target
+            ~empty_index:(make kind (Store.create ()))
+            ()
+        with
+        | Error e ->
+            Format.eprintf "scan: %a@." Wal.pp_error e;
+            2
+        | Ok d ->
+            Fun.protect
+              ~finally:(fun () -> Durable.close d)
+              (fun () ->
+                consume count_only limit
+                  (Engine.scan ?lo ?hi (Durable.engine d) ~branch))
+      else
+        (* TSV dataset: build the index in memory, then stream *)
+        let _, inst = load kind target in
+        consume count_only limit (Generic.scan ?lo ?hi inst)
+    in
+    match scan_target () with
+    | rc -> rc
+    | exception Generic.Unsupported name ->
+        Printf.eprintf "scan: index kind %S does not support ordered scans\n"
+          name;
+        2
+  in
+  Cmd.v
+    (Cmd.info "scan"
+       ~doc:
+         "Stream records with LO <= key < HI in key order.  TARGET is a TSV \
+          dataset, a flat durable directory, or a sharded durable directory \
+          (detected by its SHARDS manifest) — sharded range-partitioned \
+          scans touch only the shards the bounds route to.")
+    Term.(
+      const run $ index_arg $ durable_backend_arg $ branch_arg $ lo $ hi
+      $ limit $ count_only $ file_arg 0 "TARGET")
+
+let reshard_cmd =
+  let shards_req =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"M" ~doc:"New shard count.")
+  in
+  let run kind backend m dir =
+    match open_sharded_dir kind backend dir with
+    | Error e ->
+        Format.eprintf "reshard: %a@." Wal.pp_error e;
+        2
+    | Ok t -> (
+        Printf.printf "from       : %s (generation %d)\n"
+          (Partition.to_string (Sharded.spec t))
+          (Sharded.generation t);
+        match Sharded.reshard t ~shards:m with
+        | exception Invalid_argument msg ->
+            Printf.eprintf "reshard: %s\n" msg;
+            Sharded.close t;
+            2
+        | Error e ->
+            Format.eprintf "reshard: %a@." Wal.pp_error e;
+            Sharded.close t;
+            2
+        | Ok t ->
+            Printf.printf "to         : %s (generation %d)\n"
+              (Partition.to_string (Sharded.spec t))
+              (Sharded.generation t);
+            let stats = Sharded.shard_stats t ~branch:"master" in
+            let total =
+              Array.fold_left (fun a s -> a + s.Sharded.keys) 0 stats
+            in
+            Array.iter
+              (fun s ->
+                Printf.printf "shard %-4d : %6d keys (%4.1f%%)  root %s\n"
+                  s.Sharded.shard s.Sharded.keys
+                  (if total = 0 then 0.
+                   else
+                     100. *. float_of_int s.Sharded.keys /. float_of_int total)
+                  (Hash.short s.Sharded.root))
+              stats;
+            List.iter
+              (fun b ->
+                let h = Sharded.head t ~branch:b in
+                Printf.printf "branch     : %-12s composite %s (seq %d)\n" b
+                  (Hash.short h.Sharded.composite)
+                  h.Sharded.seq)
+              (Sharded.branches t);
+            Sharded.close t;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "reshard"
+       ~doc:
+         "Online reshard a sharded durable directory to $(b,--shards) M: \
+          stream every live entry out of the old shards in key order, \
+          bulk-load M fresh shards in a staging generation, and atomically \
+          switch the SHARDS manifest — a crash at any point leaves the old \
+          or the new layout, never a mix.")
+    Term.(
+      const run $ index_arg $ durable_backend_arg $ shards_req $ dir_arg)
+
 let snapshot_cmd =
   let out_arg =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"SNAPSHOT")
@@ -968,22 +1208,6 @@ let compact_cmd =
 
 (* --- durability: recover / checkpoint ---------------------------------------- *)
 
-module Engine = Siri_forkbase.Engine
-module Wal = Siri_wal.Wal
-module Durable = Siri_wal.Durable
-
-let dir_arg =
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR")
-
-let durable_backend_arg =
-  Arg.(
-    value
-    & opt (enum [ ("snapshot", `Snapshot); ("pack", `Pack) ]) `Snapshot
-    & info [ "backend" ] ~docv:"BACKEND"
-        ~doc:
-          "Checkpoint backend the directory was created with: \
-           $(b,snapshot) (default) or $(b,pack).")
-
 (* Sharded variant of the recover/checkpoint report: per-shard replay
    stats plus the top-journal clamp and the rolled-back (published-but-
    not-sequenced) record count, then the composite head per branch. *)
@@ -1173,6 +1397,32 @@ let connect_cmd =
                 request).")
   in
   let do_head = Arg.(value & flag & info [ "head" ] ~doc:"Print the branch head.") in
+  let do_scan =
+    Arg.(
+      value & flag
+      & info [ "scan" ]
+          ~doc:"Stream the branch's records in key order (bounded by \
+                $(b,--lo)/$(b,--hi), capped by $(b,--limit)), printed as \
+                TSV.")
+  in
+  let scan_lo =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "lo" ] ~docv:"LO" ~doc:"Scan lower bound (inclusive).")
+  in
+  let scan_hi =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "hi" ] ~docv:"HI" ~doc:"Scan upper bound (exclusive).")
+  in
+  let scan_limit =
+    Arg.(
+      value & opt int 0
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Cap the scan at $(docv) records server-side (0 = unbounded).")
+  in
   let do_stats =
     Arg.(
       value & flag
@@ -1182,7 +1432,7 @@ let connect_cmd =
                 latency histograms land here.")
   in
   let run index unix_path tcp_port branch deadline_ms get_key prove_key puts
-      do_head do_stats =
+      do_head do_stats do_scan scan_lo scan_hi scan_limit =
     let addr =
       match (unix_path, tcp_port) with
       | Some p, _ -> Some (`Unix p)
@@ -1218,6 +1468,21 @@ let connect_cmd =
                       (Hash.short id) version (Hash.short root);
                     0
                 | Error e -> fail "head" e
+              else if do_scan then begin
+                match
+                  Client.scan ?deadline_ms ?lo:scan_lo ?hi:scan_hi
+                    ~limit:scan_limit c ~branch
+                with
+                | Ok entries ->
+                    List.iter
+                      (fun (k, v) -> Printf.printf "%s\t%s\n" k v)
+                      entries;
+                    Printf.eprintf "%d record%s in range\n"
+                      (List.length entries)
+                      (if List.length entries = 1 then "" else "s");
+                    0
+                | Error e -> fail "scan" e
+              end
               else if puts <> [] then begin
                 let ops =
                   List.filter_map
@@ -1320,10 +1585,12 @@ let connect_cmd =
        ~doc:
          "Talk to a running $(b,siri_serve): ping (default), $(b,--get), \
           $(b,--prove) (verified client-side), $(b,--put KEY=VALUE) \
-          (idempotent commit), $(b,--head) or $(b,--stats).")
+          (idempotent commit), $(b,--scan) (streamed ordered read), \
+          $(b,--head) or $(b,--stats).")
     Term.(
       const run $ index_arg $ unix_path $ tcp_port $ branch $ deadline_ms
-      $ get_key $ prove_key $ puts $ do_head $ do_stats)
+      $ get_key $ prove_key $ puts $ do_head $ do_stats $ do_scan $ scan_lo
+      $ scan_hi $ scan_limit)
 
 let gen_cmd =
   let count =
@@ -1346,6 +1613,7 @@ let () =
   let info = Cmd.info "siri_cli" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval' (Cmd.group info
-       [ stats_cmd; get_cmd; prove_cmd; verify_proof_cmd; range_cmd; diff_cmd; merge_cmd;
+       [ stats_cmd; get_cmd; prove_cmd; verify_proof_cmd; range_cmd; scan_cmd;
+         reshard_cmd; diff_cmd; merge_cmd;
          properties_cmd; snapshot_cmd; scrub_cmd; pack_cmd; compact_cmd;
          recover_cmd; checkpoint_cmd; connect_cmd; gen_cmd ]))

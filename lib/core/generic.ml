@@ -4,6 +4,8 @@ module Node_cache = Siri_readpath.Node_cache
 module Bloom = Siri_readpath.Bloom
 module Telemetry = Siri_telemetry.Telemetry
 
+exception Unsupported of string
+
 type t = {
   name : string;
   store : Store.t;
@@ -23,6 +25,7 @@ type t = {
   verify_many : root:Hash.t -> Multiproof.t -> bool;
   reopen : Hash.t -> t;
   range : lo:Kv.key option -> hi:Kv.key option -> (Kv.key * Kv.value) list;
+  scan : lo:Kv.key option -> hi:Kv.key option -> (Kv.key * Kv.value) Seq.t;
 }
 
 let insert t k v = t.batch [ Kv.Put (k, v) ]
@@ -97,6 +100,27 @@ let get_many t ks =
               Telemetry.incr sink "read.filter.skip";
               (k, None))
         ks
+
+(* --- ordered streaming reads ------------------------------------------------
+
+   [scan] is the ordered-read front door: a lazy key-ordered stream over
+   the half-open interval [lo, hi).  Laziness is the whole point — the
+   shard router concatenates / k-way-merges these without forcing them,
+   and the server streams bounded chunks off one.  [range_count] drains
+   (up to [limit]) without building the list. *)
+
+let scan ?lo ?hi t =
+  Telemetry.incr (Store.sink t.store) (t.name ^ ".scan");
+  t.scan ~lo ~hi
+
+let range_count ?lo ?hi ?limit t =
+  let seq = scan ?lo ?hi t in
+  let rec count n seq =
+    match limit with
+    | Some l when n >= l -> n
+    | _ -> ( match seq () with Seq.Nil -> n | Seq.Cons (_, tl) -> count (n + 1) tl)
+  in
+  count 0 seq
 
 (* --- cached multiproof serving ----------------------------------------------
 

@@ -12,6 +12,12 @@
 
 open Siri_crypto
 
+exception Unsupported of string
+(** Raised by {!field-scan} on index kinds with no key order (MBT): the
+    paper's Section 5 prediction — hash-bucketed structures cannot serve
+    ordered reads — surfaces as a typed refusal rather than a silent
+    O(N) filter.  The payload names the index kind. *)
+
 type t = {
   name : string;  (** e.g. ["pos-tree"] *)
   store : Siri_store.Store.t;
@@ -64,6 +70,16 @@ type t = {
       (** records with lo <= key <= hi (inclusive; [None] = unbounded),
           sorted by key.  Ordered trees prune subtrees outside the range;
           MBT has no key order and scans (documented O(N)). *)
+  scan : lo:Kv.key option -> hi:Kv.key option -> (Kv.key * Kv.value) Seq.t;
+      (** streaming ordered read over the half-open interval [lo, hi):
+          records with lo <= key < hi ([None] = unbounded), produced in
+          key order as a lazy sequence.  The traversal is demand-driven —
+          nodes outside the interval are pruned before they are fetched,
+          and a consumer that stops early never pays for the rest of the
+          tree — and goes through the decoded-node cache like every other
+          read.  Half-open so interval endpoints compose without overlap
+          (the shard router depends on this).  MBT raises
+          {!Unsupported}. *)
 }
 
 val insert : t -> Kv.key -> Kv.value -> t
@@ -97,6 +113,19 @@ val get : t -> Kv.key -> Kv.value option
 val get_many : t -> Kv.key list -> (Kv.key * Kv.value option) list
 (** Filter-aware [t.get_many]: keys rejected by the filter never enter the
     batch traversal; results stay in input order. *)
+
+(** {2 Ordered streaming reads} *)
+
+val scan : ?lo:Kv.key -> ?hi:Kv.key -> t -> (Kv.key * Kv.value) Seq.t
+(** [t.scan] with optional labelled bounds: streams the entries of the
+    half-open interval [[lo, hi)] in key order, counting one
+    [<kind>.scan] per call.  Raises {!Unsupported} for MBT. *)
+
+val range_count : ?lo:Kv.key -> ?hi:Kv.key -> ?limit:int -> t -> int
+(** Number of entries in [[lo, hi)], computed by draining the stream but
+    never materializing it.  [limit] bounds the answer: counting stops at
+    [limit] entries, so "are there at least k rows?" costs O(k) node
+    visits regardless of selectivity.  Raises {!Unsupported} for MBT. *)
 
 (** {2 Cached multiproof serving} *)
 

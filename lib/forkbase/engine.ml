@@ -162,6 +162,10 @@ let commit_bulk t ~branch ~message entries =
 
 let get t ~branch key = Generic.get (index t branch) key
 let get_many t ~branch keys = Generic.get_many (index t branch) keys
+let scan ?lo ?hi t ~branch = Generic.scan ?lo ?hi (index t branch)
+
+let range_count ?lo ?hi ?limit t ~branch =
+  Generic.range_count ?lo ?hi ?limit (index t branch)
 let put t ~branch key value = commit t ~branch ~message:"put" [ Kv.Put (key, value) ]
 
 let diff_branches t a b =

@@ -68,6 +68,16 @@ val get_many : t -> branch:string -> Kv.key list -> (Kv.key * Kv.value option) l
     key, in input order; equivalent to [List.map (fun k -> (k, get t
     ~branch k))]. *)
 
+val scan :
+  ?lo:Kv.key -> ?hi:Kv.key -> t -> branch:string -> (Kv.key * Kv.value) Seq.t
+(** Streaming ordered read over [[lo, hi)] at a branch head — see
+    {!Generic.scan}.  Raises {!Generic.Unsupported} on MBT engines. *)
+
+val range_count :
+  ?lo:Kv.key -> ?hi:Kv.key -> ?limit:int -> t -> branch:string -> int
+(** Entry count of [[lo, hi)] at a branch head, bounded by [limit] —
+    see {!Generic.range_count}. *)
+
 val put : t -> branch:string -> Kv.key -> Kv.value -> commit
 
 val diff_branches : t -> string -> string -> Kv.diff_entry list

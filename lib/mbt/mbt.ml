@@ -698,4 +698,14 @@ let rec generic ?pool t =
           (fun (k, _) ->
             (match lo with None -> true | Some l -> String.compare k l >= 0)
             && match hi with None -> true | Some h -> String.compare k h <= 0)
-          (to_list t)) }
+          (to_list t));
+    scan =
+      (fun ~lo ~hi ->
+        (* The paper's Section 5 verdict made typed: a hash-bucketed
+           structure cannot stream in key order without materializing and
+           sorting everything, which is exactly what a streaming scan
+           promises not to do.  Callers wanting the O(N) answer anyway
+           still have [range]. *)
+        ignore lo;
+        ignore hi;
+        raise (Generic.Unsupported "mbt")) }

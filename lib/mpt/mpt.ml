@@ -591,6 +591,81 @@ let range t ~lo ~hi =
   go t.root;
   List.rev !acc
 
+(* --- streaming scan --------------------------------------------------------
+
+   Lazy key-ordered DFS over the half-open interval [lo, hi).  Same
+   pruning rules as [range] — a subtree is skipped when its accumulated
+   nibble prefix already falls outside the bounds — but driven by an
+   explicit frame stack captured in a [Seq.t], so nodes are fetched only
+   as the consumer demands entries.  Nibble strings compare like the keys
+   they encode (big-endian nibble order), so DFS order is key order; a
+   branch value's key equals the prefix itself and is emitted before any
+   child.  The hi bound prunes at [>=] (vs [range]'s strict [>]): keys
+   equal to hi are excluded by half-openness, so the subtree rooted at
+   hi's own nibbles holds nothing we want. *)
+let scan t ~lo ~hi =
+  let lo_n = Option.map Nibbles.of_key lo in
+  let hi_n = Option.map Nibbles.of_key hi in
+  let nib_string nibs =
+    String.init (Nibbles.length nibs) (fun i -> Char.chr (Nibbles.get nibs i))
+  in
+  let cmp_prefix prefix bound =
+    let lp = String.length prefix and lb = Nibbles.length bound in
+    let l = min lp lb in
+    let rec go i =
+      if i = l then 0
+      else
+        let c = compare (Char.code prefix.[i]) (Nibbles.get bound i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  in
+  let prune prefix =
+    (match lo_n with Some b -> cmp_prefix prefix b < 0 | None -> false)
+    || (match hi_n with
+       | Some b ->
+           let c = cmp_prefix prefix b in
+           c > 0 || (c = 0 && String.length prefix >= Nibbles.length b)
+       | None -> false)
+  in
+  let key_of prefix = Nibbles.to_key (Nibbles.of_nibble_string prefix) in
+  let wanted k =
+    (match lo with None -> true | Some l -> String.compare k l >= 0)
+    && match hi with None -> true | Some h -> String.compare k h < 0
+  in
+  let rec step stack () =
+    match stack with
+    | [] -> Seq.Nil
+    | `Emit (k, v) :: rest -> Seq.Cons ((k, v), step rest)
+    | `Node (prefix, h) :: rest ->
+        if Hash.is_null h || prune prefix then step rest ()
+        else (
+          match get t.store h with
+          | Leaf (p, v) ->
+              let prefix = prefix ^ nib_string p in
+              let k = key_of prefix in
+              if (not (prune prefix)) && wanted k then
+                Seq.Cons ((k, v), step rest)
+              else step rest ()
+          | Ext (p, child) -> step (`Node (prefix ^ nib_string p, child) :: rest) ()
+          | Branch (children, bvalue) ->
+              let frames = ref rest in
+              for i = 15 downto 0 do
+                let c = children.(i) in
+                if not (Hash.is_null c) then
+                  frames :=
+                    `Node (prefix ^ String.make 1 (Char.chr i), c) :: !frames
+              done;
+              let frames =
+                match bvalue with
+                | Some v when wanted (key_of prefix) ->
+                    `Emit (key_of prefix, v) :: !frames
+                | _ -> !frames
+              in
+              step frames ())
+  in
+  step [ `Node ("", t.root) ]
+
 (* --- diff --------------------------------------------------------------- *)
 
 (* A subtree reference during diff: either a stored node (hash known, can be
@@ -867,4 +942,5 @@ let rec generic ?pool t =
     prove_many = (fun ks -> probe t "mpt.prove_many" (fun () -> prove_many t ks));
     verify_many = (fun ~root mp -> verify_many ~root mp);
     reopen = (fun r -> generic ?pool (of_root t.store r));
-    range = (fun ~lo ~hi -> range t ~lo ~hi) }
+    range = (fun ~lo ~hi -> range t ~lo ~hi);
+    scan = (fun ~lo ~hi -> scan t ~lo ~hi) }

@@ -61,6 +61,12 @@ val range : t -> lo:Kv.key option -> hi:Kv.key option -> (Kv.key * Kv.value) lis
     order; subtrees whose nibble prefix falls outside the bounds are
     pruned. *)
 
+val scan :
+  t -> lo:Kv.key option -> hi:Kv.key option -> (Kv.key * Kv.value) Seq.t
+(** Streaming nibble-path DFS over the half-open interval [lo, hi):
+    entries in key order, nodes fetched lazily as the consumer demands
+    them, out-of-range subtrees pruned before they are read. *)
+
 val diff : t -> t -> Kv.diff_entry list
 (** Hash-pruned structural diff: identical subtrees are skipped without
     being decoded. *)

@@ -473,6 +473,52 @@ let range t ~lo ~hi =
   if not (Hash.is_null t.root) then walk t.root;
   List.rev !acc
 
+(* --- streaming scan --------------------------------------------------------
+
+   Lazy version-visible leaf walk over the half-open interval [lo, hi):
+   this version's root only reaches the leaves live at it (copy-on-write
+   path copies), so walking the tree *is* the visibility check.  Same
+   split-key child-hit predicate as [range], demand-driven; the first key
+   at or past [hi] ends the stream. *)
+let scan t ~lo ~hi =
+  let below_lo k =
+    match lo with None -> false | Some l -> String.compare k l < 0
+  in
+  let at_or_above_hi k =
+    match hi with None -> false | Some h -> String.compare k h >= 0
+  in
+  let rec step stack () =
+    match stack with
+    | [] -> Seq.Nil
+    | `Leaf (entries, i) :: rest ->
+        if i >= Array.length entries then step rest ()
+        else
+          let k, v = entries.(i) in
+          if at_or_above_hi k then Seq.Nil
+          else if below_lo k then step (`Leaf (entries, i + 1) :: rest) ()
+          else Seq.Cons ((k, v), step (`Leaf (entries, i + 1) :: rest))
+    | `Node h :: rest -> (
+        match get t.store h with
+        | Leaf entries -> step (`Leaf (entries, 0) :: rest) ()
+        | Internal (_, refs) ->
+            let frames = ref rest in
+            for i = Array.length refs - 1 downto 0 do
+              let split, child = refs.(i) in
+              let prev = if i = 0 then None else Some (fst refs.(i - 1)) in
+              let hit =
+                (match lo with
+                | None -> true
+                | Some l -> String.compare split l >= 0)
+                && match (hi, prev) with
+                   | None, _ | _, None -> true
+                   | Some h, Some p -> String.compare p h < 0
+              in
+              if hit then frames := `Node child :: !frames
+            done;
+            step !frames ())
+  in
+  if Hash.is_null t.root then Seq.empty else step [ `Node t.root ]
+
 (* --- diff / merge / proofs -------------------------------------------------------- *)
 
 let td_decode_bytes bytes =
@@ -636,4 +682,5 @@ let rec generic ?pool t =
       (fun ks -> probe t "mvmb+-tree.prove_many" (fun () -> prove_many t ks));
     verify_many = (fun ~root mp -> verify_many ~root mp);
     reopen = (fun r -> generic ?pool { t with root = r });
-    range = (fun ~lo ~hi -> range t ~lo ~hi) }
+    range = (fun ~lo ~hi -> range t ~lo ~hi);
+    scan = (fun ~lo ~hi -> scan t ~lo ~hi) }

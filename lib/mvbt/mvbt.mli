@@ -64,6 +64,11 @@ val iter : t -> (Kv.key -> Kv.value -> unit) -> unit
 val range : t -> lo:Kv.key option -> hi:Kv.key option -> (Kv.key * Kv.value) list
 (** Inclusive range scan in key order, pruning by split keys. *)
 
+val scan :
+  t -> lo:Kv.key option -> hi:Kv.key option -> (Kv.key * Kv.value) Seq.t
+(** Streaming version-visible leaf walk over the half-open interval
+    [lo, hi): entries in key order, lazily, pruned by split keys. *)
+
 val stats : t -> Tree_stats.t
 val prove_range : t -> lo:Kv.key option -> hi:Kv.key option -> Range_proof.t
 val verify_range_proof : root:Hash.t -> Range_proof.t -> bool

@@ -647,6 +647,53 @@ let range t ~lo ~hi =
   if not (Hash.is_null t.root) then walk t.root;
   List.rev !acc
 
+(* --- streaming scan --------------------------------------------------------
+
+   Lazy split-key descent over the half-open interval [lo, hi): the same
+   child-hit predicate as [range] (child i covers (split_{i-1}, split_i])
+   selects which subtrees can intersect the interval, but children are
+   expanded only as the consumer demands entries.  Keys arrive in global
+   order, so the first key >= hi terminates the whole stream — frames
+   still on the stack cover strictly larger keys and are never fetched. *)
+let scan t ~lo ~hi =
+  let below_lo k =
+    match lo with None -> false | Some l -> String.compare k l < 0
+  in
+  let at_or_above_hi k =
+    match hi with None -> false | Some h -> String.compare k h >= 0
+  in
+  let rec step stack () =
+    match stack with
+    | [] -> Seq.Nil
+    | `Leaf (entries, i) :: rest ->
+        if i >= Array.length entries then step rest ()
+        else
+          let k, v = entries.(i) in
+          if at_or_above_hi k then Seq.Nil
+          else if below_lo k then step (`Leaf (entries, i + 1) :: rest) ()
+          else Seq.Cons ((k, v), step (`Leaf (entries, i + 1) :: rest))
+    | `Node h :: rest -> (
+        match get t.store h with
+        | Leaf entries -> step (`Leaf (entries, 0) :: rest) ()
+        | Internal (_, refs) ->
+            let frames = ref rest in
+            for i = Array.length refs - 1 downto 0 do
+              let split, child = refs.(i) in
+              let prev = if i = 0 then None else Some (fst refs.(i - 1)) in
+              let hit =
+                (match lo with
+                | None -> true
+                | Some l -> String.compare split l >= 0)
+                && match (hi, prev) with
+                   | None, _ | _, None -> true
+                   | Some h, Some p -> String.compare p h < 0
+              in
+              if hit then frames := `Node child :: !frames
+            done;
+            step !frames ())
+  in
+  if Hash.is_null t.root then Seq.empty else step [ `Node t.root ]
+
 (* --- diff / merge --------------------------------------------------------------- *)
 
 let td_decode_bytes bytes =
@@ -821,6 +868,7 @@ let rec generic_named ?pool name t =
     prove_many = (fun ks -> probe t p_prove_many (fun () -> prove_many t ks));
     verify_many = (fun ~root mp -> verify_many ~root mp);
     reopen = (fun r -> generic_named ?pool name { t with root = r });
-    range = (fun ~lo ~hi -> range t ~lo ~hi) }
+    range = (fun ~lo ~hi -> range t ~lo ~hi);
+    scan = (fun ~lo ~hi -> scan t ~lo ~hi) }
 
 let generic ?pool t = generic_named ?pool "pos-tree" t

@@ -122,6 +122,13 @@ val range : t -> lo:Kv.key option -> hi:Kv.key option -> (Kv.key * Kv.value) lis
 (** Records with lo <= key <= hi (inclusive; [None] = unbounded), in key
     order; subtrees outside the interval are pruned by split key. *)
 
+val scan :
+  t -> lo:Kv.key option -> hi:Kv.key option -> (Kv.key * Kv.value) Seq.t
+(** Streaming split-key descent over the half-open interval [lo, hi):
+    entries in key order, children expanded lazily on demand; the first
+    key at or past [hi] ends the stream without fetching further
+    nodes. *)
+
 val prove_range :
   t -> lo:Kv.key option -> hi:Kv.key option -> Range_proof.t
 (** Authenticated range scan (see {!Siri_core.Range_proof}). *)

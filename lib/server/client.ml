@@ -210,6 +210,51 @@ let get_many ?deadline_ms t ~branch keys =
   | Ok _ -> Error (`Unexpected "get_many")
   | Error e -> Error e
 
+(* A scan reply is a stream of [Entries] frames, so it cannot ride on
+   [roundtrip]: a retry after the first chunk arrived would re-run the
+   scan and duplicate entries.  Dial (retryably) happens implicitly in
+   [live_fd]; once the request is written the stream is read to its
+   [more = false] frame or abandoned — any transport fault mid-stream
+   drops the connection and surfaces as [`Unavailable], never a
+   silently truncated result. *)
+let scan ?(deadline_ms = 0) ?lo ?hi ?(limit = 0) t ~branch =
+  let payload =
+    Proto.encode_request
+      { Proto.deadline_ms; body = Proto.Scan { branch; lo; hi; limit } }
+  in
+  try
+    let fd = live_fd t in
+    Telemetry.incr t.sink "client.req";
+    (match Proto.Io.write_frame fd payload with
+    | Ok () -> ()
+    | Error `Closed ->
+        drop t;
+        transient ());
+    let deadline = Unix.gettimeofday () +. t.request_timeout_s in
+    let rec read acc =
+      match Proto.Io.read_frame ~deadline fd with
+      | Ok p -> (
+          match Proto.decode_response p with
+          | Ok (Proto.Entries { entries; more }) ->
+              let acc = List.rev_append entries acc in
+              if more then read acc else Ok (List.rev acc)
+          | Ok (Proto.Err { code; detail }) -> Error (of_err code detail branch)
+          | Ok _ ->
+              drop t;
+              Error (`Unexpected "scan")
+          | Error (`Malformed d) ->
+              drop t;
+              Error (`Tampered d))
+      | Error (`Closed | `Timeout) ->
+          drop t;
+          Error (`Unavailable "scan stream interrupted")
+      | Error (`Tampered d | `Malformed d) ->
+          drop t;
+          Error (`Tampered d)
+    in
+    read []
+  with Store.Transient _ -> Error (`Unavailable "server unreachable")
+
 let prove_many ?deadline_ms t ~branch keys =
   match request t ?deadline_ms (Proto.Prove_many { branch; keys }) with
   | Ok (Proto.Proof { root; proof }) -> Ok (root, proof)

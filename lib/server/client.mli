@@ -77,6 +77,18 @@ val get_many :
   ?deadline_ms:int -> t -> branch:string -> Kv.key list ->
   ((Kv.key * Kv.value option) list, error) result
 
+val scan :
+  ?deadline_ms:int -> ?lo:Kv.key -> ?hi:Kv.key -> ?limit:int ->
+  t -> branch:string ->
+  ((Kv.key * Kv.value) list, error) result
+(** Ordered entries of the half-open interval [[lo, hi)] at the branch
+    head snapshot, streamed from the server in bounded [Entries] chunks
+    and reassembled here.  [limit] (0 = unbounded) caps the stream
+    server-side.  Unlike the other requests this one is {e not} retried
+    once the first chunk has arrived — a transport fault mid-stream
+    surfaces as [`Unavailable] rather than risking duplicated entries;
+    an index kind without ordered scans answers [`Refused]. *)
+
 val prove_many :
   ?deadline_ms:int -> t -> branch:string -> Kv.key list ->
   (Hash.t * string, error) result

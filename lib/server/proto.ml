@@ -19,6 +19,12 @@ type req =
       ops : Kv.op list;
     }
   | Stats
+  | Scan of {
+      branch : string;
+      lo : Kv.key option;
+      hi : Kv.key option;
+      limit : int;  (** 0 = unbounded *)
+    }
 
 type request = { deadline_ms : int; body : req }
 
@@ -44,6 +50,10 @@ type response =
     }
   | Stats_r of string
   | Err of { code : error_code; detail : string }
+  | Entries of { entries : (Kv.key * Kv.value) list; more : bool }
+      (** One bounded chunk of a streaming scan reply; the server keeps
+          sending [Entries] frames until [more = false] (or an [Err]
+          frame aborts the stream). *)
 
 let error_code_to_string = function
   | Overload -> "overload"
@@ -104,6 +114,18 @@ let get_keys r =
   let n = checked_count r in
   List.init n (fun _ -> Wire.Reader.str r)
 
+let put_key_opt w = function
+  | None -> Wire.Writer.u8 w 0
+  | Some k ->
+      Wire.Writer.u8 w 1;
+      Wire.Writer.str w k
+
+let get_key_opt r =
+  match Wire.Reader.u8 r with
+  | 0 -> None
+  | 1 -> Some (Wire.Reader.str r)
+  | t -> failwith (Printf.sprintf "bad option tag %d" t)
+
 let encode_request { deadline_ms; body } =
   let w = Wire.Writer.create () in
   Wire.Writer.u8 w version;
@@ -131,7 +153,13 @@ let encode_request { deadline_ms; body } =
       Wire.Writer.str w branch;
       Wire.Writer.str w message;
       put_ops w ops
-  | Stats -> Wire.Writer.u8 w 6);
+  | Stats -> Wire.Writer.u8 w 6
+  | Scan { branch; lo; hi; limit } ->
+      Wire.Writer.u8 w 7;
+      Wire.Writer.str w branch;
+      put_key_opt w lo;
+      put_key_opt w hi;
+      Wire.Writer.varint w limit);
   Wire.Writer.contents w
 
 (* Decoders are total: every parse failure — truncation, a bad tag, a
@@ -175,6 +203,12 @@ let decode_request payload =
         let message = Wire.Reader.str r in
         Commit { req_id; branch; message; ops = get_ops r }
     | 6 -> Stats
+    | 7 ->
+        let branch = Wire.Reader.str r in
+        let lo = get_key_opt r in
+        let hi = get_key_opt r in
+        let limit = Wire.Reader.varint r in
+        Scan { branch; lo; hi; limit }
     | t -> failwith (Printf.sprintf "bad request tag %d" t)
   in
   { deadline_ms; body }
@@ -245,7 +279,16 @@ let encode_response resp =
   | Err { code; detail } ->
       Wire.Writer.u8 w 7;
       Wire.Writer.u8 w (code_byte code);
-      Wire.Writer.str w detail);
+      Wire.Writer.str w detail
+  | Entries { entries; more } ->
+      Wire.Writer.u8 w 8;
+      Wire.Writer.varint w (List.length entries);
+      List.iter
+        (fun (k, v) ->
+          Wire.Writer.str w k;
+          Wire.Writer.str w v)
+        entries;
+      Wire.Writer.u8 w (if more then 1 else 0));
   Wire.Writer.contents w
 
 let decode_response payload =
@@ -279,6 +322,21 @@ let decode_response payload =
       let code = code_of_byte (Wire.Reader.u8 r) in
       let detail = Wire.Reader.str r in
       Err { code; detail }
+  | 8 ->
+      let n = checked_count r in
+      let entries =
+        List.init n (fun _ ->
+            let k = Wire.Reader.str r in
+            let v = Wire.Reader.str r in
+            (k, v))
+      in
+      let more =
+        match Wire.Reader.u8 r with
+        | 0 -> false
+        | 1 -> true
+        | t -> failwith (Printf.sprintf "bad more flag %d" t)
+      in
+      Entries { entries; more }
   | t -> failwith (Printf.sprintf "bad response tag %d" t)
 
 (* --- framing ------------------------------------------------------------------- *)

@@ -39,6 +39,17 @@ type req =
       ops : Kv.op list;
     }
   | Stats
+  | Scan of {
+      branch : string;
+      lo : Kv.key option;
+      hi : Kv.key option;
+      limit : int;  (** cap on streamed entries; 0 = unbounded *)
+    }
+      (** Streaming ordered read over the half-open interval [[lo, hi)].
+          Answered with a sequence of {!response.Entries} frames — the
+          only multi-frame reply in the protocol — each bounded, with
+          [more = false] on the last; an [Err] frame aborts the stream
+          (e.g. [Bad_request] for an index kind without ordered scans). *)
 
 type request = {
   deadline_ms : int;
@@ -72,6 +83,9 @@ type response =
     }
   | Stats_r of string  (** telemetry sink as JSON *)
   | Err of { code : error_code; detail : string }
+  | Entries of { entries : (Kv.key * Kv.value) list; more : bool }
+      (** One chunk of a {!req.Scan} reply stream; the client keeps
+          reading frames until [more = false]. *)
 
 val error_code_to_string : error_code -> string
 

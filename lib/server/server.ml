@@ -445,6 +445,7 @@ let dispatch_read t (body : Proto.req) : Proto.response =
           | Ok proof -> Proto.Proof { root = s.s_root; proof }
           | Error e -> err Proto.Tampered (Fault.error_to_string e)))
   | Proto.Commit _ -> assert false  (* routed to the write path *)
+  | Proto.Scan _ -> assert false  (* streamed by the session loop *)
 
 let dispatch_commit t ~deadline ~req_id ~branch ~message ~ops : Proto.response =
   if not (Proto.valid_req_id req_id) then
@@ -501,6 +502,72 @@ let op_name : Proto.req -> string = function
   | Proto.Prove_many _ -> "prove_many"
   | Proto.Commit _ -> "commit"
   | Proto.Stats -> "stats"
+  | Proto.Scan _ -> "scan"
+
+(* --- streaming scan ----------------------------------------------------- *)
+
+(* A scan reply is the protocol's only multi-frame response: the lazy
+   per-shard streams are pulled one bounded chunk at a time, so a huge
+   range never materializes server-side, and the deadline is re-checked
+   between chunks — a slow consumer cannot pin the session thread past
+   its budget.  The snapshot view is immutable, so the stream stays
+   consistent even while the writer publishes new heads. *)
+let scan_chunk = 256
+
+let session_scan t ~deadline ~branch ~lo ~hi ~limit send =
+  Telemetry.incr t.tsink "server.req.scan";
+  match snap_of t branch with
+  | None -> send (err Proto.Unknown_branch branch)
+  | Some s -> (
+      match
+        Fault.protect (fun () ->
+            match s.view with
+            | Mono v -> Generic.scan ?lo ?hi v
+            | Multi (spec, views) -> Shard_views.scan spec views ~lo ~hi)
+      with
+      | exception Generic.Unsupported kind ->
+          send
+            (err Proto.Bad_request
+               (Printf.sprintf "index kind %S does not support ordered scans"
+                  kind))
+      | Error e -> send (err Proto.Tampered (Fault.error_to_string e))
+      | Ok seq ->
+          let rec chunks seq sent =
+            if deadline > 0.0 && Unix.gettimeofday () > deadline then begin
+              Telemetry.incr t.tsink "server.timeout";
+              send (err Proto.Timeout "deadline expired mid-scan")
+            end
+            else
+              let budget =
+                if limit > 0 then min scan_chunk (limit - sent) else scan_chunk
+              in
+              match
+                (* pull up to [budget] entries; the tail stays lazy *)
+                Fault.protect (fun () ->
+                    let rec take n acc seq =
+                      if n = 0 then (List.rev acc, Some seq)
+                      else
+                        match seq () with
+                        | Seq.Nil -> (List.rev acc, None)
+                        | Seq.Cons (e, tl) -> take (n - 1) (e :: acc) tl
+                    in
+                    take budget [] seq)
+              with
+              | Error e -> send (err Proto.Tampered (Fault.error_to_string e))
+              | Ok (entries, rest) -> (
+                  let sent = sent + List.length entries in
+                  let exhausted =
+                    rest = None || (limit > 0 && sent >= limit)
+                  in
+                  match
+                    send (Proto.Entries { entries; more = not exhausted })
+                  with
+                  | `Stop -> `Stop
+                  | `Cont ->
+                      if exhausted then `Cont
+                      else chunks (Option.get rest) sent)
+          in
+          chunks seq 0)
 
 let handle_request t (r : Proto.request) : Proto.response =
   let name = op_name r.body in
@@ -553,6 +620,19 @@ let session_loop t sid fd =
         | Error (`Malformed d) ->
             Telemetry.incr t.tsink "server.refused.malformed";
             ignore (send (err Proto.Bad_request d))
+        | Ok { Proto.deadline_ms; body = Proto.Scan { branch; lo; hi; limit } }
+          -> (
+            (* streaming: many frames per request, so it cannot go
+               through the one-response [handle_request] path *)
+            let deadline =
+              if deadline_ms <= 0 then 0.0
+              else Unix.gettimeofday () +. (float_of_int deadline_ms /. 1000.0)
+            in
+            let verdict =
+              try session_scan t ~deadline ~branch ~lo ~hi ~limit send
+              with e -> send (err Proto.Bad_request (Printexc.to_string e))
+            in
+            match verdict with `Cont -> loop () | `Stop -> ())
         | Ok req -> (
             let resp =
               try handle_request t req

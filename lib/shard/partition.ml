@@ -40,6 +40,54 @@ let shard_of_key t key =
         (* 65536 two-byte prefixes scaled into [shards] equal buckets *)
         b * t.shards / 65536
 
+(* The smallest key whose zero-padded two-byte prefix is [b]: used to
+   decide whether any key strictly below a scan's upper bound can still
+   carry prefix [b], which makes the interval bound below tight even when
+   the bound sits exactly on a shard boundary. *)
+let minimal_key_of_prefix b =
+  if b = 0 then ""
+  else if b mod 256 = 0 then String.make 1 (Char.chr (b / 256))
+  else
+    let s = Bytes.create 2 in
+    Bytes.set s 0 (Char.chr (b / 256));
+    Bytes.set s 1 (Char.chr (b mod 256));
+    Bytes.to_string s
+
+(* Largest two-byte prefix reachable by a key strictly below [hi], or
+   [None] when no key sorts below [hi] (i.e. [hi = ""]). *)
+let max_prefix_below hi =
+  if hi = "" then None
+  else begin
+    let byte i = if i < String.length hi then Char.code hi.[i] else 0 in
+    let b = (byte 0 * 256) + byte 1 in
+    if String.compare (minimal_key_of_prefix b) hi < 0 then Some b
+    else if b > 0 then Some (b - 1)
+    else None
+  end
+
+let shard_interval t ~lo ~hi =
+  let empty =
+    match (lo, hi) with
+    | Some l, Some h -> String.compare l h >= 0
+    | _, Some h -> h = ""
+    | _ -> false
+  in
+  if empty then None
+  else
+    match t.scheme with
+    | Hash -> Some (0, t.shards - 1)
+    | Range ->
+        let a = match lo with None -> 0 | Some l -> shard_of_key t l in
+        let b =
+          match hi with
+          | None -> t.shards - 1
+          | Some h -> (
+              match max_prefix_below h with
+              | None -> a (* unreachable: emptiness handled above *)
+              | Some p -> max a (p * t.shards / 65536))
+        in
+        Some (a, b)
+
 let split_by t key_of xs =
   let buckets = Array.make t.shards [] in
   List.iter

@@ -32,6 +32,16 @@ val make : scheme -> shards:int -> t
 val shard_of_key : t -> Kv.key -> int
 (** Deterministic routing; always in [\[0, shards)]. *)
 
+val shard_interval :
+  t -> lo:Kv.key option -> hi:Kv.key option -> (int * int) option
+(** Inclusive interval [(first, last)] of shard indexes that keys in the
+    half-open interval [[lo, hi)] can route to, or [None] when no key
+    fits the bounds.  Under {!Range} the routing function is monotone in
+    the key, so the interval is contiguous and tight — tight even when
+    [hi] sits exactly on a shard boundary, in which case the boundary
+    shard is excluded.  Under {!Hash} placement ignores key order and the
+    answer is every shard. *)
+
 val split_keys : t -> Kv.key list -> (int * Kv.key list) list
 (** Group keys by shard, preserving relative order inside each group;
     only non-empty groups are returned, in ascending shard order. *)

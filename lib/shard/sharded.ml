@@ -35,6 +35,9 @@ type t = {
   runner : runner;
   pool : Pool.t option;  (* Some iff runner = `Pool and shards > 1 *)
   shards : Durable.t array;
+  backend : Durable.backend;
+  empty_index : unit -> Generic.t;
+  generation : int;
   mutable top : out_channel option;
   mutable next_seq : int;
   recovered : recovery;
@@ -44,8 +47,51 @@ let manifest_magic = "SIRISHARD1"
 let top_magic = "SIRITOPJ1"
 
 let manifest_path dir = Filename.concat dir "SHARDS"
-let top_path dir = Filename.concat dir "top"
-let shard_dir dir i = Filename.concat dir (Printf.sprintf "shard.%d" i)
+
+(* Generation-scoped layout: generation 0 is the original flat layout
+   ([dir/top], [dir/shard.i] — every pre-reshard directory), generation
+   [g > 0] lives under [dir/gen.g/].  A reshard builds the next
+   generation in [dir/gen.g.tmp], renames it into place, and flips the
+   manifest — the manifest names the only live generation, so everything
+   else under [dir] is sweepable garbage. *)
+let gen_root dir g =
+  if g = 0 then dir else Filename.concat dir (Printf.sprintf "gen.%d" g)
+
+let staging_root dir g = Filename.concat dir (Printf.sprintf "gen.%d.tmp" g)
+let top_path dir g = Filename.concat (gen_root dir g) "top"
+
+let shard_dir dir g i =
+  Filename.concat (gen_root dir g) (Printf.sprintf "shard.%d" i)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter
+        (fun name -> rm_rf (Filename.concat path name))
+        (try Sys.readdir path with Sys_error _ -> [||]);
+      (try Sys.rmdir path with Sys_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+(* Remove every layout the manifest does not name: superseded
+   generations after a reshard, and staging directories a crash left
+   mid-build.  Nothing here is ever the live state, so the sweep is
+   unconditional and idempotent. *)
+let sweep_stale dir ~generation =
+  Array.iter
+    (fun name ->
+      let stale =
+        match Scanf.sscanf_opt name "gen.%d%s" (fun g rest -> (g, rest)) with
+        | Some (g, "") -> g <> generation
+        | Some (_, ".tmp") -> true
+        | _ ->
+            generation > 0
+            && (name = "top"
+               || Scanf.sscanf_opt name "shard.%d%s" (fun i rest -> (i, rest))
+                  |> Option.fold ~none:false ~some:(fun (_, rest) -> rest = ""))
+      in
+      if stale then rm_rf (Filename.concat dir name))
+    (try Sys.readdir dir with Sys_error _ -> [||])
 
 let recovery t = t.recovered
 let spec t = t.spec
@@ -174,7 +220,48 @@ let get t ~branch key =
   let i = Partition.shard_of_key t.spec key in
   Engine.get (Durable.engine t.shards.(i)) ~branch key
 
-let get_many t ~branch keys = Views.get_many t.spec (views t ~branch) keys
+let get_many t ~branch keys =
+  (* Same fan-out discipline as {!commit}: group per shard once, then
+     dispatch the per-shard batched walks through the runner — each task
+     touches only its own shard's store, so the domain-safety argument is
+     the concurrent-commit one.  Results reassemble in input order. *)
+  let vs = views t ~branch in
+  match Partition.split_keys t.spec keys with
+  | [] -> []
+  | [ (i, _) ] -> Generic.get_many vs.(i) keys
+  | groups ->
+      let groups = Array.of_list groups in
+      let results = Array.make (Array.length groups) [] in
+      run_tasks t
+        (List.init (Array.length groups) (fun gi () ->
+             let i, ks = groups.(gi) in
+             results.(gi) <- Generic.get_many vs.(i) ks));
+      Telemetry.incr (sink t) ~by:(Array.length groups) "shard.get_many.parts";
+      let found = Hashtbl.create (List.length keys) in
+      Array.iter
+        (fun rs -> List.iter (fun (k, v) -> Hashtbl.replace found k v) rs)
+        results;
+      List.map (fun k -> (k, Option.join (Hashtbl.find_opt found k))) keys
+
+let scan ?lo ?hi t ~branch = Views.scan t.spec (views t ~branch) ~lo ~hi
+
+type shard_stat = {
+  shard : int;
+  keys : int;
+  nodes : int;
+  bytes : int;
+  root : Hash.t;
+}
+
+let shard_stats t ~branch =
+  Array.mapi
+    (fun i v ->
+      { shard = i;
+        keys = v.Generic.cardinal ();
+        nodes = Generic.node_count v;
+        bytes = Generic.total_bytes v;
+        root = v.Generic.root })
+    (views t ~branch)
 
 let prove_many t ~branch keys =
   Shard_proof.prove ~views:(views t ~branch) t.spec keys
@@ -253,10 +340,11 @@ let checkpoint t =
           e_composite = Composite.root t.spec roots; e_roots = roots })
       (branches t)
   in
-  Store.write_file_atomic ~sync:t.sync (top_path t.dir) (fun oc ->
+  Store.write_file_atomic ~sync:t.sync (top_path t.dir t.generation) (fun oc ->
       output_string oc top_magic;
       List.iter (fun e -> output_string oc (encode_top_entry e)) entries);
-  t.top <- Some (open_top_for_append ~sync:t.sync (top_path t.dir));
+  t.top <-
+    Some (open_top_for_append ~sync:t.sync (top_path t.dir t.generation));
   Telemetry.incr (sink t) "shard.checkpoint"
 
 let close t =
@@ -280,15 +368,30 @@ let read_manifest dir =
     | exception Sys_error msg -> Error (`Malformed msg)
     | content -> (
         match String.split_on_char '\n' content with
-        | m :: spec_line :: _ when m = manifest_magic -> (
+        | m :: spec_line :: rest when m = manifest_magic -> (
             match Partition.of_string spec_line with
-            | Ok spec -> Ok (Some spec)
-            | Error msg -> Error (`Malformed ("shard manifest: " ^ msg)))
+            | Error msg -> Error (`Malformed ("shard manifest: " ^ msg))
+            | Ok spec -> (
+                (* Optional generation line, absent in pre-reshard
+                   manifests (= generation 0, the flat layout). *)
+                match rest with
+                | gen_line :: _
+                  when String.length gen_line >= 4
+                       && String.sub gen_line 0 4 = "gen " -> (
+                    match
+                      int_of_string_opt
+                        (String.sub gen_line 4 (String.length gen_line - 4))
+                    with
+                    | Some g when g >= 0 -> Ok (Some (spec, g))
+                    | _ ->
+                        Error (`Malformed "shard manifest: bad generation line"))
+                | _ -> Ok (Some (spec, 0))))
         | _ -> Error (`Malformed "shard manifest: bad magic"))
 
-let write_manifest ~sync dir spec =
+let write_manifest ~sync dir spec ~generation =
   Store.write_file_atomic ~sync (manifest_path dir) (fun oc ->
-      Printf.fprintf oc "%s\n%s\n" manifest_magic (Partition.to_string spec))
+      Printf.fprintf oc "%s\n%s\ngen %d\n" manifest_magic
+        (Partition.to_string spec) generation)
 
 let ensure_dir dir =
   if Sys.file_exists dir then
@@ -318,11 +421,11 @@ let open_ ?(sync = true) ?(backend = `Snapshot) ?(runner = `Pool) ?spec ~dir
       | Ok manifest -> (
           let spec_r =
             match (manifest, spec) with
-            | None, None -> Ok (Partition.make Partition.Hash ~shards:4)
-            | None, Some s -> Ok s
-            | Some m, None -> Ok m
-            | Some m, Some s ->
-                if m = s then Ok m
+            | None, None -> Ok (Partition.make Partition.Hash ~shards:4, 0)
+            | None, Some s -> Ok (s, 0)
+            | Some (m, g), None -> Ok (m, g)
+            | Some (m, g), Some s ->
+                if m = s then Ok (m, g)
                 else
                   Error
                     (`Malformed
@@ -333,11 +436,15 @@ let open_ ?(sync = true) ?(backend = `Snapshot) ?(runner = `Pool) ?spec ~dir
           in
           match spec_r with
           | Error _ as e -> e
-          | Ok spec -> (
-              if manifest = None then write_manifest ~sync dir spec;
+          | Ok (spec, generation) -> (
+              if manifest = None then write_manifest ~sync dir spec ~generation;
+              (* Superseded generations and crashed reshard staging dirs
+                 are garbage the moment the manifest stops (or never
+                 started) naming them. *)
+              sweep_stale dir ~generation;
               (* 1. The composite journal names the last published
                  sequence number — the cap every shard replays under. *)
-              let tpath = top_path dir in
+              let tpath = top_path dir generation in
               let top_r =
                 if Sys.file_exists tpath then
                   scan_top (In_channel.with_open_bin tpath In_channel.input_all)
@@ -356,7 +463,7 @@ let open_ ?(sync = true) ?(backend = `Snapshot) ?(runner = `Pool) ?spec ~dir
                       (fun i ->
                         match
                           Durable.open_ ~sync ~backend ~replay_cap:last
-                            ~dir:(shard_dir dir i)
+                            ~dir:(shard_dir dir generation i)
                             ~empty_index:(empty_index ()) ()
                         with
                         | Ok d -> Ok d
@@ -455,6 +562,9 @@ let open_ ?(sync = true) ?(backend = `Snapshot) ?(runner = `Pool) ?spec ~dir
                                 runner;
                                 pool;
                                 shards;
+                                backend;
+                                empty_index;
+                                generation;
                                 top =
                                   Some (open_top_for_append ~sync tpath);
                                 next_seq = last + 1;
@@ -466,3 +576,126 @@ let open_ ?(sync = true) ?(backend = `Snapshot) ?(runner = `Pool) ?spec ~dir
                                       Array.map Durable.recovery shards }
                               }
                       end)))))
+
+(* --- online reshard ------------------------------------------------------- *)
+
+exception Reshard_error of Wal.error
+
+let generation t = t.generation
+
+let reshard t ~shards:m =
+  if m < 1 || m > Partition.max_shards then
+    invalid_arg
+      (Printf.sprintf "Sharded.reshard: shards %d not in [1, %d]" m
+         Partition.max_shards);
+  let s = sink t in
+  let new_spec = Partition.make t.spec.Partition.scheme ~shards:m in
+  let g' = t.generation + 1 in
+  let staging = staging_root t.dir g' in
+  let build () =
+    Telemetry.with_span s "shard.reshard" @@ fun () ->
+    rm_rf staging;
+    (match Unix.mkdir staging 0o755 with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+        raise
+          (Reshard_error (`Malformed (staging ^ ": " ^ Unix.error_message e))));
+    let open_new i =
+      match
+        Durable.open_ ~sync:t.sync ~backend:t.backend
+          ~dir:(Filename.concat staging (Printf.sprintf "shard.%d" i))
+          ~empty_index:(t.empty_index ()) ()
+      with
+      | Ok d -> d
+      | Error e -> raise (Reshard_error e)
+    in
+    let new_shards = Array.init m open_new in
+    let others = List.filter (fun b -> b <> "master") (branches t) in
+    let ordered = "master" :: others in
+    (* Stream every live entry out of the old shards through the new
+       ordered read path, split by the new partition function. *)
+    let buckets_of branch =
+      let buckets = Array.make m [] in
+      Seq.iter
+        (fun (k, v) ->
+          let i = Partition.shard_of_key new_spec k in
+          buckets.(i) <- (k, v) :: buckets.(i))
+        (scan t ~branch);
+      Array.map List.rev buckets
+    in
+    let per_branch = List.map (fun b -> (b, buckets_of b)) ordered in
+    (* One global sequence per logical operation, identical across the
+       new shards (the same discipline as {!commit}/{!fork}): first the
+       forks — non-master branches recreated from the still-empty master
+       so every branch sits at version 0 when its bulk load lands — then
+       one bulk commit per branch. *)
+    let base = t.next_seq in
+    let nforks = List.length others in
+    run_tasks t
+      (List.init m (fun i () ->
+           let d = new_shards.(i) in
+           List.iteri
+             (fun j b -> Durable.fork ~seq:(base + j) d ~from:"master" b)
+             others;
+           List.iteri
+             (fun j (b, buckets) ->
+               ignore
+                 (Durable.commit_bulk ~seq:(base + nforks + j) d ~branch:b
+                    ~message:"reshard" buckets.(i)
+                   : Engine.commit))
+             per_branch;
+           (* Compact each staging journal: the bulk records above are
+              O(entries) bytes and the checkpoint snapshot replaces
+              them. *)
+           Durable.checkpoint d));
+    let final_seq = base + nforks + List.length ordered - 1 in
+    (* The staging composite journal: one record per branch at the final
+       sequence number, exactly like a checkpoint compaction. *)
+    let entries =
+      List.map
+        (fun b ->
+          let roots =
+            Array.map
+              (fun d -> (Engine.head (Durable.engine d) b).Engine.index_root)
+              new_shards
+          in
+          { e_seq = final_seq;
+            e_branch = b;
+            e_composite = Composite.root new_spec roots;
+            e_roots = roots })
+        ordered
+    in
+    Store.write_file_atomic ~sync:t.sync (Filename.concat staging "top")
+      (fun oc ->
+        output_string oc top_magic;
+        List.iter (fun e -> output_string oc (encode_top_entry e)) entries);
+    Array.iter Durable.close new_shards;
+    (* Rename the fully-built generation into place, then flip the
+       manifest — the atomic commit point.  Until the manifest replacement
+       lands, the old layout is still the state and everything built here
+       is sweepable staging. *)
+    Unix.rename staging (gen_root t.dir g');
+    if t.sync then Store.fsync_dir t.dir;
+    write_manifest ~sync:t.sync t.dir new_spec ~generation:g'
+  in
+  match build () with
+  | exception Reshard_error e ->
+      rm_rf staging;
+      Error e
+  | exception Unix.Unix_error (e, fn, arg) ->
+      rm_rf staging;
+      Error
+        (`Malformed
+           (Printf.sprintf "reshard: %s(%s): %s" fn arg (Unix.error_message e)))
+  | () ->
+      Telemetry.incr s "shard.reshard";
+      (* The old handle is superseded: reopen on the new layout, which
+         also sweeps the old generation and re-verifies every branch's
+         composite against the migrated shard roots. *)
+      let sync = t.sync
+      and backend = t.backend
+      and runner = t.runner
+      and dir = t.dir
+      and empty_index = t.empty_index in
+      close t;
+      open_ ~sync ~backend ~runner ~dir ~empty_index ()

@@ -111,6 +111,33 @@ val get : t -> branch:string -> Kv.key -> Kv.value option
 
 val get_many :
   t -> branch:string -> Kv.key list -> (Kv.key * Kv.value option) list
+(** Batched point lookups: keys are grouped per shard once and the
+    per-shard single-walk batches dispatch through the same runner as
+    the commit fan-out ([`Pool]: one domain per touched shard;
+    [`Threads]: one systhread; [`Inline]: sequential).  Counts
+    [shard.get_many.parts] by touched shards. *)
+
+val scan :
+  ?lo:Kv.key -> ?hi:Kv.key -> t -> branch:string -> (Kv.key * Kv.value) Seq.t
+(** Streaming ordered read over the half-open interval [[lo, hi)] across
+    the shards, in global key order ({!Views.scan}).  Range scheme:
+    touches exactly the contiguous shard interval the bounds can route
+    to — a single-shard interval streams from one shard (telemetry:
+    [shard.scan.fanout]); hash scheme: lazy k-way merge of all shards.
+    Raises {!Generic.Unsupported} for MBT. *)
+
+type shard_stat = {
+  shard : int;
+  keys : int;  (** live records in this shard at the branch head *)
+  nodes : int;  (** reachable index nodes *)
+  bytes : int;  (** bytes of those nodes *)
+  root : Hash.t;
+}
+
+val shard_stats : t -> branch:string -> shard_stat array
+(** Per-shard size/key-count figures at a branch head — the balance
+    telemetry that decides when an online {!reshard} is worth it.
+    O(reachable nodes) per shard: a stats/CLI path, not a hot path. *)
 
 val prove_many : t -> branch:string -> Kv.key list -> Shard_proof.t
 
@@ -127,5 +154,33 @@ val checkpoint : t -> unit
 (** Checkpoint every shard (concurrently, same runner), then compact
     the top journal to one record per branch — atomically, via the same
     tmp+fsync+rename protocol as the shard manifests. *)
+
+val generation : t -> int
+(** Layout generation: 0 is the flat as-created layout, each successful
+    {!reshard} moves to the next generation under [dir/gen.<g>/]. *)
+
+val reshard : t -> shards:int -> (t, Wal.error) result
+(** Online reshard [N -> M]: stream every live entry of every branch out
+    of the old shards (through {!scan}, in key order), split it by the
+    new partition function, and bulk-load [M] fresh shards — the loads
+    fan out through the same runner as commits — in a staging directory
+    [dir/gen.<g+1>.tmp].  Once every staging shard is checkpointed and
+    the staging composite journal is written, the staging directory is
+    renamed to [dir/gen.<g+1>] and the [SHARDS] manifest is atomically
+    replaced naming the new spec and generation — {e the} commit point.
+    A SIGKILL at any byte offset before it leaves the old layout live
+    (staging is swept on the next open); after it, the new layout is
+    live and the old one is swept.  Never a mix.
+
+    Branch ancestry is flattened: every non-master branch is recreated
+    as a fork of the (still empty) master plus one bulk commit, so each
+    branch's content lands through the index's canonical [bulk_load].
+    Scheme is preserved; only the count changes.
+
+    On success the passed handle is {e consumed} (closed) and a fresh
+    handle on the new layout is returned — reopening also re-verifies
+    every branch's composite against the migrated shard roots.  On
+    [Error] the staging directory has been removed, the old layout was
+    never touched, and the passed handle remains usable. *)
 
 val close : t -> unit

@@ -1,6 +1,8 @@
 module Kv = Siri_core.Kv
 module Hash = Siri_crypto.Hash
 module Generic = Siri_core.Generic
+module Store = Siri_store.Store
+module Telemetry = Siri_telemetry.Telemetry
 
 let get spec views key = Generic.get views.(Partition.shard_of_key spec key) key
 
@@ -20,6 +22,70 @@ let get_many spec views keys =
             (Generic.get_many views.(i) ks))
         groups;
       List.map (fun k -> (k, Option.join (Hashtbl.find_opt found k))) keys
+
+(* --- ordered scans across shards -------------------------------------------
+
+   Range scheme: [Partition.shard_of_key] is monotone in the key, so the
+   shards holding [lo, hi) form a contiguous interval and concatenating
+   their streams in shard order *is* global key order — a scan whose
+   bounds land in one shard touches exactly that shard (the fanout the
+   telemetry asserts).  Hash scheme: placement ignores order, so every
+   shard contributes and the streams are k-way merged lazily.  Both paths
+   keep the per-shard streams unforced beyond the entries the consumer
+   actually demands (the merge holds one head per stream). *)
+
+let merge_streams streams =
+  let rec step nodes () =
+    match nodes with
+    | [] -> Seq.Nil
+    | (hd0, tl0) :: rest ->
+        (* Keys are disjoint across shards (each key routes to exactly
+           one), so a plain min by key is unambiguous. *)
+        let (kmin, vmin), tlmin, others =
+          List.fold_left
+            (fun (bhd, btl, others) (hd, tl) ->
+              if String.compare (fst hd) (fst bhd) < 0 then
+                (hd, tl, (bhd, btl) :: others)
+              else (bhd, btl, (hd, tl) :: others))
+            (hd0, tl0, []) rest
+        in
+        Seq.Cons
+          ( (kmin, vmin),
+            fun () ->
+              match tlmin () with
+              | Seq.Nil -> step others ()
+              | Seq.Cons (hd, tl) -> step ((hd, tl) :: others) () )
+  in
+  fun () ->
+    step
+      (List.filter_map
+         (fun s ->
+           match s () with Seq.Nil -> None | Seq.Cons (hd, tl) -> Some (hd, tl))
+         streams)
+      ()
+
+let scan spec views ~lo ~hi =
+  let sink = Store.sink views.(0).Generic.store in
+  Telemetry.incr sink "shard.scan";
+  match Partition.shard_interval spec ~lo ~hi with
+  | None -> Seq.empty
+  | Some (first, last) ->
+      let fanout = last - first + 1 in
+      Telemetry.incr sink ~by:fanout "shard.scan.fanout";
+      let stream i = views.(i).Generic.scan ~lo ~hi in
+      if fanout = 1 then stream first
+      else (
+        match spec.Partition.scheme with
+        | Partition.Range ->
+            (* Contiguous interval, shard order = key order: lazy concat,
+               each stream forced only when its predecessor is drained. *)
+            let rec concat i () =
+              if i > last then Seq.Nil
+              else Seq.append (stream i) (concat (i + 1)) ()
+            in
+            concat first
+        | Partition.Hash ->
+            merge_streams (List.init fanout (fun i -> stream (first + i))))
 
 let roots views = Array.map (fun (v : Generic.t) -> v.Generic.root) views
 

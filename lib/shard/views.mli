@@ -15,6 +15,17 @@ val get_many :
   (Kv.key * Kv.value option) list
 (** One batched lookup per touched shard; results in input key order. *)
 
+val scan :
+  Partition.t -> Generic.t array -> lo:Kv.key option -> hi:Kv.key option ->
+  (Kv.key * Kv.value) Seq.t
+(** Streaming ordered read over [[lo, hi)] across the shards, in global
+    key order.  Range scheme: only the contiguous shard interval holding
+    the bounds is touched (lazy concatenation — a single-shard interval
+    streams from exactly one shard); hash scheme: all shards, k-way
+    merged lazily.  Counts [shard.scan] per call and [shard.scan.fanout]
+    by the number of shards the bounds can touch.  Raises
+    {!Generic.Unsupported} when the underlying kind is MBT. *)
+
 val roots : Generic.t array -> Hash.t array
 
 val composite : Partition.t -> Generic.t array -> Hash.t

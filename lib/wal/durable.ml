@@ -121,6 +121,8 @@ let apply_record engine = function
       (* Replaying the resolved batch as a plain commit byte-reproduces the
          original merge commit: same parent, message, version and ops. *)
       ignore (Engine.commit engine ~branch:into ~message ops : Engine.commit)
+  | Wal.Bulk { branch; message; entries } ->
+      ignore (Engine.commit_bulk engine ~branch ~message entries : Engine.commit)
 
 let open_ ?(sync = true) ?(backend = `Snapshot) ?replay_cap ~dir ~empty_index () =
   match
@@ -332,6 +334,13 @@ let commit ?seq t ~branch ~message ops =
   ignore (Engine.head t.engine branch : Engine.commit);
   append ?seq t (Wal.Commit { branch; message; ops });
   let c = Engine.commit t.engine ~branch ~message ops in
+  publish_pack t;
+  c
+
+let commit_bulk ?seq t ~branch ~message entries =
+  ignore (Engine.head t.engine branch : Engine.commit);
+  append ?seq t (Wal.Bulk { branch; message; entries });
+  let c = Engine.commit_bulk t.engine ~branch ~message entries in
   publish_pack t;
   c
 

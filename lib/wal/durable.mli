@@ -118,6 +118,15 @@ val commit :
     commit counter); it must not be below the journal's own watermark —
     [Invalid_argument] otherwise. *)
 
+val commit_bulk :
+  ?seq:int -> t -> branch:string -> message:string ->
+  (Kv.key * Kv.value) list -> Engine.commit
+(** Journal a {!Wal.record.Bulk} record, then apply through
+    {!Engine.commit_bulk}: on a branch still at version 0 the entries go
+    through the index's canonical [bulk_load] (and recovery replays them
+    the same way), which is what the online reshard streams each migrated
+    branch into. *)
+
 val fork : ?seq:int -> t -> from:string -> string -> unit
 val get : t -> branch:string -> Kv.key -> Kv.value option
 

@@ -8,6 +8,11 @@ type record =
   | Commit of { branch : string; message : string; ops : Kv.op list }
   | Fork of { from : string; name : string }
   | Merge of { into : string; from : string; message : string; ops : Kv.op list }
+  | Bulk of {
+      branch : string;
+      message : string;
+      entries : (Kv.key * Kv.value) list;
+    }
 
 type error = [ `Tampered of int | `Malformed of string ]
 
@@ -21,6 +26,7 @@ let pp_error ppf = function
 let tag_commit = 0x01
 let tag_fork = 0x02
 let tag_merge = 0x03
+let tag_bulk = 0x04
 
 let write_ops w ops =
   Wire.Writer.varint w (List.length ops);
@@ -65,7 +71,17 @@ let encode_payload ~seq record =
       Wire.Writer.str w into;
       Wire.Writer.str w from;
       Wire.Writer.str w message;
-      write_ops w ops);
+      write_ops w ops
+  | Bulk { branch; message; entries } ->
+      Wire.Writer.u8 w tag_bulk;
+      Wire.Writer.str w branch;
+      Wire.Writer.str w message;
+      Wire.Writer.varint w (List.length entries);
+      List.iter
+        (fun (k, v) ->
+          Wire.Writer.str w k;
+          Wire.Writer.str w v)
+        entries);
   Wire.Writer.contents w
 
 let decode_payload_reader r =
@@ -85,6 +101,17 @@ let decode_payload_reader r =
         let from = Wire.Reader.str r in
         let message = Wire.Reader.str r in
         Merge { into; from; message; ops = read_ops r }
+    | t when t = tag_bulk ->
+        let branch = Wire.Reader.str r in
+        let message = Wire.Reader.str r in
+        let n = Wire.Reader.varint r in
+        let entries =
+          List.init n (fun _ ->
+              let k = Wire.Reader.str r in
+              let v = Wire.Reader.str r in
+              (k, v))
+        in
+        Bulk { branch; message; entries }
     | _ -> raise Wire.Reader.Truncated
   in
   if not (Wire.Reader.at_end r) then raise Wire.Reader.Truncated;

@@ -45,6 +45,16 @@ type record =
           ({!Siri_forkbase.Engine.merge_ops}) so that replay needs no
           serialized conflict policy: applying [ops] on [into] with
           [message] byte-reproduces the original merge commit. *)
+  | Bulk of {
+      branch : string;
+      message : string;
+      entries : (Kv.key * Kv.value) list;
+    }
+      (** A bulk load: replayed through
+          {!Siri_forkbase.Engine.commit_bulk}, so on a version-0 branch
+          recovery rebuilds through the index's canonical bottom-up
+          [bulk_load] and byte-reproduces the original commit — the
+          record the online reshard journals per migrated branch. *)
 
 type error =
   [ `Tampered of int  (** checksum failure at this byte offset *)
